@@ -1,0 +1,47 @@
+# Convenience targets for the emuchick reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-quick bench figures figures-quick scorecard scorecard-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The suite at -short semantics: everything still runs, it is just the
+# regular suite (kept separate in case slow tests are ever gated).
+test-quick: test
+
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Regenerate every paper artifact at full size (~10-15 minutes).
+figures:
+	$(GO) run ./cmd/emubench -fig all -format table
+
+figures-quick:
+	$(GO) run ./cmd/emubench -fig all -quick -format table
+
+# The 15-claim reproduction scorecard.
+scorecard:
+	$(GO) run ./cmd/emuvalidate
+
+scorecard-quick:
+	$(GO) run ./cmd/emuvalidate -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/graphwalk
+	$(GO) run ./examples/spmv
+	$(GO) run ./examples/migration
+	$(GO) run ./examples/tensor
+
+clean:
+	$(GO) clean ./...

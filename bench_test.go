@@ -1,0 +1,348 @@
+package emuchick
+
+// One testing.B benchmark per paper artifact. Each runs a representative
+// configuration of the corresponding figure or table and reports the
+// figure's metric (simulated bandwidth or migration rate) via
+// b.ReportMetric, so `go test -bench . -benchmem` regenerates the headline
+// number of every artifact; `cmd/emubench` regenerates the full sweeps.
+
+import (
+	"testing"
+
+	"emuchick/internal/cpukernels"
+	"emuchick/internal/experiments"
+	"emuchick/internal/workload"
+	"emuchick/internal/xeon"
+)
+
+// reportEmu runs an Emu kernel b.N times and reports its simulated
+// bandwidth in MB/s.
+func reportEmu(b *testing.B, run func() (Result, error)) {
+	b.Helper()
+	var last Result
+	for i := 0; i < b.N; i++ {
+		res, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MBps(), "simMB/s")
+}
+
+// BenchmarkFig4StreamSingleNodelet is the plateau point of Fig. 4: STREAM
+// on one nodelet with 64 threads.
+func BenchmarkFig4StreamSingleNodelet(b *testing.B) {
+	reportEmu(b, func() (Result, error) {
+		return RunStream(HardwareChick(), StreamConfig{
+			ElemsPerNodelet: 1024, Nodelets: 1, Threads: 64, Strategy: SerialSpawn,
+		})
+	})
+}
+
+// BenchmarkFig5StreamEightNodelets is Fig. 5's peak: 512 threads with a
+// recursive remote spawn tree across 8 nodelets (~1.2 GB/s on hardware).
+func BenchmarkFig5StreamEightNodelets(b *testing.B) {
+	reportEmu(b, func() (Result, error) {
+		return RunStream(HardwareChick(), StreamConfig{
+			ElemsPerNodelet: 1024, Nodelets: 8, Threads: 512, Strategy: RecursiveRemoteSpawn,
+		})
+	})
+}
+
+// BenchmarkStreamAnchorXeon is the section IV-A anchor: Sandy Bridge
+// STREAM near its nominal 51.2 GB/s.
+func BenchmarkStreamAnchorXeon(b *testing.B) {
+	var last Result
+	for i := 0; i < b.N; i++ {
+		res, err := cpukernels.StreamAdd(xeon.SandyBridgeXeon(), cpukernels.StreamConfig{
+			Elements: 1 << 18, Threads: 32,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.GBps(), "simGB/s")
+}
+
+// BenchmarkStreamAnchorEightNodes is the unstable 8-node test (6.5 GB/s in
+// the paper's one successful run).
+func BenchmarkStreamAnchorEightNodes(b *testing.B) {
+	reportEmu(b, func() (Result, error) {
+		return RunStream(HardwareChickNodes(8), StreamConfig{
+			ElemsPerNodelet: 512, Nodelets: 64, Threads: 4096, Strategy: RecursiveRemoteSpawn,
+		})
+	})
+}
+
+// BenchmarkFig6PointerChaseEmu is Fig. 6's flat region: 512 threads,
+// full shuffle, 64-element blocks.
+func BenchmarkFig6PointerChaseEmu(b *testing.B) {
+	reportEmu(b, func() (Result, error) {
+		return RunPointerChase(HardwareChick(), ChaseConfig{
+			Elements: 16384, BlockSize: 64, Mode: FullBlockShuffle,
+			Seed: 1, Threads: 512, Nodelets: 8,
+		})
+	})
+}
+
+// BenchmarkFig6BlockOneDip is Fig. 6's defining dip: every element
+// migrates.
+func BenchmarkFig6BlockOneDip(b *testing.B) {
+	reportEmu(b, func() (Result, error) {
+		return RunPointerChase(HardwareChick(), ChaseConfig{
+			Elements: 16384, BlockSize: 1, Mode: FullBlockShuffle,
+			Seed: 1, Threads: 512, Nodelets: 8,
+		})
+	})
+}
+
+// BenchmarkFig7PointerChaseXeon is Fig. 7's sweet spot: 512-element
+// (8 KiB, one DRAM page) blocks on Sandy Bridge.
+func BenchmarkFig7PointerChaseXeon(b *testing.B) {
+	var last Result
+	for i := 0; i < b.N; i++ {
+		res, err := cpukernels.PointerChase(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
+			Elements: 1 << 18, BlockSize: 512, Mode: FullBlockShuffle, Seed: 1, Threads: 32,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MBps(), "simMB/s")
+}
+
+// BenchmarkFig8Utilization reports Fig. 8's headline: the Emu's
+// pointer-chase bandwidth as a fraction of its measured STREAM peak.
+func BenchmarkFig8Utilization(b *testing.B) {
+	peak, err := RunStream(HardwareChick(), StreamConfig{
+		ElemsPerNodelet: 2048, Nodelets: 8, Threads: 512, Strategy: RecursiveRemoteSpawn,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunPointerChase(HardwareChick(), ChaseConfig{
+			Elements: 16384, BlockSize: 64, Mode: FullBlockShuffle,
+			Seed: 1, Threads: 512, Nodelets: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = res.BytesPerSec() / peak.BytesPerSec()
+	}
+	b.ReportMetric(frac*100, "%ofpeak")
+}
+
+// BenchmarkFig9aSpMVEmu is Fig. 9a's best case: the 2D layout at n=100.
+func BenchmarkFig9aSpMVEmu(b *testing.B) {
+	reportEmu(b, func() (Result, error) {
+		return RunSpMV(HardwareChick(), SpMVConfig{GridN: 100, Layout: SpMV2D, GrainNNZ: 16})
+	})
+}
+
+// BenchmarkFig9aSpMVEmu1D and ...Local are the other two layout curves.
+func BenchmarkFig9aSpMVEmu1D(b *testing.B) {
+	reportEmu(b, func() (Result, error) {
+		return RunSpMV(HardwareChick(), SpMVConfig{GridN: 100, Layout: SpMV1D, GrainNNZ: 16})
+	})
+}
+
+func BenchmarkFig9aSpMVEmuLocal(b *testing.B) {
+	reportEmu(b, func() (Result, error) {
+		return RunSpMV(HardwareChick(), SpMVConfig{GridN: 100, Layout: SpMVLocal, GrainNNZ: 16})
+	})
+}
+
+// BenchmarkFig9bSpMVXeon is Fig. 9b's MKL curve at a mid-size matrix.
+func BenchmarkFig9bSpMVXeon(b *testing.B) {
+	var last Result
+	for i := 0; i < b.N; i++ {
+		res, err := cpukernels.SpMV(xeon.HaswellXeon(), cpukernels.SpMVConfig{
+			GridN: 100, Variant: cpukernels.SpMVMKL, Threads: 56,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MBps(), "simMB/s")
+}
+
+// BenchmarkFig10ValidationGap reports the hardware/simulator bandwidth
+// ratio on the migration-bound chase point — the Fig. 10 mismatch.
+func BenchmarkFig10ValidationGap(b *testing.B) {
+	cfg := ChaseConfig{
+		Elements: 16384, BlockSize: 1, Mode: FullBlockShuffle,
+		Seed: 1, Threads: 512, Nodelets: 8,
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		hw, err := RunPointerChase(HardwareChick(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sm, err := RunPointerChase(SimMatched(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = sm.BytesPerSec() / hw.BytesPerSec()
+	}
+	b.ReportMetric(ratio, "sim/hw")
+}
+
+// BenchmarkMigrationAnchorPingPong is the section IV-D scalar: hardware
+// ping-pong migration rate (paper: ~9 M/s).
+func BenchmarkMigrationAnchorPingPong(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunPingPong(HardwareChick(), PingPongConfig{
+			Threads: 64, Iterations: 500, NodeletA: 0, NodeletB: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.MigrationsPerSec / 1e6
+	}
+	b.ReportMetric(rate, "Mmig/s")
+}
+
+// BenchmarkFig11FullSpeed64 is the Fig. 11 projection: 64 nodelets at
+// design speed, thousands of threads.
+func BenchmarkFig11FullSpeed64(b *testing.B) {
+	reportEmu(b, func() (Result, error) {
+		return RunPointerChase(FullSpeed(8), ChaseConfig{
+			Elements: 65536, BlockSize: 128, Mode: FullBlockShuffle,
+			Seed: 1, Threads: 4096, Nodelets: 64,
+		})
+	})
+}
+
+// --- Extension benchmarks: the application substrates the paper's
+// introduction motivates, plus model ablations.
+
+// BenchmarkGraphTraversalClustered walks a STINGER-style graph whose edge
+// blocks live on their vertices' nodelets.
+func BenchmarkGraphTraversalClustered(b *testing.B) {
+	benchGraphTraversal(b, PlaceAtVertex)
+}
+
+// BenchmarkGraphTraversalFragmented walks the same graph with blocks
+// scattered round-robin — pointer chasing in application form.
+func BenchmarkGraphTraversalFragmented(b *testing.B) {
+	benchGraphTraversal(b, PlaceRoundRobin)
+}
+
+func benchGraphTraversal(b *testing.B, placement Placement) {
+	b.Helper()
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		sys := NewSystem(HardwareChick())
+		g, err := NewGraph(sys, GraphConfig{
+			Vertices: 1024, EdgesPerBlock: 4, Placement: placement, PoolBlocksPerNodelet: 4096,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := uint64(12345)
+		next := func(n int) int {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return int(rng % uint64(n))
+		}
+		edges := 0
+		for v := 0; v < 1024; v++ {
+			for e := 0; e < 8; e++ {
+				if err := g.BuildInsert(GraphEdge{Src: v, Dst: next(1024), Weight: 1}); err != nil {
+					b.Fatal(err)
+				}
+				edges++
+			}
+		}
+		elapsed, err := sys.Run(func(root *Thread) {
+			SpawnWorkers(root, 8, 128, RecursiveRemoteSpawn, func(th *Thread, id int) {
+				for v := id; v < 1024; v += 128 {
+					g.WalkTimed(th, v, func(int, uint64) {})
+				}
+			})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps = float64(edges*16) / elapsed.Seconds() / 1e6
+	}
+	b.ReportMetric(mbps, "simMB/s")
+}
+
+// BenchmarkGraphBFS runs the level-synchronous BFS over an R-MAT graph —
+// the STINGER-style analytics kernel the paper's introduction motivates.
+func BenchmarkGraphBFS(b *testing.B) {
+	cfg := workload.DefaultRMAT(10, 8) // 1024 vertices, 8192 edges
+	edges, err := workload.RMAT(cfg, workload.NewRNG(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reached int
+	for i := 0; i < b.N; i++ {
+		sys := NewSystem(HardwareChick())
+		g, err := NewGraph(sys, GraphConfig{
+			Vertices: cfg.Vertices(), EdgesPerBlock: 4,
+			Placement: PlaceAtVertex, PoolBlocksPerNodelet: len(edges),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range edges {
+			if err := g.BuildInsert(GraphEdge{Src: e.Src, Dst: e.Dst, Weight: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var dist []int64
+		if _, err := sys.Run(func(root *Thread) {
+			dist = BFS(root, g, 0, 64)
+		}); err != nil {
+			b.Fatal(err)
+		}
+		reached = 0
+		for _, d := range dist {
+			if d >= 0 {
+				reached++
+			}
+		}
+	}
+	b.ReportMetric(float64(reached), "verticesReached")
+}
+
+// BenchmarkTensorTTV2D contracts a sparse tensor under the slice-blocked
+// layout (the ParTI motivation).
+func BenchmarkTensorTTV2D(b *testing.B) {
+	reportEmu(b, func() (Result, error) {
+		return RunTTV(HardwareChick(), TTVConfig{
+			Dims: [3]int{64, 64, 64}, NNZ: 20000, Seed: 1, Layout: TensorLayout2D, GrainNNZ: 16,
+		})
+	})
+}
+
+// BenchmarkAblationReplicatedX is the smart-migration ablation headline:
+// SpMV 2D with the input vector replicated (vs striped in the experiment).
+func BenchmarkAblationReplicatedX(b *testing.B) {
+	reportEmu(b, func() (Result, error) {
+		return RunSpMV(HardwareChick(), SpMVConfig{GridN: 50, Layout: SpMV2D, GrainNNZ: 16})
+	})
+}
+
+// BenchmarkQuickExperimentSuite runs every registered experiment in quick
+// mode — the end-to-end cost of regenerating all artifacts at CI scale.
+func BenchmarkQuickExperimentSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range experiments.All() {
+			if _, err := e.Run(experiments.Options{Quick: true, Trials: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command emubench regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	emubench [-fig all|fig4,fig6,...] [-format table|csv|chart|all]
+//	         [-trials N] [-quick] [-list]
+//
+// Each experiment produces the same series the corresponding paper artifact
+// plots; -format chart renders an ASCII approximation of the figure so the
+// shape (plateaus, dips, crossings) is visible in a terminal, and -format
+// csv emits data suitable for real plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"emuchick/internal/experiments"
+	"emuchick/internal/metrics"
+	"emuchick/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "emubench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("emubench", flag.ContinueOnError)
+	figArg := fs.String("fig", "all", "comma-separated experiment ids, or 'all'")
+	format := fs.String("format", "table", "output format: table, csv, json, chart, or all")
+	trials := fs.Int("trials", 0, "trials per seeded data point (default: 10, or 3 with -quick)")
+	quick := fs.Bool("quick", false, "shrink workloads for a fast smoke run")
+	list := fs.Bool("list", false, "list experiments and exit")
+	outdir := fs.String("outdir", "", "also write each figure as <outdir>/<figure-id>.json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	if *list {
+		tab := report.NewTable("id", "title")
+		for _, e := range experiments.All() {
+			tab.AddRow(e.ID, e.Title)
+		}
+		_, err := tab.WriteTo(out)
+		return err
+	}
+
+	var ids []string
+	if *figArg == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*figArg, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	opts := experiments.Options{Trials: *trials, Quick: *quick}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		figs, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintf(out, "== %s — %s (%.1fs)\n", e.ID, e.Title, time.Since(start).Seconds())
+		fmt.Fprintf(out, "   paper: %s\n\n", e.Paper)
+		for _, fig := range figs {
+			if err := render(out, fig, *format); err != nil {
+				return err
+			}
+			if *outdir != "" {
+				if err := writeFigureJSON(*outdir, fig); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}
+
+// writeFigureJSON archives one figure under dir as <id>.json.
+func writeFigureJSON(dir string, fig *metrics.Figure) error {
+	f, err := os.Create(filepath.Join(dir, fig.ID+".json"))
+	if err != nil {
+		return err
+	}
+	if err := report.FigureJSON(f, fig); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func render(out io.Writer, fig *metrics.Figure, format string) error {
+	switch format {
+	case "table":
+		fmt.Fprintf(out, "-- %s: %s (%s)\n", fig.ID, fig.Title, fig.YLabel)
+		_, err := report.FigureTable(fig).WriteTo(out)
+		return err
+	case "csv":
+		return report.FigureCSV(out, fig)
+	case "json":
+		return report.FigureJSON(out, fig)
+	case "chart":
+		_, err := fmt.Fprint(out, report.AsciiChart(fig, 64, 16))
+		return err
+	case "all":
+		for _, f := range []string{"table", "chart", "csv"} {
+			if err := render(out, fig, f); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, id := range []string{"fig4", "fig8", "fig11", "stream-anchors", "ablation-grain"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleFigureTable(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "fig4", "-quick", "-trials", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "serial_spawn") || !strings.Contains(out, "recursive_spawn") {
+		t.Fatalf("fig4 table missing series:\n%s", out)
+	}
+	if !strings.Contains(out, "paper:") {
+		t.Fatal("paper expectation line missing")
+	}
+}
+
+func TestRunMultipleFiguresCSV(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "migration-anchors,stream-anchors", "-quick", "-trials", "1", "-format", "csv"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "figure,series,x,mean") {
+		t.Fatal("csv header missing")
+	}
+	if !strings.Contains(out, "migration-anchors,measured") {
+		t.Fatalf("csv rows missing:\n%s", out)
+	}
+}
+
+func TestRunChartAndJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "fig4", "-quick", "-trials", "1", "-format", "chart"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "o = serial_spawn") {
+		t.Fatalf("chart legend missing:\n%s", b.String())
+	}
+	b.Reset()
+	if err := run([]string{"-fig", "fig4", "-quick", "-trials", "1", "-format", "json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\"id\": \"fig4\"") {
+		t.Fatal("json output missing")
+	}
+}
+
+func TestOutdirArchivesJSON(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-fig", "fig4", "-quick", "-trials", "1", "-outdir", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"id\": \"fig4\"") {
+		t.Fatalf("archived json malformed:\n%s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "nope"}, &b); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{"-fig", "fig4", "-quick", "-format", "bogus"}, &b); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

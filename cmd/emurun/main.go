@@ -1,0 +1,158 @@
+// Command emurun runs a single benchmark with explicit parameters and
+// prints its measurement plus the machine counters — the workhorse for
+// exploring the model outside the fixed paper sweeps.
+//
+// Usage:
+//
+//	emurun -bench stream      [-machine hw|sim|fullspeed] [-nodelets N]
+//	       [-threads N] [-elems N] [-strategy serial_spawn|...]
+//	emurun -bench chase       [-elems N] [-block N] [-mode full_block_shuffle|...]
+//	       [-threads N] [-seed S]
+//	emurun -bench spmv        [-n N] [-layout local|1d|2d] [-grain G]
+//	emurun -bench pingpong    [-threads N] [-iters N]
+//	emurun -bench gups        [-elems N] [-updates N] [-threads N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"emuchick/internal/cilk"
+	"emuchick/internal/kernels"
+	"emuchick/internal/machine"
+	"emuchick/internal/metrics"
+	"emuchick/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "emurun:", err)
+		os.Exit(1)
+	}
+}
+
+func machineFor(name string, nodes int) (machine.Config, error) {
+	switch name {
+	case "hw", "hardware":
+		if nodes > 1 {
+			return machine.HardwareChickNodes(nodes), nil
+		}
+		return machine.HardwareChick(), nil
+	case "sim", "simulator":
+		return machine.SimMatched(), nil
+	case "fullspeed", "design":
+		if nodes <= 0 {
+			nodes = 1
+		}
+		return machine.FullSpeed(nodes), nil
+	default:
+		return machine.Config{}, fmt.Errorf("unknown machine %q (hw, sim, fullspeed)", name)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("emurun", flag.ContinueOnError)
+	bench := fs.String("bench", "stream", "benchmark: stream, chase, spmv, pingpong, gups")
+	mach := fs.String("machine", "hw", "machine config: hw, sim, fullspeed")
+	nodes := fs.Int("nodes", 1, "node cards (hw and fullspeed)")
+	nodelets := fs.Int("nodelets", 8, "nodelets used by the kernel")
+	threads := fs.Int("threads", 64, "worker threads")
+	elems := fs.Int("elems", 4096, "elements (stream: per nodelet; chase/gups: total)")
+	strategy := fs.String("strategy", "serial_remote_spawn", "spawn strategy (stream)")
+	block := fs.Int("block", 64, "block size in elements (chase)")
+	mode := fs.String("mode", "full_block_shuffle", "shuffle mode (chase)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	gridN := fs.Int("n", 32, "Laplacian grid size (spmv)")
+	layout := fs.String("layout", "2d", "data layout: local, 1d, 2d (spmv)")
+	grain := fs.Int("grain", 16, "elements per spawn (spmv)")
+	iters := fs.Int("iters", 1000, "round trips per thread (pingpong)")
+	updates := fs.Int("updates", 16384, "update count (gups)")
+	trace := fs.Int("trace", 0, "print the first N machine operations of the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := machineFor(*mach, *nodes)
+	if err != nil {
+		return err
+	}
+	if *trace > 0 {
+		kernels.TraceNextSystem(out, *trace)
+		defer kernels.TraceNextSystem(nil, 0)
+	}
+
+	var res metrics.Result
+	switch *bench {
+	case "stream":
+		strat, err := cilk.ParseStrategy(*strategy)
+		if err != nil {
+			return err
+		}
+		res, err = kernels.StreamAdd(cfg, kernels.StreamConfig{
+			ElemsPerNodelet: *elems, Nodelets: *nodelets, Threads: *threads, Strategy: strat,
+		})
+		if err != nil {
+			return err
+		}
+	case "chase":
+		m, err := workload.ParseShuffleMode(*mode)
+		if err != nil {
+			return err
+		}
+		res, err = kernels.PointerChase(cfg, kernels.ChaseConfig{
+			Elements: *elems, BlockSize: *block, Mode: m, Seed: *seed,
+			Threads: *threads, Nodelets: *nodelets,
+		})
+		if err != nil {
+			return err
+		}
+	case "spmv":
+		var l kernels.SpMVLayout
+		switch *layout {
+		case "local":
+			l = kernels.SpMVLocal
+		case "1d":
+			l = kernels.SpMV1D
+		case "2d":
+			l = kernels.SpMV2D
+		default:
+			return fmt.Errorf("unknown layout %q", *layout)
+		}
+		res, err = kernels.SpMV(cfg, kernels.SpMVConfig{GridN: *gridN, Layout: l, GrainNNZ: *grain})
+		if err != nil {
+			return err
+		}
+	case "pingpong":
+		pp, err := kernels.PingPong(cfg, kernels.PingPongConfig{
+			Threads: *threads, Iterations: *iters, NodeletA: 0, NodeletB: 1,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "machine        %s\n", cfg.Name)
+		fmt.Fprintf(out, "migrations     %d\n", pp.Migrations)
+		fmt.Fprintf(out, "elapsed        %v\n", pp.Elapsed)
+		fmt.Fprintf(out, "rate           %.2f M migrations/s\n", pp.MigrationsPerSec/1e6)
+		fmt.Fprintf(out, "mean latency   %v per migration per thread\n", pp.MeanLatency)
+		return nil
+	case "gups":
+		res, err = kernels.GUPS(cfg, kernels.GUPSConfig{
+			TableWords: *elems, Updates: *updates, Threads: *threads, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown benchmark %q", *bench)
+	}
+
+	fmt.Fprintf(out, "machine    %s\n", cfg.Name)
+	fmt.Fprintf(out, "bytes      %d\n", res.Bytes)
+	fmt.Fprintf(out, "elapsed    %v\n", res.Elapsed)
+	fmt.Fprintf(out, "bandwidth  %.2f MB/s (%.4f GB/s)\n", res.MBps(), res.GBps())
+	fmt.Fprintf(out, "peak       %.1f%% of machine word-traffic peak\n",
+		100*res.BytesPerSec()/cfg.PeakMemoryBytesPerSec())
+	return nil
+}

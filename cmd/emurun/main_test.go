@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMachineFor(t *testing.T) {
+	hw, err := machineFor("hw", 1)
+	if err != nil || hw.Nodes != 1 {
+		t.Fatalf("hw: %+v, %v", hw, err)
+	}
+	multi, err := machineFor("hardware", 4)
+	if err != nil || multi.Nodes != 4 {
+		t.Fatalf("hw multi-node: %+v, %v", multi, err)
+	}
+	sim, err := machineFor("sim", 1)
+	if err != nil || sim.MigrationsPerSec != 16e6 {
+		t.Fatalf("sim: %+v, %v", sim, err)
+	}
+	fast, err := machineFor("fullspeed", 0)
+	if err != nil || fast.Nodes != 1 || fast.CoreHz != 300e6 {
+		t.Fatalf("fullspeed: %+v, %v", fast, err)
+	}
+	if _, err := machineFor("tpu", 1); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRunStream(t *testing.T) {
+	out := runOK(t, "-bench", "stream", "-elems", "64", "-threads", "16")
+	if !strings.Contains(out, "bandwidth") || !strings.Contains(out, "emu-chick-hw") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunChase(t *testing.T) {
+	out := runOK(t, "-bench", "chase", "-elems", "512", "-block", "8", "-threads", "16")
+	if !strings.Contains(out, "% of machine word-traffic peak") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunSpMVAllLayouts(t *testing.T) {
+	for _, layout := range []string{"local", "1d", "2d"} {
+		out := runOK(t, "-bench", "spmv", "-n", "8", "-layout", layout)
+		if !strings.Contains(out, "bandwidth") {
+			t.Fatalf("%s output:\n%s", layout, out)
+		}
+	}
+}
+
+func TestRunPingPong(t *testing.T) {
+	out := runOK(t, "-bench", "pingpong", "-threads", "4", "-iters", "50")
+	if !strings.Contains(out, "M migrations/s") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunGUPS(t *testing.T) {
+	out := runOK(t, "-bench", "gups", "-elems", "64", "-updates", "256", "-threads", "8")
+	if !strings.Contains(out, "bandwidth") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunOnOtherMachines(t *testing.T) {
+	out := runOK(t, "-bench", "chase", "-machine", "fullspeed", "-nodes", "8",
+		"-nodelets", "64", "-elems", "2048", "-block", "8", "-threads", "128")
+	if !strings.Contains(out, "emu-fullspeed-8node") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	out := runOK(t, "-bench", "chase", "-elems", "64", "-block", "4", "-threads", "4", "-trace", "5")
+	if !strings.Contains(out, "spawn") && !strings.Contains(out, "load") {
+		t.Fatalf("trace lines missing:\n%s", out)
+	}
+	// The limit bounds the trace: count trace-looking lines.
+	lines := 0
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, " nl") {
+			lines++
+		}
+	}
+	if lines != 5 {
+		t.Fatalf("trace emitted %d lines, want 5", lines)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var b strings.Builder
+	cases := [][]string{
+		{"-bench", "nothing"},
+		{"-bench", "stream", "-strategy", "bogus"},
+		{"-bench", "chase", "-mode", "bogus"},
+		{"-bench", "spmv", "-layout", "bogus"},
+		{"-machine", "bogus"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

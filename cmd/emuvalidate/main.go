@@ -1,0 +1,80 @@
+// Command emuvalidate runs the reproduction scorecard: every checkable
+// claim the paper makes, executed against the models and judged
+// pass/fail with the measured numbers. It exits non-zero if any claim
+// fails, so it doubles as a regression gate for the calibration.
+//
+// Usage:
+//
+//	emuvalidate [-quick] [-trials N] [-claim id]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"emuchick/internal/claims"
+	"emuchick/internal/experiments"
+)
+
+func main() {
+	ok, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emuvalidate:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("emuvalidate", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrink workloads for a fast smoke run")
+	trials := fs.Int("trials", 0, "trials per seeded data point")
+	claimID := fs.String("claim", "", "check a single claim by id")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	opts := experiments.Options{Quick: *quick, Trials: *trials}
+
+	list := claims.All()
+	if *claimID != "" {
+		c, err := claims.ByID(*claimID)
+		if err != nil {
+			return false, err
+		}
+		list = []claims.Claim{c}
+	}
+
+	allPass := true
+	fmt.Fprintf(out, "Reproduction scorecard (%d claims", len(list))
+	if *quick {
+		fmt.Fprint(out, ", quick scale")
+	}
+	fmt.Fprintln(out, "):")
+	for _, c := range list {
+		start := time.Now()
+		v, err := c.Check(opts)
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", c.ID, err)
+		}
+		status := "PASS"
+		if !v.Pass {
+			status = "FAIL"
+			allPass = false
+		}
+		fmt.Fprintf(out, "\n[%s] %-18s (%s, %.1fs)\n", status, c.ID, c.Section, time.Since(start).Seconds())
+		fmt.Fprintf(out, "  paper:    %s\n", c.Statement)
+		fmt.Fprintf(out, "  measured: %s\n", v.Detail)
+	}
+	fmt.Fprintln(out)
+	if allPass {
+		fmt.Fprintln(out, "All claims reproduced.")
+	} else {
+		fmt.Fprintln(out, "Some claims FAILED.")
+	}
+	return allPass, nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleClaim(t *testing.T) {
+	var b strings.Builder
+	ok, err := run([]string{"-quick", "-trials", "1", "-claim", "migration-rates"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("migration-rates failed:\n%s", b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "[PASS] migration-rates") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "paper:") || !strings.Contains(out, "measured:") {
+		t.Fatal("scorecard lines missing")
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var b strings.Builder
+	if _, err := run([]string{"-claim", "nope"}, &b); err == nil {
+		t.Fatal("unknown claim accepted")
+	}
+	if _, err := run([]string{"-bogus"}, &b); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Package emuchick is a simulation-backed reproduction of "An Initial
+// Characterization of the Emu Chick" (Hein et al., 2018). It models the Emu
+// migratory-thread architecture — nodelets pairing narrow NCDRAM channels
+// with cache-less, highly multithreaded Gossamer cores, and a migration
+// engine that moves thread contexts to data — together with the cache-based
+// Xeon platforms the paper compares against, and regenerates every figure
+// and table of the paper's evaluation.
+//
+// The package is a facade over the internal packages:
+//
+//   - Machine configurations (HardwareChick, SimMatched, FullSpeed) and the
+//     Thread API for writing migratory-thread kernels.
+//   - The four paper benchmarks: STREAM, PointerChase, SpMV, PingPong (plus
+//     GUPS), each on both the Emu model and the Xeon models.
+//   - The experiment registry (Experiments, ExperimentByID) that regenerates
+//     Figs. 4-11 and the scalar anchor tables.
+//
+// A minimal program:
+//
+//	sys := emuchick.NewSystem(emuchick.HardwareChick())
+//	arr := sys.Mem.AllocStriped(1 << 10)
+//	elapsed, err := sys.Run(func(t *emuchick.Thread) {
+//	    for i := 0; i < arr.Len(); i++ {
+//	        t.Load(arr.At(i)) // remote elements migrate the thread
+//	    }
+//	})
+//
+// See DESIGN.md for the model's calibration against the paper's published
+// rates and EXPERIMENTS.md for the paper-vs-measured comparison of every
+// artifact.
+package emuchick
+
+import (
+	"emuchick/internal/cilk"
+	"emuchick/internal/experiments"
+	"emuchick/internal/kernels"
+	"emuchick/internal/machine"
+	"emuchick/internal/memsys"
+	"emuchick/internal/metrics"
+	"emuchick/internal/sim"
+	"emuchick/internal/workload"
+)
+
+// Core machine types.
+type (
+	// Config describes one Emu machine configuration.
+	Config = machine.Config
+	// System is a single-use simulated Emu machine.
+	System = machine.System
+	// Thread is a Gossamer threadlet; kernels are written against it.
+	Thread = machine.Thread
+	// Counters are the per-nodelet event counts the vendor simulator
+	// reports (spawns, migrations, memory operations).
+	Counters = machine.Counters
+	// Time is simulated time in picoseconds.
+	Time = sim.Time
+	// Addr is a word address in the partitioned global address space.
+	Addr = memsys.Addr
+	// Result is a measured (bytes, elapsed) pair with bandwidth helpers.
+	Result = metrics.Result
+	// Strategy is one of the paper's four thread-spawn strategies.
+	Strategy = cilk.Strategy
+	// ShuffleMode is one of the pointer-chase list permutations of Fig. 2.
+	ShuffleMode = workload.ShuffleMode
+)
+
+// Machine configuration presets (section III of the paper).
+var (
+	// HardwareChick is the prototype: 8 nodelets, one 150 MHz Gossamer
+	// core each, 64 threadlets, DDR4-1600 NCDRAM, 9 M migrations/s.
+	HardwareChick = machine.HardwareChick
+	// HardwareChickNodes extends the prototype to several node cards.
+	HardwareChickNodes = machine.HardwareChickNodes
+	// SimMatched is the vendor simulator configured to match the
+	// prototype — identical except its 16 M migrations/s engine.
+	SimMatched = machine.SimMatched
+	// FullSpeed is the design-speed projection: 300 MHz, 4 cores and
+	// 1024 threadlets per nodelet, DDR4-2133.
+	FullSpeed = machine.FullSpeed
+)
+
+// NewSystem builds a simulated Emu machine from a configuration.
+func NewSystem(cfg Config) *System { return machine.NewSystem(cfg) }
+
+// Spawn strategies (section III-E).
+const (
+	SerialSpawn          = cilk.SerialSpawn
+	RecursiveSpawn       = cilk.RecursiveSpawn
+	SerialRemoteSpawn    = cilk.SerialRemoteSpawn
+	RecursiveRemoteSpawn = cilk.RecursiveRemoteSpawn
+)
+
+// List shuffle modes (Fig. 2).
+const (
+	NoShuffle         = workload.NoShuffle
+	IntraBlockShuffle = workload.IntraBlockShuffle
+	BlockShuffle      = workload.BlockShuffle
+	FullBlockShuffle  = workload.FullBlockShuffle
+)
+
+// SpawnWorkers launches workers across nodelets with the given strategy
+// and joins them; see the cilk package for the four tree shapes.
+func SpawnWorkers(t *Thread, nodelets, workers int, s Strategy, body func(*Thread, int)) {
+	cilk.SpawnWorkers(t, nodelets, workers, s, body)
+}
+
+// ParallelFor is a grain-size parallel loop built from recursive spawning,
+// the stand-in for cilk_for the paper's toolchain lacked.
+func ParallelFor(t *Thread, n, grain int, body func(*Thread, int, int)) {
+	cilk.ParallelFor(t, n, grain, body)
+}
+
+// Benchmark configurations and entry points (Emu side).
+type (
+	// StreamConfig parameterizes STREAM ADD (Figs. 4-5).
+	StreamConfig = kernels.StreamConfig
+	// ChaseConfig parameterizes pointer chasing (Fig. 6).
+	ChaseConfig = kernels.ChaseConfig
+	// SpMVConfig parameterizes SpMV under the three layouts (Fig. 9a).
+	SpMVConfig = kernels.SpMVConfig
+	// SpMVLayout selects local, 1D, or 2D placement (Fig. 3).
+	SpMVLayout = kernels.SpMVLayout
+	// PingPongConfig parameterizes the migration microbenchmark.
+	PingPongConfig = kernels.PingPongConfig
+	// PingPongResult reports migration throughput and latency.
+	PingPongResult = kernels.PingPongResult
+	// GUPSConfig parameterizes the RandomAccess-style kernel.
+	GUPSConfig = kernels.GUPSConfig
+)
+
+// SpMV data layouts (Fig. 3).
+const (
+	SpMVLocal = kernels.SpMVLocal
+	SpMV1D    = kernels.SpMV1D
+	SpMV2D    = kernels.SpMV2D
+)
+
+// RunStream runs the STREAM ADD benchmark on a fresh machine.
+func RunStream(cfg Config, bc StreamConfig) (Result, error) { return kernels.StreamAdd(cfg, bc) }
+
+// RunPointerChase runs the block-shuffled pointer-chasing benchmark.
+func RunPointerChase(cfg Config, bc ChaseConfig) (Result, error) {
+	return kernels.PointerChase(cfg, bc)
+}
+
+// RunSpMV runs CSR SpMV over the synthetic Laplacian.
+func RunSpMV(cfg Config, bc SpMVConfig) (Result, error) { return kernels.SpMV(cfg, bc) }
+
+// RunPingPong runs the thread-migration microbenchmark.
+func RunPingPong(cfg Config, bc PingPongConfig) (PingPongResult, error) {
+	return kernels.PingPong(cfg, bc)
+}
+
+// RunGUPS runs the RandomAccess-style update kernel.
+func RunGUPS(cfg Config, bc GUPSConfig) (Result, error) { return kernels.GUPS(cfg, bc) }
+
+// Experiment regenerates one paper artifact (figure or table).
+type Experiment = experiments.Experiment
+
+// ExperimentOptions tunes trials and workload scale.
+type ExperimentOptions = experiments.Options
+
+// Figure is a regenerated figure: named series over a swept parameter.
+type Figure = metrics.Figure
+
+// Experiments lists every registered paper artifact in id order.
+func Experiments() []*Experiment { return experiments.All() }
+
+// ExperimentByID looks up one artifact, e.g. "fig6" or "stream-anchors".
+func ExperimentByID(id string) (*Experiment, error) { return experiments.ByID(id) }
+
+// ExperimentIDs lists the registered artifact ids.
+func ExperimentIDs() []string { return experiments.IDs() }

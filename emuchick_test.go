@@ -1,0 +1,102 @@
+package emuchick
+
+import "testing"
+
+func TestFacadeQuickstart(t *testing.T) {
+	sys := NewSystem(HardwareChick())
+	arr := sys.Mem.AllocStriped(64)
+	for i := 0; i < 64; i++ {
+		sys.Mem.Write(arr.At(i), uint64(i))
+	}
+	var sum uint64
+	elapsed, err := sys.Run(func(th *Thread) {
+		for i := 0; i < 64; i++ {
+			sum += th.Load(arr.At(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 64*63/2 {
+		t.Fatalf("sum = %d", sum)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	// Walking a striped array migrates between nodelets.
+	if sys.Counters.TotalMigrations() == 0 {
+		t.Fatal("no migrations recorded")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	if _, err := RunStream(HardwareChick(), StreamConfig{
+		ElemsPerNodelet: 32, Nodelets: 8, Threads: 8, Strategy: SerialRemoteSpawn,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPointerChase(HardwareChick(), ChaseConfig{
+		Elements: 128, BlockSize: 4, Mode: FullBlockShuffle, Seed: 1, Threads: 4, Nodelets: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSpMV(HardwareChick(), SpMVConfig{GridN: 4, Layout: SpMV2D, GrainNNZ: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPingPong(HardwareChick(), PingPongConfig{
+		Threads: 2, Iterations: 10, NodeletA: 0, NodeletB: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunGUPS(HardwareChick(), GUPSConfig{
+		TableWords: 64, Updates: 128, Threads: 4, Seed: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	sys := NewSystem(HardwareChick())
+	hits := make([]int, 20)
+	if _, err := sys.Run(func(th *Thread) {
+		ParallelFor(th, 20, 4, func(w *Thread, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+		})
+		SpawnWorkers(th, 8, 8, RecursiveRemoteSpawn, func(w *Thread, id int) {
+			w.Compute(10)
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("iteration %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	if len(Experiments()) != len(ids) {
+		t.Fatal("Experiments/ExperimentIDs mismatch")
+	}
+	e, err := ExperimentByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := e.Run(ExperimentOptions{Quick: true, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) == 0 || len(figs[0].Series) == 0 {
+		t.Fatal("fig4 produced nothing")
+	}
+	if _, err := ExperimentByID("bogus"); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Migration: measure the thread-migration engine the way section IV-D
+// does — the ping-pong microbenchmark on the hardware-matched and
+// simulator-matched configurations (9 vs 16 M migrations/s), the
+// single-migration latency (1-2 us), and the block-size-1 pointer-chasing
+// dip that the engine's throughput explains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emuchick"
+)
+
+func main() {
+	// Ping-pong saturation: N threads bouncing between two nodelets.
+	fmt.Printf("%-18s %10s %16s %14s\n", "machine", "threads", "migrations/s", "mean latency")
+	for _, m := range []struct {
+		name string
+		cfg  emuchick.Config
+	}{
+		{"hardware", emuchick.HardwareChick()},
+		{"vendor simulator", emuchick.SimMatched()},
+	} {
+		for _, threads := range []int{1, 64} {
+			res, err := emuchick.RunPingPong(m.cfg, emuchick.PingPongConfig{
+				Threads: threads, Iterations: 1000, NodeletA: 0, NodeletB: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-18s %10d %13.2f M/s %14v\n",
+				m.name, threads, res.MigrationsPerSec/1e6, res.MeanLatency)
+		}
+	}
+	fmt.Println("\nThe paper: hardware sustains ~9 M migrations/s where the vendor")
+	fmt.Println("simulator does ~16 M/s, and one migration costs ~1-2 us — the")
+	fmt.Println("discrepancy behind Fig. 10's pointer-chase mismatch.")
+
+	// The engine's signature in a real kernel: the block-1 chase dip.
+	fmt.Printf("\n%-18s %10s %14s\n", "machine", "block", "chase MB/s")
+	for _, m := range []struct {
+		name string
+		cfg  emuchick.Config
+	}{
+		{"hardware", emuchick.HardwareChick()},
+		{"vendor simulator", emuchick.SimMatched()},
+	} {
+		for _, block := range []int{1, 4, 64} {
+			res, err := emuchick.RunPointerChase(m.cfg, emuchick.ChaseConfig{
+				Elements: 16384, BlockSize: block, Mode: emuchick.FullBlockShuffle,
+				Seed: 7, Threads: 512, Nodelets: 8,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-18s %10d %11.1f\n", m.name, block, res.MBps())
+		}
+	}
+	fmt.Println("\nAt block size 1 every element crosses a nodelet boundary, so the")
+	fmt.Println("migration engine becomes the bottleneck; \"performance recovers when")
+	fmt.Println("even as few as four elements are accessed between each migration.\"")
+}

@@ -1,0 +1,75 @@
+// Tensor: the paper's second motivating application domain (ParTI-style
+// sparse tensor decomposition). The bottleneck of CP/Tucker algorithms is
+// sparse tensor contraction with SpMV-like weak locality; this example
+// contracts a random 3-mode tensor with a vector (TTV) on the Emu model
+// under the 1D-striped and 2D slice-blocked layouts, showing that the
+// SpMV layout lesson of Fig. 9a carries over to tensors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emuchick"
+	"emuchick/internal/tensor"
+)
+
+func main() {
+	cfg := emuchick.HardwareChick()
+	dims := [3]int{64, 64, 64}
+	const nnz = 20000
+
+	fmt.Printf("TTV on %s: %dx%dx%d tensor, %d nonzeros, Y(i,j) = sum_k X(i,j,k) v(k)\n\n",
+		cfg.Name, dims[0], dims[1], dims[2], nnz)
+	fmt.Printf("%-8s %12s %14s\n", "layout", "time", "bandwidth")
+	var bw [2]float64
+	for i, layout := range tensor.Layouts {
+		res, err := tensor.TTVEmu(cfg, tensor.TTVConfig{
+			Dims: dims, NNZ: nnz, Seed: 42, Layout: layout, GrainNNZ: 16,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw[i] = res.MBps()
+		fmt.Printf("%-8s %12v %11.1f MB/s\n", layout, res.Elapsed, res.MBps())
+	}
+	fmt.Printf("\n2d over 1d: %.1fx\n", bw[1]/bw[0])
+	fmt.Println("\nAs with CSR SpMV, striping nonzeros word-by-word costs a migration")
+	fmt.Println("per entry, while slice-blocked placement keeps entry reads local and")
+	fmt.Println("pushes output updates through memory-side atomics.")
+
+	// Grain sensitivity, as in the SpMV study.
+	fmt.Printf("\n%-10s %14s\n", "grain", "2d bandwidth")
+	for _, grain := range []int{4, 16, 256, 1 << 20} {
+		res, err := tensor.TTVEmu(cfg, tensor.TTVConfig{
+			Dims: dims, NNZ: nnz, Seed: 42, Layout: tensor.Layout2D, GrainNNZ: grain,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %11.1f MB/s\n", grain, res.MBps())
+	}
+
+	// MTTKRP — the CP-ALS bottleneck kernel — adds a rank dimension: every
+	// nonzero reads 2R replicated factor words locally, so the relative
+	// cost of the 1D layout's migrations falls as R grows.
+	fmt.Printf("\nMTTKRP layout sensitivity vs rank (same tensor shape):\n")
+	fmt.Printf("%-6s %12s %12s %10s\n", "rank", "1d MB/s", "2d MB/s", "2d/1d")
+	for _, rank := range []int{1, 2, 4, 8} {
+		var bw [2]float64
+		for i, layout := range tensor.Layouts {
+			res, err := tensor.MTTKRPEmu(cfg, tensor.MTTKRPConfig{
+				Dims: dims, NNZ: nnz / 4, Rank: rank, Seed: 42,
+				Layout: layout, GrainNNZ: 16,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			bw[i] = res.MBps()
+		}
+		fmt.Printf("%-6d %12.1f %12.1f %10.2f\n", rank, bw[0], bw[1], bw[1]/bw[0])
+	}
+	fmt.Println("\nLayout matters most for low-arithmetic-intensity contractions; the")
+	fmt.Println("factor reads of high-rank MTTKRP amortize the migrations that make")
+	fmt.Println("TTV and SpMV layout-sensitive.")
+}

@@ -1,0 +1,3 @@
+module emuchick
+
+go 1.22

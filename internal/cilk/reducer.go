@@ -1,0 +1,50 @@
+package cilk
+
+import (
+	"emuchick/internal/machine"
+	"emuchick/internal/memsys"
+)
+
+// SumReducer is the migratory-thread analogue of a Cilk sum reducer — a
+// feature the paper notes was "in progress" for the Emu toolchain
+// (section III-A). Each nodelet owns a private partial-sum cell, workers
+// accumulate into the cell of whatever nodelet they currently occupy using
+// memory-side atomics (local, contention-free across nodelets, and never
+// causing a migration), and Reduce gathers the partials with remote
+// atomics, again without migrating.
+type SumReducer struct {
+	cells memsys.Replicated
+}
+
+// NewSumReducer allocates one partial-sum cell per nodelet. It must be
+// called before System.Run (allocation is a setup-time operation).
+func NewSumReducer(sys *machine.System) *SumReducer {
+	return &SumReducer{cells: sys.Mem.AllocReplicated(1)}
+}
+
+// Add accumulates v into the calling thread's resident nodelet's cell.
+func (r *SumReducer) Add(t *machine.Thread, v uint64) {
+	t.RemoteAdd(r.cells.At(t.Nodelet(), 0), v)
+}
+
+// Reduce gathers every nodelet's partial and returns the total. The reads
+// use blocking memory-side atomics (FetchAdd of zero), so the reducing
+// thread stays put. Reduce must only be called after all Adds have been
+// joined (e.g. after Sync).
+func (r *SumReducer) Reduce(t *machine.Thread) uint64 {
+	var total uint64
+	for nl := 0; nl < t.System().Nodelets(); nl++ {
+		total += t.FetchAdd(r.cells.At(nl, 0), 0)
+	}
+	return total
+}
+
+// Value functionally reads the current total without simulated time — a
+// verification helper, not part of the machine model.
+func (r *SumReducer) Value(sys *machine.System) uint64 {
+	var total uint64
+	for nl := 0; nl < sys.Nodelets(); nl++ {
+		total += sys.Mem.Read(r.cells.At(nl, 0))
+	}
+	return total
+}

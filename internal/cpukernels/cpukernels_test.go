@@ -1,0 +1,213 @@
+package cpukernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emuchick/internal/workload"
+	"emuchick/internal/xeon"
+)
+
+func TestShareTilesProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)
+		parts := int(pRaw%20) + 1
+		next := 0
+		for r := 0; r < parts; r++ {
+			lo, hi := share(n, r, parts)
+			if lo != next {
+				return false
+			}
+			next = hi
+		}
+		return next == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUStreamVerifiesAndApproachesNominal(t *testing.T) {
+	res, err := StreamAdd(xeon.SandyBridgeXeon(), StreamConfig{Elements: 1 << 18, Threads: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := res.GBps()
+	// The paper: "close to the nominal bandwidth of 51.2 GB/s".
+	if gb < 30 || gb > 52 {
+		t.Fatalf("Sandy Bridge STREAM = %.1f GB/s, want near 51.2", gb)
+	}
+}
+
+func TestCPUStreamThreadScaling(t *testing.T) {
+	bw := func(threads int) float64 {
+		res, err := StreamAdd(xeon.SandyBridgeXeon(), StreamConfig{Elements: 1 << 14, Threads: threads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GBps()
+	}
+	if one, many := bw(1), bw(16); many <= one {
+		t.Fatalf("no scaling: 1->%v 16->%v", one, many)
+	}
+}
+
+func TestCPUStreamRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []StreamConfig{{Elements: 0, Threads: 1}, {Elements: 8, Threads: 0}} {
+		if _, err := StreamAdd(xeon.SandyBridgeXeon(), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestCPUChaseVerifiesAllModes(t *testing.T) {
+	for _, mode := range workload.ShuffleModes {
+		if _, err := PointerChase(xeon.SandyBridgeXeon(), ChaseConfig{
+			Elements: 2048, BlockSize: 16, Mode: mode, Seed: 5, Threads: 8,
+		}); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestCPUChasePageSweetSpot(t *testing.T) {
+	// Fig. 7: best performance between 256 and 4096 elements per block
+	// (~one 8 KiB DRAM page); both small and much larger blocks are
+	// worse.
+	bw := func(block int) float64 {
+		res, err := PointerChase(xeon.SandyBridgeXeon(), ChaseConfig{
+			Elements: 1 << 16, BlockSize: block, Mode: workload.FullBlockShuffle, Seed: 3, Threads: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GBps()
+	}
+	small := bw(4)
+	sweet := bw(512) // 8 KiB
+	large := bw(16384)
+	if sweet <= small {
+		t.Fatalf("page-size blocks (%v GB/s) should beat tiny blocks (%v GB/s)", sweet, small)
+	}
+	if sweet <= large {
+		t.Fatalf("page-size blocks (%v GB/s) should beat page-crossing blocks (%v GB/s)", sweet, large)
+	}
+}
+
+func TestCPUChaseWellBelowStreamPeak(t *testing.T) {
+	// Fig. 8's CPU half: random pointer chasing over a list larger than
+	// the L3 uses a small fraction of the machine's STREAM bandwidth.
+	res, err := PointerChase(xeon.SandyBridgeXeon(), ChaseConfig{
+		Elements: 1 << 21, BlockSize: 1, Mode: workload.FullBlockShuffle, Seed: 9, Threads: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := res.BytesPerSec() / 51.2e9; frac > 0.25 {
+		t.Fatalf("random chase at %.0f%% of nominal; paper says <25%%", frac*100)
+	}
+}
+
+func TestCPUSpMVAllVariantsVerify(t *testing.T) {
+	for _, v := range SpMVVariants {
+		if _, err := SpMV(xeon.HaswellXeon(), SpMVConfig{
+			GridN: 16, Variant: v, Threads: 8, GrainNNZ: 64,
+		}); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestCPUSpMVVariantNames(t *testing.T) {
+	if SpMVMKL.String() != "mkl" || SpMVCilkFor.String() != "cilk_for" || SpMVCilkSpawn.String() != "cilk_spawn" {
+		t.Fatal("variant names wrong")
+	}
+	if SpMVVariant(9).String() == "" {
+		t.Fatal("unknown variant empty")
+	}
+}
+
+func TestCPUSpMVLargeGrainBeatsSmall(t *testing.T) {
+	// Section IV-C: "A large grain size of 16,384 for cilk_spawn works
+	// best for CPU-based SpMV" — small grains drown in spawn overhead.
+	// The matrix must be big enough that the large grain still yields at
+	// least one task per core (nnz >= 56 * grain).
+	bw := func(grain int) float64 {
+		res, err := SpMV(xeon.HaswellXeon(), SpMVConfig{
+			GridN: 320, Variant: SpMVCilkSpawn, Threads: 56, GrainNNZ: grain,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MBps()
+	}
+	small := bw(16)
+	large := bw(8192)
+	if large <= small {
+		t.Fatalf("grain 8192 (%v MB/s) should beat grain 16 (%v MB/s) on the CPU", large, small)
+	}
+}
+
+func TestCPUSpMVScalesWithMatrixSize(t *testing.T) {
+	bw := func(n int) float64 {
+		res, err := SpMV(xeon.HaswellXeon(), SpMVConfig{GridN: n, Variant: SpMVMKL, Threads: 56})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MBps()
+	}
+	if small, big := bw(8), bw(48); big <= small {
+		t.Fatalf("MKL bandwidth should grow with n: %v -> %v", small, big)
+	}
+}
+
+func TestCPUGUPSVerifies(t *testing.T) {
+	res, err := GUPS(xeon.SandyBridgeXeon(), GUPSConfig{
+		TableWords: 1 << 12, Updates: 1 << 12, Threads: 16, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 8<<12 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+}
+
+func TestCPUGUPSWastesLinesOutOfCache(t *testing.T) {
+	// Out-of-cache random updates use 8 of every 64 fetched bytes, so
+	// useful bandwidth stays far below nominal.
+	res, err := GUPS(xeon.SandyBridgeXeon(), GUPSConfig{
+		TableWords: 1 << 22, Updates: 1 << 15, Threads: 32, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := res.BytesPerSec() / 51.2e9; frac > 0.2 {
+		t.Fatalf("GUPS at %.0f%% of nominal; line waste missing", frac*100)
+	}
+}
+
+func TestCPUGUPSRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []GUPSConfig{
+		{TableWords: 0, Updates: 1, Threads: 1},
+		{TableWords: 1, Updates: 0, Threads: 1},
+		{TableWords: 1, Updates: 1, Threads: 0},
+	} {
+		if _, err := GUPS(xeon.SandyBridgeXeon(), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestCPUSpMVRejectsBadConfig(t *testing.T) {
+	bad := []SpMVConfig{
+		{GridN: 0, Variant: SpMVMKL, Threads: 1},
+		{GridN: 4, Variant: SpMVMKL, Threads: 0},
+		{GridN: 4, Variant: SpMVCilkSpawn, Threads: 1, GrainNNZ: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := SpMV(xeon.HaswellXeon(), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

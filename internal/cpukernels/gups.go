@@ -1,0 +1,65 @@
+package cpukernels
+
+import (
+	"fmt"
+
+	"emuchick/internal/metrics"
+	"emuchick/internal/workload"
+	"emuchick/internal/xeon"
+)
+
+// GUPSConfig parameterizes the CPU RandomAccess-style kernel, the
+// counterpart of kernels.GUPS for the Xeon models.
+type GUPSConfig struct {
+	TableWords int
+	Updates    int
+	Threads    int
+	Seed       uint64
+}
+
+// GUPS performs random read-modify-write updates over a contiguous table.
+// On the cache model each out-of-cache update fetches a full 64-byte line
+// to touch 8 bytes — the same line-utilization penalty pointer chasing
+// exposes, minus the data-dependent serialization.
+func GUPS(ccfg xeon.Config, cfg GUPSConfig) (metrics.Result, error) {
+	if cfg.TableWords <= 0 || cfg.Updates <= 0 || cfg.Threads <= 0 {
+		return metrics.Result{}, fmt.Errorf("cpukernels: invalid GUPS config %+v", cfg)
+	}
+	sys := xeon.NewSystem(ccfg)
+	base := sys.Alloc(int64(cfg.TableWords) * 8)
+	stream := workload.GUPSStream(cfg.Updates, cfg.TableWords, workload.NewRNG(cfg.Seed))
+	table := make([]uint64, cfg.TableWords)
+
+	want := make([]uint64, cfg.TableWords)
+	for _, idx := range stream {
+		want[idx]++
+	}
+
+	var res metrics.Result
+	_, err := sys.Run(func(root *xeon.CPUThread) {
+		t0 := root.Now()
+		spawnTree(root, 0, cfg.Threads, func(th *xeon.CPUThread, w int) {
+			lo, hi := share(cfg.Updates, w, cfg.Threads)
+			for j := lo; j < hi; j++ {
+				idx := stream[j]
+				addr := base + int64(idx)*8
+				th.Read(addr, 8)
+				table[idx]++ // single functional writer per run; timing below
+				th.Write(addr, 8)
+				th.Compute(2)
+			}
+		})
+		root.Sync()
+		res.Elapsed = root.Now() - t0
+	})
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	for i := range want {
+		if table[i] != want[i] {
+			return metrics.Result{}, fmt.Errorf("cpukernels: GUPS slot %d = %d, want %d", i, table[i], want[i])
+		}
+	}
+	res.Bytes = int64(cfg.Updates) * 8
+	return res, nil
+}

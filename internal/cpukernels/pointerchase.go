@@ -1,0 +1,112 @@
+package cpukernels
+
+import (
+	"fmt"
+
+	"emuchick/internal/metrics"
+	"emuchick/internal/workload"
+	"emuchick/internal/xeon"
+)
+
+// ChaseConfig parameterizes the CPU pointer-chasing run: the same
+// block-shuffled lists as the Emu kernel, laid out contiguously (16 bytes
+// per element) in one allocation, split into one chain per thread.
+type ChaseConfig struct {
+	Elements  int
+	BlockSize int
+	Mode      workload.ShuffleMode
+	Seed      uint64
+	Threads   int
+}
+
+// ChaseStats exposes the memory-system event counts of a CPU chase run,
+// feeding section V-B's proposed comparison metric ("cache misses avoided"
+// is the inverse of the overfetch measured here).
+type ChaseStats struct {
+	DRAMLineBytes  int64 // bytes fetched from memory (64 B per line)
+	WritebackBytes int64
+}
+
+// PointerChase walks the chains concurrently. Each element visit reads its
+// 16 bytes (payload + next pointer); on the cache model that transfers a
+// full 64-byte line on a miss — the inefficiency the paper highlights —
+// while the traversal order determines line reuse, DRAM row locality, and
+// whether the prefetcher can engage.
+func PointerChase(ccfg xeon.Config, cfg ChaseConfig) (metrics.Result, error) {
+	res, _, err := PointerChaseWithStats(ccfg, cfg)
+	return res, err
+}
+
+// PointerChaseWithStats is PointerChase plus the run's DRAM traffic.
+func PointerChaseWithStats(ccfg xeon.Config, cfg ChaseConfig) (metrics.Result, ChaseStats, error) {
+	if cfg.Elements <= 0 || cfg.BlockSize <= 0 || cfg.Threads <= 0 {
+		return metrics.Result{}, ChaseStats{}, fmt.Errorf("cpukernels: invalid chase config %+v", cfg)
+	}
+	sys := xeon.NewSystem(ccfg)
+	n := cfg.Elements
+	base := sys.Alloc(int64(n) * 16)
+
+	order := workload.ListOrder(n, cfg.BlockSize, cfg.Mode, workload.NewRNG(cfg.Seed))
+	payload := make([]uint64, n)
+	next := make([]int32, n) // -1 terminates
+	starts := make([]int, cfg.Threads)
+	expect := make([]uint64, cfg.Threads)
+	counts := make([]int, cfg.Threads)
+	for k := 0; k < cfg.Threads; k++ {
+		lo, hi := share(n, k, cfg.Threads)
+		counts[k] = hi - lo
+		if lo == hi {
+			continue
+		}
+		starts[k] = order[lo]
+		for j := lo; j < hi; j++ {
+			p := order[j]
+			payload[p] = uint64(p) + 1
+			expect[k] += uint64(p) + 1
+			if j+1 < hi {
+				next[p] = int32(order[j+1])
+			} else {
+				next[p] = -1
+			}
+		}
+	}
+
+	sums := make([]uint64, cfg.Threads)
+	var res metrics.Result
+	_, err := sys.Run(func(root *xeon.CPUThread) {
+		t0 := root.Now()
+		spawnTree(root, 0, cfg.Threads, func(th *xeon.CPUThread, k int) {
+			if counts[k] == 0 {
+				return
+			}
+			p := starts[k]
+			var sum uint64
+			for {
+				th.Read(base+int64(p)*16, 16)
+				sum += payload[p]
+				th.Compute(4)
+				if next[p] < 0 {
+					break
+				}
+				p = int(next[p])
+			}
+			sums[k] = sum
+		})
+		root.Sync()
+		res.Elapsed = root.Now() - t0
+	})
+	if err != nil {
+		return metrics.Result{}, ChaseStats{}, err
+	}
+	for k := range sums {
+		if sums[k] != expect[k] {
+			return metrics.Result{}, ChaseStats{}, fmt.Errorf("cpukernels: chase thread %d sum %d, want %d", k, sums[k], expect[k])
+		}
+	}
+	res.Bytes = int64(n) * 16
+	stats := ChaseStats{
+		DRAMLineBytes:  int64(sys.DRAMLines) * int64(ccfg.LineBytes),
+		WritebackBytes: int64(sys.WritebackLines) * int64(ccfg.LineBytes),
+	}
+	return res, stats, nil
+}

@@ -1,0 +1,165 @@
+package cpukernels
+
+import (
+	"fmt"
+
+	"emuchick/internal/metrics"
+	"emuchick/internal/sparse"
+	"emuchick/internal/xeon"
+)
+
+// SpMVVariant selects one of the three Haswell baselines of Fig. 9b.
+type SpMVVariant int
+
+const (
+	// SpMVMKL models Intel MKL's tuned CSR kernel: static row partition,
+	// tight inner loop, 4-byte column indices.
+	SpMVMKL SpMVVariant = iota
+	// SpMVCilkFor models a cilk_for row loop: static chunking with a
+	// slightly heavier inner loop than MKL.
+	SpMVCilkFor
+	// SpMVCilkSpawn models the grained cilk_spawn kernel whose
+	// performance "depends largely on grain size" — each task of
+	// GrainNNZ elements pays the runtime's spawn overhead.
+	SpMVCilkSpawn
+)
+
+// SpMVVariants lists the three baselines in the paper's order.
+var SpMVVariants = []SpMVVariant{SpMVMKL, SpMVCilkFor, SpMVCilkSpawn}
+
+// String returns the paper's label for the variant.
+func (v SpMVVariant) String() string {
+	switch v {
+	case SpMVMKL:
+		return "mkl"
+	case SpMVCilkFor:
+		return "cilk_for"
+	case SpMVCilkSpawn:
+		return "cilk_spawn"
+	default:
+		return fmt.Sprintf("SpMVVariant(%d)", int(v))
+	}
+}
+
+// Per-nonzero compute costs: MKL's kernel is vectorized and tight; the
+// Cilk kernels are scalar compiles of the plain loop.
+const (
+	mklNNZCycles  = 2
+	cilkNNZCycles = 4
+)
+
+// SpMVConfig parameterizes one CPU SpMV run.
+type SpMVConfig struct {
+	GridN    int
+	Variant  SpMVVariant
+	Threads  int // the paper uses 56 (physical cores)
+	GrainNNZ int // cilk_spawn only; the paper's best CPU grain is 16384
+}
+
+// SpMV multiplies the synthetic Laplacian by a dyadic vector on the CPU
+// model, verifies the result, and reports effective bandwidth over the
+// paper's useful-byte count.
+func SpMV(ccfg xeon.Config, cfg SpMVConfig) (metrics.Result, error) {
+	if cfg.GridN <= 0 || cfg.Threads <= 0 {
+		return metrics.Result{}, fmt.Errorf("cpukernels: invalid spmv config %+v", cfg)
+	}
+	if cfg.Variant == SpMVCilkSpawn && cfg.GrainNNZ <= 0 {
+		return metrics.Result{}, fmt.Errorf("cpukernels: cilk_spawn needs a positive grain")
+	}
+	m := sparse.Laplacian2D(cfg.GridN)
+	xv := make([]float64, m.Cols)
+	for i := range xv {
+		xv[i] = 1 + float64(i%7)*0.125
+	}
+	want := m.MulVec(xv)
+
+	sys := xeon.NewSystem(ccfg)
+	// Model addresses. MKL uses 4-byte column indices; the Cilk kernels
+	// compile with 8-byte ones.
+	idxBytes := int64(8)
+	nnzCycles := int64(cilkNNZCycles)
+	if cfg.Variant == SpMVMKL {
+		idxBytes = 4
+		nnzCycles = mklNNZCycles
+	}
+	nnz := int64(m.NNZ())
+	rpA := sys.Alloc(int64(m.Rows+1) * 8)
+	ciA := sys.Alloc(nnz * idxBytes)
+	vvA := sys.Alloc(nnz * 8)
+	xA := sys.Alloc(int64(m.Cols) * 8)
+	yA := sys.Alloc(int64(m.Rows) * 8)
+
+	yv := make([]float64, m.Rows)
+	rowRange := func(th *xeon.CPUThread, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			th.Read(rpA+int64(r)*8, 16) // rowptr[r] and rowptr[r+1]
+			var sum float64
+			for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+				th.Read(ciA+k*idxBytes, idxBytes)
+				th.Read(vvA+k*8, 8)
+				c := m.ColIdx[k]
+				th.Read(xA+c*8, 8)
+				sum += m.Val[k] * xv[c]
+				th.Compute(nnzCycles)
+			}
+			th.Write(yA+int64(r)*8, 8)
+			yv[r] = sum
+			th.Compute(4)
+		}
+	}
+
+	var res metrics.Result
+	_, err := sys.Run(func(root *xeon.CPUThread) {
+		t0 := root.Now()
+		switch cfg.Variant {
+		case SpMVMKL, SpMVCilkFor:
+			// Static partition of rows over the worker pool.
+			for w := 0; w < cfg.Threads; w++ {
+				lo, hi := share(m.Rows, w, cfg.Threads)
+				if lo == hi {
+					continue
+				}
+				root.Spawn(func(th *xeon.CPUThread) { rowRange(th, lo, hi) })
+			}
+			root.Sync()
+		case SpMVCilkSpawn:
+			// Grained recursive spawn over rows; every task pays the
+			// Cilk runtime's spawn cost.
+			grainRows := cfg.GrainNNZ / 5
+			if grainRows < 1 {
+				grainRows = 1
+			}
+			parFor(root, 0, m.Rows, grainRows, rowRange)
+			root.Sync()
+		default:
+			panic(fmt.Sprintf("cpukernels: unknown variant %v", cfg.Variant))
+		}
+		res.Elapsed = root.Now() - t0
+	})
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	for r := range yv {
+		if yv[r] != want[r] {
+			return metrics.Result{}, fmt.Errorf("cpukernels: spmv y[%d] = %v, want %v", r, yv[r], want[r])
+		}
+	}
+	res.Bytes = m.UsefulBytes()
+	return res, nil
+}
+
+// parFor recursively splits [lo, hi) into tasks of at most grain rows,
+// spawning the left half and recursing on the right, like a Cilk loop
+// skeleton built from cilk_spawn.
+func parFor(t *xeon.CPUThread, lo, hi, grain int, body func(*xeon.CPUThread, int, int)) {
+	if hi-lo <= grain {
+		body(t, lo, hi)
+		return
+	}
+	mid := lo + (hi-lo)/2
+	t.Spawn(func(c *xeon.CPUThread) {
+		parFor(c, lo, mid, grain, body)
+		c.Sync()
+	})
+	parFor(t, mid, hi, grain, body)
+}

@@ -1,0 +1,109 @@
+// Package cpukernels implements the paper's benchmarks for the Xeon
+// comparison platforms: STREAM ADD and pointer chasing on the Sandy Bridge
+// model (sections IV-A/IV-B) and the three SpMV baselines — MKL-like,
+// cilk_for-like, and grained cilk_spawn — on the Haswell model (IV-C).
+// As on the Emu side, every kernel verifies its functional result.
+package cpukernels
+
+import (
+	"fmt"
+
+	"emuchick/internal/metrics"
+	"emuchick/internal/xeon"
+)
+
+// StreamConfig parameterizes the CPU STREAM ADD run.
+type StreamConfig struct {
+	Elements int // array length
+	Threads  int
+}
+
+// StreamAdd runs c[i] = a[i] + b[i] over 8-byte elements with contiguous
+// per-thread partitions — the standard OpenMP/Cilk STREAM decomposition —
+// and reports bandwidth at 24 bytes per element.
+func StreamAdd(ccfg xeon.Config, cfg StreamConfig) (metrics.Result, error) {
+	if cfg.Elements <= 0 || cfg.Threads <= 0 {
+		return metrics.Result{}, fmt.Errorf("cpukernels: invalid stream config %+v", cfg)
+	}
+	sys := xeon.NewSystem(ccfg)
+	n := int64(cfg.Elements)
+	a := sys.Alloc(n * 8)
+	b := sys.Alloc(n * 8)
+	c := sys.Alloc(n * 8)
+
+	av := make([]uint64, n)
+	bv := make([]uint64, n)
+	cv := make([]uint64, n)
+	for i := range av {
+		av[i] = uint64(i)
+		bv[i] = uint64(2 * i)
+	}
+
+	var res metrics.Result
+	_, err := sys.Run(func(root *xeon.CPUThread) {
+		t0 := root.Now()
+		spawnTree(root, 0, cfg.Threads, func(th *xeon.CPUThread, w int) {
+			lo, hi := share(cfg.Elements, w, cfg.Threads)
+			for i := int64(lo); i < int64(hi); i++ {
+				th.Read(a+i*8, 8)
+				th.Read(b+i*8, 8)
+				th.WriteNT(c+i*8, 8) // tuned STREAM streams the destination
+				cv[i] = av[i] + bv[i]
+				th.Compute(1)
+			}
+		})
+		root.Sync()
+		res.Elapsed = root.Now() - t0
+	})
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	for i := range cv {
+		if cv[i] != uint64(3*i) {
+			return metrics.Result{}, fmt.Errorf("cpukernels: stream c[%d] = %d", i, cv[i])
+		}
+	}
+	res.Bytes = n * 24
+	return res, nil
+}
+
+// spawnTree launches one worker per id in [lo, hi) with a recursive binary
+// spawn tree (the Cilk loop skeleton), so launching W workers costs
+// O(log W) critical-path spawns rather than W.
+func spawnTree(t *xeon.CPUThread, lo, hi int, body func(*xeon.CPUThread, int)) {
+	switch hi - lo {
+	case 0:
+		return
+	case 1:
+		t.Spawn(func(c *xeon.CPUThread) { body(c, lo) })
+		return
+	}
+	mid := lo + (hi-lo)/2
+	t.Spawn(func(c *xeon.CPUThread) {
+		spawnTree(c, lo, mid, body)
+		c.Sync()
+	})
+	spawnTree(t, mid, hi, body)
+}
+
+// share splits n items into parts pieces, mirroring kernels.share.
+func share(n, rank, parts int) (lo, hi int) {
+	if parts <= 0 {
+		return 0, 0
+	}
+	base := n / parts
+	rem := n % parts
+	lo = rank*base + minInt(rank, rem)
+	hi = lo + base
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

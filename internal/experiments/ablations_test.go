@@ -1,0 +1,112 @@
+package experiments
+
+import "testing"
+
+func TestAblationRegistryComplete(t *testing.T) {
+	for _, id := range []string{
+		"ablation-migration-rate",
+		"ablation-spawn-locality",
+		"ablation-grain",
+		"ablation-replication",
+		"ablation-migration-latency",
+	} {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing %s: %v", id, err)
+		}
+	}
+}
+
+func TestAblationMigrationRateMonotone(t *testing.T) {
+	fig := runOne(t, "ablation-migration-rate")["ablation-migration-rate"]
+	s := fig.Series[0]
+	// A faster engine must not slow the migration-bound kernel.
+	if at(t, s, 16) <= at(t, s, 9) {
+		t.Fatalf("faster engine slower: 9M->%v 16M->%v", at(t, s, 9), at(t, s, 16))
+	}
+}
+
+func TestAblationSpawnLocality(t *testing.T) {
+	fig := runOne(t, "ablation-spawn-locality")["ablation-spawn-locality"]
+	s := fig.Series[0]
+	// x: 0=serial_spawn ... 3=recursive_remote_spawn.
+	if at(t, s, 2) <= at(t, s, 0) {
+		t.Fatalf("remote spawn (%v) not better than serial (%v)", at(t, s, 2), at(t, s, 0))
+	}
+	if len(fig.XTicks) != 4 {
+		t.Fatal("strategy tick labels missing")
+	}
+}
+
+func TestAblationGrainOppositeOptima(t *testing.T) {
+	fig := runOne(t, "ablation-grain")["ablation-grain"]
+	if len(fig.Series) != 2 {
+		t.Fatal("expected emu and cpu series")
+	}
+	emu, cpu := fig.Series[0], fig.Series[1]
+	// Quick grains are {16, 1024}: small wins on Emu, large on CPU.
+	if at(t, emu, 16) <= at(t, emu, 1024) {
+		t.Fatalf("emu: grain 16 (%v) should beat 1024 (%v)", at(t, emu, 16), at(t, emu, 1024))
+	}
+	if at(t, cpu, 1024) <= at(t, cpu, 16) {
+		t.Fatalf("cpu: grain 1024 (%v) should beat 16 (%v)", at(t, cpu, 1024), at(t, cpu, 16))
+	}
+}
+
+func TestAblationReplicationWins(t *testing.T) {
+	fig := runOne(t, "ablation-replication")["ablation-replication"]
+	rep := fig.FindSeries("x_replicated")
+	str := fig.FindSeries("x_striped")
+	if rep == nil || str == nil {
+		t.Fatal("missing series")
+	}
+	for _, p := range rep.Points {
+		if st, err := str.At(p.X); err != nil || st.Mean >= p.Stats.Mean {
+			t.Fatalf("at n=%v striped (%v) not worse than replicated (%v)", p.X, st.Mean, p.Stats.Mean)
+		}
+	}
+}
+
+func TestExtensionCSXDirections(t *testing.T) {
+	fig := runOne(t, "extension-csx")["extension-csx"]
+	hwCSR := fig.FindSeries("hw_csr")
+	hwCSX := fig.FindSeries("hw_csx")
+	fullCSR := fig.FindSeries("fullspeed_csr")
+	fullCSX := fig.FindSeries("fullspeed_csx")
+	if hwCSR == nil || hwCSX == nil || fullCSR == nil || fullCSX == nil {
+		t.Fatal("missing series")
+	}
+	x := hwCSR.Points[len(hwCSR.Points)-1].X
+	if at(t, hwCSX, x) > at(t, hwCSR, x)*1.05 {
+		t.Fatal("csx should not clearly beat csr on the core-bound prototype")
+	}
+	if at(t, fullCSX, x) <= at(t, fullCSR, x) {
+		t.Fatalf("csx should win at full speed: csr %v, csx %v",
+			at(t, fullCSR, x), at(t, fullCSX, x))
+	}
+}
+
+func TestScalingNodesRoughlyLinear(t *testing.T) {
+	fig := runOne(t, "scaling-nodes")["scaling-nodes"]
+	m := fig.FindSeries("measured")
+	if m == nil {
+		t.Fatal("missing measured series")
+	}
+	one, eight := at(t, m, 1), at(t, m, 8)
+	if eight < 4*one {
+		t.Fatalf("node scaling too weak: 1->%v 8->%v GB/s", one, eight)
+	}
+	if eight > 8.5*one {
+		t.Fatalf("node scaling super-linear: 1->%v 8->%v GB/s", one, eight)
+	}
+}
+
+func TestAblationMigrationLatencyHidden(t *testing.T) {
+	fig := runOne(t, "ablation-migration-latency")["ablation-migration-latency"]
+	s := fig.Series[0]
+	// With 512 threads the engine rate dominates: quadrupling the
+	// latency must cost far less than 4x.
+	lo, hi := at(t, s, 800), at(t, s, 3000)
+	if hi < lo/2 {
+		t.Fatalf("latency not hidden: 800ns->%v 3000ns->%v", lo, hi)
+	}
+}

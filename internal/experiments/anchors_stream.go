@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"emuchick/internal/cilk"
+	"emuchick/internal/cpukernels"
+	"emuchick/internal/kernels"
+	"emuchick/internal/machine"
+	"emuchick/internal/metrics"
+	"emuchick/internal/xeon"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "stream-anchors",
+		Title: "STREAM scalar anchors from section IV-A",
+		Paper: "Sandy Bridge reaches close to its nominal 51.2 GB/s; the Emu " +
+			"Chick peaks at ~1.2 GB/s on one node; an initial (unstable) " +
+			"8-node test reached 6.5 GB/s.",
+		Run: runStreamAnchors,
+	})
+}
+
+func runStreamAnchors(o Options) ([]*metrics.Figure, error) {
+	o = o.withDefaults()
+	emuElems, xeonElems := 1024, 1<<18
+	if o.Quick {
+		emuElems, xeonElems = 256, 1<<16
+	}
+	fig := &metrics.Figure{
+		ID:     "stream-anchors",
+		Title:  "STREAM scalar anchors (GB/s)",
+		XLabel: "anchor",
+		YLabel: "GB/s",
+		XTicks: map[float64]string{
+			0: "sandy bridge STREAM",
+			1: "emu chick 1 node",
+			2: "emu chick 8 nodes",
+		},
+	}
+	measured := &metrics.Series{Name: "measured"}
+	paperS := &metrics.Series{Name: "paper"}
+
+	xr, err := cpukernels.StreamAdd(xeon.SandyBridgeXeon(), cpukernels.StreamConfig{
+		Elements: xeonElems, Threads: 32,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e1, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
+		ElemsPerNodelet: emuElems, Nodelets: 8, Threads: 512, Strategy: cilk.RecursiveRemoteSpawn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e8, err := kernels.StreamAdd(machine.HardwareChickNodes(8), kernels.StreamConfig{
+		ElemsPerNodelet: emuElems, Nodelets: 64, Threads: 4096, Strategy: cilk.RecursiveRemoteSpawn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	measured.Add(0, single(xr.GBps()))
+	measured.Add(1, single(e1.GBps()))
+	measured.Add(2, single(e8.GBps()))
+	paperS.Add(0, single(51.2)) // nominal; the paper measures "close to" it
+	paperS.Add(1, single(1.2))
+	paperS.Add(2, single(6.5)) // unstable initial test
+	fig.Series = []*metrics.Series{measured, paperS}
+	return []*metrics.Figure{fig}, nil
+}

@@ -1,0 +1,107 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation section. Each experiment produces one or more metrics.Figure
+// values holding the same curves (series over the same swept parameter)
+// the paper plots; cmd/emubench renders them as tables, CSV, or ASCII
+// charts, and EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"emuchick/internal/metrics"
+	"emuchick/internal/sim"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Trials is the number of trials per data point for seeded
+	// workloads; the paper uses ten. Deterministic kernels (STREAM,
+	// SpMV, ping-pong) run once since the simulation is exact.
+	Trials int
+	// Quick shrinks workload sizes and sweep ranges for CI.
+	Quick bool
+}
+
+// Defaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Trials <= 0 {
+		if o.Quick {
+			o.Trials = 3
+		} else {
+			o.Trials = 10
+		}
+	}
+	return o
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string // e.g. "fig5", "stream-anchors"
+	Title string
+	// Paper summarizes what the paper reports for this artifact — the
+	// shape the reproduction is expected to match.
+	Paper string
+	Run   func(Options) ([]*metrics.Figure, error)
+}
+
+var registry = map[string]*Experiment{}
+
+// register adds an experiment at package init; duplicate IDs are a
+// programming error.
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// All returns every experiment in id order.
+func All() []*Experiment {
+	var out []*Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// single wraps one-shot measurements as 1-trial stats.
+func single(v float64) metrics.Stats {
+	return metrics.Aggregate([]float64{v})
+}
+
+// seriesName builds labels like "threads=64".
+func seriesName(key string, v int) string {
+	return fmt.Sprintf("%s=%d", key, v)
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// machineNs converts nanoseconds to sim.Time for config tweaks.
+func machineNs(ns int64) sim.Time { return sim.Time(ns) * sim.Nanosecond }

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"testing"
+
+	"emuchick/internal/metrics"
+)
+
+var quick = Options{Quick: true, Trials: 2}
+
+// runOne runs an experiment by id and returns its figures keyed by figure id.
+func runOne(t *testing.T, id string) map[string]*metrics.Figure {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := e.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) == 0 {
+		t.Fatalf("%s produced no figures", id)
+	}
+	out := map[string]*metrics.Figure{}
+	for _, f := range figs {
+		if f.ID == "" || len(f.Series) == 0 {
+			t.Fatalf("%s produced an empty figure %+v", id, f)
+		}
+		out[f.ID] = f
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"ablation-grain", "ablation-migration-latency", "ablation-migration-rate",
+		"ablation-replication", "ablation-spawn-locality", "extension-csx",
+		"fig10", "fig11", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9a", "fig9b", "migration-anchors", "scaling-nodes", "stream-anchors",
+		"supplement-shuffle-modes", "supplement-vb-metric",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Fatal("All() incomplete")
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	for _, e := range All() {
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func at(t *testing.T, s *metrics.Series, x float64) float64 {
+	t.Helper()
+	st, err := s.At(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Mean
+}
+
+func TestFig4ShapePlateauAndSpawnParity(t *testing.T) {
+	fig := runOne(t, "fig4")["fig4"]
+	serial := fig.FindSeries("serial_spawn")
+	recursive := fig.FindSeries("recursive_spawn")
+	if serial == nil || recursive == nil {
+		t.Fatal("missing series")
+	}
+	// Scaling into the plateau: 16 threads well above 1 thread; 64 not
+	// much above 16 (the plateau).
+	if at(t, serial, 16) < 4*at(t, serial, 1) {
+		t.Fatalf("no thread scaling: 1->%v 16->%v", at(t, serial, 1), at(t, serial, 16))
+	}
+	if at(t, serial, 64) > 2.6*at(t, serial, 16) {
+		t.Fatalf("no plateau: 16->%v 64->%v", at(t, serial, 16), at(t, serial, 64))
+	}
+	// "There is not much difference between the two approaches."
+	for _, x := range []float64{4, 64} {
+		r := at(t, serial, x) / at(t, recursive, x)
+		if r < 0.6 || r > 1.7 {
+			t.Fatalf("spawn strategies diverge at %v threads: ratio %.2f", x, r)
+		}
+	}
+}
+
+func TestFig5RemoteSpawnEssential(t *testing.T) {
+	fig := runOne(t, "fig5")["fig5"]
+	remotePeak := 0.0
+	localPeak := 0.0
+	for _, s := range fig.Series {
+		m := s.MaxMean()
+		switch s.Name {
+		case "serial_remote_spawn", "recursive_remote_spawn":
+			if m > remotePeak {
+				remotePeak = m
+			}
+		default:
+			if m > localPeak {
+				localPeak = m
+			}
+		}
+	}
+	if remotePeak <= localPeak {
+		t.Fatalf("remote spawns (%v MB/s) must beat local spawns (%v MB/s)", remotePeak, localPeak)
+	}
+}
+
+func TestFig6FlatWithBlockOneDip(t *testing.T) {
+	fig := runOne(t, "fig6")["fig6"]
+	s := fig.FindSeries("threads=256")
+	if s == nil {
+		t.Fatal("missing threads=256 series")
+	}
+	b1, b8, b512 := at(t, s, 1), at(t, s, 8), at(t, s, 512)
+	if b1 >= b8/2 {
+		t.Fatalf("block-1 dip missing: %v vs %v", b1, b8)
+	}
+	if b8 > 2*b512 || b512 > 2*b8 {
+		t.Fatalf("not flat: block8=%v block512=%v", b8, b512)
+	}
+}
+
+func TestFig7PageSweetSpot(t *testing.T) {
+	fig := runOne(t, "fig7")["fig7"]
+	s := fig.FindSeries("threads=32")
+	if s == nil {
+		t.Fatal("missing threads=32 series")
+	}
+	if at(t, s, 512) <= at(t, s, 1) {
+		t.Fatalf("no page sweet spot: block1=%v block512=%v", at(t, s, 1), at(t, s, 512))
+	}
+}
+
+func TestFig8EmuBeatsXeonUtilization(t *testing.T) {
+	fig := runOne(t, "fig8")["fig8"]
+	emu := fig.FindSeries("emu_chick_512t")
+	xeon := fig.FindSeries("sandy_bridge_32t")
+	if emu == nil || xeon == nil {
+		t.Fatal("missing series")
+	}
+	// At moderate blocks the Emu sustains a large fraction of its peak
+	// and stays there across the sweep. (The Emu-vs-Xeon contrast needs
+	// lists larger than the Xeon's L3, which quick sizes don't reach;
+	// the full-scale runs, the cpukernels tests, and the claims package
+	// cover it.)
+	if e := at(t, emu, 64); e < 0.5 || e > 1.05 {
+		t.Fatalf("emu utilization at block 64 = %.2f, want ~0.8", e)
+	}
+	for _, bs := range chaseBlocks(true)[1:] {
+		if e := at(t, emu, float64(bs)); e < 0.4 {
+			t.Fatalf("emu utilization at block %d = %.2f, not sustained", bs, e)
+		}
+	}
+	// The Xeon series must at least exist with sane values.
+	for _, p := range xeon.Points {
+		if p.Stats.Mean <= 0 || p.Stats.Mean > 1.1 {
+			t.Fatalf("xeon utilization at block %v = %.2f", p.X, p.Stats.Mean)
+		}
+	}
+}
+
+func TestFig9aLayoutOrdering(t *testing.T) {
+	fig := runOne(t, "fig9a")["fig9a"]
+	local := fig.FindSeries("local")
+	d1 := fig.FindSeries("1d")
+	d2 := fig.FindSeries("2d")
+	if local == nil || d1 == nil || d2 == nil {
+		t.Fatal("missing series")
+	}
+	n := fig9aSizes(true)
+	big := float64(n[len(n)-1])
+	if !(at(t, d2, big) > at(t, d1, big) && at(t, d1, big) > at(t, local, big)) {
+		t.Fatalf("layout ordering broken at n=%v: local=%v 1d=%v 2d=%v",
+			big, at(t, local, big), at(t, d1, big), at(t, d2, big))
+	}
+}
+
+func TestFig9bCPUVariantsScale(t *testing.T) {
+	fig := runOne(t, "fig9b")["fig9b"]
+	mkl := fig.FindSeries("mkl")
+	if mkl == nil {
+		t.Fatal("missing mkl series")
+	}
+	sizes := fig9bSizes(true)
+	if at(t, mkl, float64(sizes[len(sizes)-1])) <= at(t, mkl, float64(sizes[0])) {
+		t.Fatal("mkl bandwidth should grow with matrix size")
+	}
+}
+
+func TestFig10ValidationGap(t *testing.T) {
+	figs := runOne(t, "fig10")
+	stream := figs["fig10-stream"]
+	chase := figs["fig10-chase"]
+	pp := figs["fig10-pingpong"]
+	if stream == nil || chase == nil || pp == nil {
+		t.Fatal("missing panels")
+	}
+	// STREAM validates: hardware and simulator within 2%.
+	hs, ss := stream.FindSeries("hardware"), stream.FindSeries("simulator")
+	for _, p := range hs.Points {
+		sim := at(t, ss, p.X)
+		r := p.Stats.Mean / sim
+		if r < 0.98 || r > 1.02 {
+			t.Fatalf("STREAM mismatch at %v threads: hw=%v sim=%v", p.X, p.Stats.Mean, sim)
+		}
+	}
+	// Pointer chase does NOT validate at migration-bound block sizes.
+	hc, sc := chase.FindSeries("hardware"), chase.FindSeries("simulator")
+	if at(t, sc, 1) <= at(t, hc, 1)*1.2 {
+		t.Fatalf("chase gap missing at block 1: hw=%v sim=%v", at(t, hc, 1), at(t, sc, 1))
+	}
+	// Ping-pong saturates near 9 vs 16 M/s.
+	hp, sp := pp.FindSeries("hardware"), pp.FindSeries("simulator")
+	if h := at(t, hp, 64); h < 8 || h > 9.5 {
+		t.Fatalf("hardware ping-pong = %v M/s", h)
+	}
+	if s := at(t, sp, 64); s < 14 || s > 16.5 {
+		t.Fatalf("simulator ping-pong = %v M/s", s)
+	}
+}
+
+func TestFig11ScalesWithThreads(t *testing.T) {
+	fig := runOne(t, "fig11")["fig11"]
+	lo := fig.FindSeries("threads=512")
+	hi := fig.FindSeries("threads=2048")
+	if lo == nil || hi == nil {
+		t.Fatal("missing series")
+	}
+	if at(t, hi, 128) <= at(t, lo, 128) {
+		t.Fatalf("no thread scaling at full speed: 512->%v 2048->%v",
+			at(t, lo, 128), at(t, hi, 128))
+	}
+}
+
+func TestStreamAnchors(t *testing.T) {
+	fig := runOne(t, "stream-anchors")["stream-anchors"]
+	measured := fig.FindSeries("measured")
+	paper := fig.FindSeries("paper")
+	if measured == nil || paper == nil {
+		t.Fatal("missing series")
+	}
+	// Each anchor should land within 2x of the paper's value (the 8-node
+	// figure was an unstable early test, so the band is generous).
+	for _, p := range paper.Points {
+		m := at(t, measured, p.X)
+		if m < p.Stats.Mean/2.5 || m > p.Stats.Mean*2.5 {
+			t.Fatalf("anchor %v: measured %v vs paper %v", fig.XTicks[p.X], m, p.Stats.Mean)
+		}
+	}
+}
+
+func TestMigrationAnchors(t *testing.T) {
+	fig := runOne(t, "migration-anchors")["migration-anchors"]
+	measured := fig.FindSeries("measured")
+	if measured == nil {
+		t.Fatal("missing measured series")
+	}
+	if v := at(t, measured, 0); v < 8 || v > 9.5 {
+		t.Fatalf("hw migration rate anchor = %v M/s", v)
+	}
+	if v := at(t, measured, 1); v < 14 || v > 16.5 {
+		t.Fatalf("sim migration rate anchor = %v M/s", v)
+	}
+	if v := at(t, measured, 2); v < 1 || v > 2 {
+		t.Fatalf("migration latency anchor = %v us", v)
+	}
+}

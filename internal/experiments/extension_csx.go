@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"emuchick/internal/kernels"
+	"emuchick/internal/machine"
+	"emuchick/internal/metrics"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "extension-csx",
+		Title: "SpMV with delta-compressed indices (CSX) vs CSR, prototype vs full speed",
+		Paper: "Section III-E future work: 'new state-of-the-art SpMV formats " +
+			"and algorithms such as SparseX, which uses the Compressed Sparse " +
+			"eXtended (CSX) format'. Compression trades channel words for " +
+			"decode cycles, so it pays only where the channel is the " +
+			"bottleneck.",
+		Run: runExtensionCSX,
+	})
+}
+
+func runExtensionCSX(o Options) ([]*metrics.Figure, error) {
+	o = o.withDefaults()
+	sizes := []int{16, 32, 48, 64, 100}
+	if o.Quick {
+		sizes = []int{16, 32}
+	}
+	fig := &metrics.Figure{
+		ID:     "extension-csx",
+		Title:  "SpMV 2D: CSR vs delta-compressed CSX indices",
+		XLabel: "Laplacian size n",
+		YLabel: "MB/s",
+	}
+	configs := []struct {
+		label string
+		cfg   machine.Config
+	}{
+		{"hw", machine.HardwareChick()},
+		{"fullspeed", machine.FullSpeed(1)},
+	}
+	for _, mc := range configs {
+		csr := &metrics.Series{Name: mc.label + "_csr"}
+		csx := &metrics.Series{Name: mc.label + "_csx"}
+		for _, n := range sizes {
+			r1, err := kernels.SpMV(mc.cfg, kernels.SpMVConfig{
+				GridN: n, Layout: kernels.SpMV2D, GrainNNZ: 16,
+			})
+			if err != nil {
+				return nil, err
+			}
+			csr.Add(float64(n), single(r1.MBps()))
+			r2, err := kernels.SpMVCSX(mc.cfg, kernels.SpMVCSXConfig{GridN: n, GrainNNZ: 16})
+			if err != nil {
+				return nil, err
+			}
+			csx.Add(float64(n), single(r2.MBps()))
+		}
+		fig.Series = append(fig.Series, csr, csx)
+	}
+	return []*metrics.Figure{fig}, nil
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"emuchick/internal/cilk"
+	"emuchick/internal/kernels"
+	"emuchick/internal/machine"
+	"emuchick/internal/metrics"
+	"emuchick/internal/workload"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig10",
+		Title: "Emu hardware vs vendor-simulator validation (STREAM, pointer chase, ping-pong)",
+		Paper: "STREAM matches between hardware and the matched simulator; " +
+			"pointer chasing matches in shape but not magnitude because the " +
+			"simulated migration engine does 16 M migrations/s where hardware " +
+			"does 9 M/s (exposed by ping-pong).",
+		Run: runFig10,
+	})
+	register(&Experiment{
+		ID:    "migration-anchors",
+		Title: "Migration-engine scalars from the ping-pong microbenchmark",
+		Paper: "Hardware: ~9 M migrations/s; simulator: ~16 M/s; single-thread " +
+			"migration latency approximately 1-2 us.",
+		Run: runMigrationAnchors,
+	})
+}
+
+// fig10Platforms pairs the two validation configurations.
+var fig10Platforms = []struct {
+	label string
+	cfg   func() machine.Config
+}{
+	{"hardware", machine.HardwareChick},
+	{"simulator", machine.SimMatched},
+}
+
+func runFig10(o Options) ([]*metrics.Figure, error) {
+	o = o.withDefaults()
+	elems, chaseElems := 512, 65536
+	threads := []int{8, 32, 64, 128, 256, 512}
+	trials := o.Trials
+	if trials > 3 {
+		trials = 3
+	}
+	if o.Quick {
+		elems, chaseElems = 96, 8192
+		threads = []int{64, 256}
+		trials = 2
+	}
+
+	stream := &metrics.Figure{
+		ID:     "fig10-stream",
+		Title:  "STREAM: hardware vs simulator (8 nodelets)",
+		XLabel: "threads",
+		YLabel: "MB/s",
+	}
+	for _, p := range fig10Platforms {
+		s := &metrics.Series{Name: p.label}
+		for _, th := range threads {
+			res, err := kernels.StreamAdd(p.cfg(), kernels.StreamConfig{
+				ElemsPerNodelet: elems, Nodelets: 8, Threads: th, Strategy: cilk.SerialRemoteSpawn,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(th), single(res.MBps()))
+		}
+		stream.Series = append(stream.Series, s)
+	}
+
+	chase := &metrics.Figure{
+		ID:     "fig10-chase",
+		Title:  "Pointer chasing: hardware vs simulator (512 threads, full_block_shuffle)",
+		XLabel: "block size (elements)",
+		YLabel: "MB/s",
+	}
+	for _, p := range fig10Platforms {
+		s := &metrics.Series{Name: p.label}
+		for _, bs := range chaseBlocks(o.Quick) {
+			stats := metrics.Trials(trials, func(trial int) float64 {
+				res, err := kernels.PointerChase(p.cfg(), kernels.ChaseConfig{
+					Elements: chaseElems, BlockSize: bs, Mode: workload.FullBlockShuffle,
+					Seed: uint64(trial)*53 + 3, Threads: 512, Nodelets: 8,
+				})
+				if err != nil {
+					panic(err)
+				}
+				return res.MBps()
+			})
+			s.Add(float64(bs), stats)
+		}
+		chase.Series = append(chase.Series, s)
+	}
+
+	pp := &metrics.Figure{
+		ID:     "fig10-pingpong",
+		Title:  "Ping-pong migration rate: hardware vs simulator",
+		XLabel: "threads",
+		YLabel: "migrations/s (millions)",
+	}
+	ppThreads := []int{1, 2, 4, 8, 16, 32, 64}
+	iters := 300
+	if o.Quick {
+		ppThreads = []int{1, 16, 64}
+		iters = 100
+	}
+	for _, p := range fig10Platforms {
+		s := &metrics.Series{Name: p.label}
+		for _, th := range ppThreads {
+			res, err := kernels.PingPong(p.cfg(), kernels.PingPongConfig{
+				Threads: th, Iterations: iters, NodeletA: 0, NodeletB: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(th), single(res.MigrationsPerSec/1e6))
+		}
+		pp.Series = append(pp.Series, s)
+	}
+	return []*metrics.Figure{stream, chase, pp}, nil
+}
+
+func runMigrationAnchors(o Options) ([]*metrics.Figure, error) {
+	o = o.withDefaults()
+	iters := 500
+	if o.Quick {
+		iters = 100
+	}
+	fig := &metrics.Figure{
+		ID:     "migration-anchors",
+		Title:  "Migration scalars (ping-pong)",
+		XLabel: "anchor",
+		YLabel: "value",
+		XTicks: map[float64]string{
+			0: "hw migrations/s (M)",
+			1: "sim migrations/s (M)",
+			2: "hw 1-thread latency (us)",
+		},
+	}
+	measured := &metrics.Series{Name: "measured"}
+	paperS := &metrics.Series{Name: "paper"}
+
+	hw, err := kernels.PingPong(machine.HardwareChick(), kernels.PingPongConfig{
+		Threads: 64, Iterations: iters, NodeletA: 0, NodeletB: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sm, err := kernels.PingPong(machine.SimMatched(), kernels.PingPongConfig{
+		Threads: 64, Iterations: iters, NodeletA: 0, NodeletB: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	one, err := kernels.PingPong(machine.HardwareChick(), kernels.PingPongConfig{
+		Threads: 1, Iterations: iters, NodeletA: 0, NodeletB: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	measured.Add(0, single(hw.MigrationsPerSec/1e6))
+	measured.Add(1, single(sm.MigrationsPerSec/1e6))
+	measured.Add(2, single(one.MeanLatency.Seconds()*1e6))
+	paperS.Add(0, single(9))
+	paperS.Add(1, single(16))
+	paperS.Add(2, single(1.5)) // "approximately 1-2 us"
+	fig.Series = []*metrics.Series{measured, paperS}
+	return []*metrics.Figure{fig}, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"emuchick/internal/kernels"
+	"emuchick/internal/machine"
+	"emuchick/internal/metrics"
+	"emuchick/internal/workload"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig11",
+		Title: "Pointer chasing on the full-speed 64-nodelet Emu (simulator projection)",
+		Paper: "At design speed and 64 nodelets the system remains insensitive " +
+			"to block size, and bandwidth scales with thread count into the " +
+			"thousands of threads.",
+		Run: runFig11,
+	})
+}
+
+func runFig11(o Options) ([]*metrics.Figure, error) {
+	o = o.withDefaults()
+	elements := 131072
+	threadSets := []int{512, 1024, 2048, 4096}
+	blocks := []int{2, 8, 32, 128, 512, 2048}
+	// The projection sweep is deterministic apart from the shuffle seed;
+	// cap trials to keep the 64-nodelet runs tractable.
+	trials := o.Trials
+	if trials > 3 {
+		trials = 3
+	}
+	if o.Quick {
+		elements = 32768
+		threadSets = []int{512, 2048}
+		blocks = []int{8, 128}
+		trials = 2
+	}
+	fig := &metrics.Figure{
+		ID:     "fig11",
+		Title:  "Pointer chasing (Emu simulator, 64 nodelets, full speed)",
+		XLabel: "block size (elements)",
+		YLabel: "MB/s",
+	}
+	for _, th := range threadSets {
+		s := &metrics.Series{Name: seriesName("threads", th)}
+		for _, bs := range blocks {
+			stats := metrics.Trials(trials, func(trial int) float64 {
+				res, err := kernels.PointerChase(machine.FullSpeed(8), kernels.ChaseConfig{
+					Elements: elements, BlockSize: bs, Mode: workload.FullBlockShuffle,
+					Seed: uint64(trial)*61 + 11, Threads: th, Nodelets: 64,
+				})
+				if err != nil {
+					panic(err)
+				}
+				return res.MBps()
+			})
+			s.Add(float64(bs), stats)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []*metrics.Figure{fig}, nil
+}

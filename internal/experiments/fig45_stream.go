@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"emuchick/internal/cilk"
+	"emuchick/internal/kernels"
+	"emuchick/internal/machine"
+	"emuchick/internal/metrics"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig4",
+		Title: "STREAM bandwidth on a single nodelet vs thread count",
+		Paper: "Bandwidth scales up through ~32 threads then plateaus; " +
+			"serial_spawn and recursive_spawn are nearly identical.",
+		Run: runFig4,
+	})
+	register(&Experiment{
+		ID:    "fig5",
+		Title: "STREAM bandwidth on eight nodelets vs thread count and spawn strategy",
+		Paper: "Remote-spawn strategies are required to reach the node's " +
+			"~1.2 GB/s peak; local-spawn strategies bottleneck on nodelet 0.",
+		Run: runFig5,
+	})
+}
+
+func fig4Threads(quick bool) []int {
+	if quick {
+		return []int{1, 4, 16, 64}
+	}
+	return []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
+}
+
+func runFig4(o Options) ([]*metrics.Figure, error) {
+	o = o.withDefaults()
+	elems := 1024
+	if o.Quick {
+		elems = 192
+	}
+	fig := &metrics.Figure{
+		ID:     "fig4",
+		Title:  "STREAM (Emu Chick, 1 nodelet)",
+		XLabel: "threads",
+		YLabel: "MB/s",
+	}
+	for _, strat := range []cilk.Strategy{cilk.SerialSpawn, cilk.RecursiveSpawn} {
+		s := &metrics.Series{Name: strat.String()}
+		for _, th := range fig4Threads(o.Quick) {
+			res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
+				ElemsPerNodelet: elems, Nodelets: 1, Threads: th, Strategy: strat,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(th), single(res.MBps()))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []*metrics.Figure{fig}, nil
+}
+
+func fig5Threads(quick bool) []int {
+	if quick {
+		return []int{8, 64, 256}
+	}
+	return []int{8, 16, 32, 64, 128, 256, 512}
+}
+
+func runFig5(o Options) ([]*metrics.Figure, error) {
+	o = o.withDefaults()
+	elems := 512
+	if o.Quick {
+		elems = 96
+	}
+	fig := &metrics.Figure{
+		ID:     "fig5",
+		Title:  "STREAM (Emu Chick, 8 nodelets)",
+		XLabel: "threads",
+		YLabel: "MB/s",
+	}
+	for _, strat := range cilk.Strategies {
+		s := &metrics.Series{Name: strat.String()}
+		for _, th := range fig5Threads(o.Quick) {
+			res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
+				ElemsPerNodelet: elems, Nodelets: 8, Threads: th, Strategy: strat,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(th), single(res.MBps()))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []*metrics.Figure{fig}, nil
+}

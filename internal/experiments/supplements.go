@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"emuchick/internal/cpukernels"
+	"emuchick/internal/kernels"
+	"emuchick/internal/machine"
+	"emuchick/internal/metrics"
+	"emuchick/internal/workload"
+	"emuchick/internal/xeon"
+)
+
+// Supplementary experiments: not figures of the paper, but direct
+// executions of things the paper describes in prose — the three shuffle
+// modes of Fig. 2 as a sensitivity study, and the novel comparison metric
+// section V-B proposes.
+
+func init() {
+	register(&Experiment{
+		ID:    "supplement-shuffle-modes",
+		Title: "Pointer-chasing sensitivity to the three shuffle modes, Emu vs Xeon",
+		Paper: "Section III-E defines intra_block, block, and full shuffles; " +
+			"the Emu's cache-less memory should be insensitive to which one " +
+			"is applied, while the Xeon's prefetcher and row buffers care.",
+		Run: runSupplementShuffleModes,
+	})
+	register(&Experiment{
+		ID:    "supplement-vb-metric",
+		Title: "Section V-B's proposed cross-architecture metric on pointer chasing",
+		Paper: "Section V-B: compare 'network traffic (threads migrated " +
+			"measured using context size and time, or B/s)' on the Emu with " +
+			"the cache-line overfetch ('cache misses avoided') on the CPU.",
+		Run: runSupplementVBMetric,
+	})
+}
+
+func runSupplementShuffleModes(o Options) ([]*metrics.Figure, error) {
+	o = o.withDefaults()
+	emuElems, xeonElems := 16384, 1<<18
+	blocks := []int{4, 32, 256}
+	trials := min(o.Trials, 3)
+	if o.Quick {
+		emuElems, xeonElems = 4096, 1<<14
+		blocks = []int{4, 64}
+		trials = 2
+	}
+	modes := []workload.ShuffleMode{
+		workload.IntraBlockShuffle, workload.BlockShuffle, workload.FullBlockShuffle,
+	}
+
+	emu := &metrics.Figure{
+		ID:     "supplement-shuffle-emu",
+		Title:  "Pointer chasing by shuffle mode (Emu Chick, 256 threads)",
+		XLabel: "block size (elements)",
+		YLabel: "MB/s",
+	}
+	for _, mode := range modes {
+		mode := mode
+		s := &metrics.Series{Name: mode.String()}
+		for _, bs := range blocks {
+			bs := bs
+			stats := metrics.Trials(trials, func(trial int) float64 {
+				res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
+					Elements: emuElems, BlockSize: bs, Mode: mode,
+					Seed: uint64(trial)*101 + 13, Threads: 256, Nodelets: 8,
+				})
+				if err != nil {
+					panic(err)
+				}
+				return res.MBps()
+			})
+			s.Add(float64(bs), stats)
+		}
+		emu.Series = append(emu.Series, s)
+	}
+
+	cpu := &metrics.Figure{
+		ID:     "supplement-shuffle-xeon",
+		Title:  "Pointer chasing by shuffle mode (Sandy Bridge, 32 threads)",
+		XLabel: "block size (elements)",
+		YLabel: "MB/s",
+	}
+	for _, mode := range modes {
+		mode := mode
+		s := &metrics.Series{Name: mode.String()}
+		for _, bs := range blocks {
+			bs := bs
+			stats := metrics.Trials(trials, func(trial int) float64 {
+				res, err := cpukernels.PointerChase(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
+					Elements: xeonElems, BlockSize: bs, Mode: mode,
+					Seed: uint64(trial)*103 + 7, Threads: 32,
+				})
+				if err != nil {
+					panic(err)
+				}
+				return res.MBps()
+			})
+			s.Add(float64(bs), stats)
+		}
+		cpu.Series = append(cpu.Series, s)
+	}
+	return []*metrics.Figure{emu, cpu}, nil
+}
+
+func runSupplementVBMetric(o Options) ([]*metrics.Figure, error) {
+	o = o.withDefaults()
+	// The Xeon list must exceed the L3 or there is no overfetch to see.
+	emuElems, xeonElems := 16384, 1<<21
+	blocks := []int{1, 4, 16, 64, 256, 1024}
+	if o.Quick {
+		emuElems, xeonElems = 4096, 1<<14
+		blocks = []int{1, 16, 256}
+	}
+	fig := &metrics.Figure{
+		ID: "supplement-vb-metric",
+		Title: "Section V-B metric: data moved beyond the useful bytes " +
+			"(Emu: migrated thread contexts; Xeon: cache-line overfetch + writebacks)",
+		XLabel: "block size (elements)",
+		YLabel: "overhead bytes per useful byte",
+	}
+	emu := &metrics.Series{Name: "emu_migration_traffic"}
+	cpu := &metrics.Series{Name: "xeon_overfetch"}
+	for _, bs := range blocks {
+		res, st, err := kernels.PointerChaseWithStats(machine.HardwareChick(), kernels.ChaseConfig{
+			Elements: emuElems, BlockSize: bs, Mode: workload.FullBlockShuffle,
+			Seed: 17, Threads: 256, Nodelets: 8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		emu.Add(float64(bs), single(float64(st.MigrationBytes)/float64(res.Bytes)))
+
+		cres, cst, err := cpukernels.PointerChaseWithStats(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
+			Elements: xeonElems, BlockSize: bs, Mode: workload.FullBlockShuffle,
+			Seed: 19, Threads: 32,
+		})
+		if err != nil {
+			return nil, err
+		}
+		over := float64(cst.DRAMLineBytes+cst.WritebackBytes-cres.Bytes) / float64(cres.Bytes)
+		if over < 0 {
+			over = 0 // cached runs can fetch less than the useful count
+		}
+		cpu.Add(float64(bs), single(over))
+	}
+	fig.Series = []*metrics.Series{emu, cpu}
+	return []*metrics.Figure{fig}, nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import "testing"
+
+func TestSupplementShuffleModes(t *testing.T) {
+	figs := runOne(t, "supplement-shuffle-modes")
+	emu := figs["supplement-shuffle-emu"]
+	cpu := figs["supplement-shuffle-xeon"]
+	if emu == nil || cpu == nil {
+		t.Fatal("missing panels")
+	}
+	// Emu: the three modes agree within ~2x at the middle block size.
+	x := emu.Series[0].Points[0].X
+	lo, hi := 0.0, 0.0
+	for _, s := range emu.Series {
+		v := at(t, s, x)
+		if lo == 0 || v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > 2.5*lo {
+		t.Fatalf("emu mode sensitivity too high: %v..%v MB/s", lo, hi)
+	}
+	// Xeon: intra-block (sequential blocks, prefetchable) beats the full
+	// shuffle at small blocks.
+	intra := cpu.FindSeries("intra_block_shuffle")
+	full := cpu.FindSeries("full_block_shuffle")
+	if intra == nil || full == nil {
+		t.Fatal("missing xeon series")
+	}
+	small := cpu.Series[0].Points[0].X
+	if at(t, intra, small) <= at(t, full, small) {
+		t.Fatalf("xeon intra (%v) should beat full (%v) at block %v",
+			at(t, intra, small), at(t, full, small), small)
+	}
+}
+
+func TestSupplementVBMetric(t *testing.T) {
+	fig := runOne(t, "supplement-vb-metric")["supplement-vb-metric"]
+	emu := fig.FindSeries("emu_migration_traffic")
+	cpu := fig.FindSeries("xeon_overfetch")
+	if emu == nil || cpu == nil {
+		t.Fatal("missing series")
+	}
+	// Emu migration traffic collapses with block size: amortized one
+	// ~200 B context per block instead of per element.
+	first := emu.Points[0]
+	last := emu.Points[len(emu.Points)-1]
+	if last.Stats.Mean >= first.Stats.Mean/4 {
+		t.Fatalf("migration traffic should collapse with block size: %v -> %v",
+			first.Stats.Mean, last.Stats.Mean)
+	}
+	// At block 1, migrating ~200 B contexts per 16 B element is the
+	// dominant overhead (>1 byte moved per useful byte).
+	if first.Stats.Mean < 1 {
+		t.Fatalf("block-1 migration overhead = %v bytes/byte", first.Stats.Mean)
+	}
+	// The Xeon pays overfetch at every block size of this sweep.
+	for _, p := range cpu.Points {
+		if p.Stats.Mean < 0 {
+			t.Fatalf("negative overfetch at block %v", p.X)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package kernels
+
+import (
+	"fmt"
+
+	"emuchick/internal/machine"
+	"emuchick/internal/metrics"
+	"emuchick/internal/workload"
+)
+
+// GUPSConfig parameterizes a RandomAccess-style kernel. The paper uses
+// GUPS as the nearest relative of pointer chasing ("GUPS lacks
+// data-dependent loads, and pointer chase does not modify the list"), so
+// the kernel exists both as a comparison workload and as an exercise of
+// the memory-side atomic path.
+type GUPSConfig struct {
+	TableWords int // striped table size in 8-byte words
+	Updates    int // total updates to perform
+	Threads    int
+	Seed       uint64
+}
+
+// GUPS performs random read-modify-write updates over a striped table
+// using posted memory-side atomics (no thread ever migrates), and reports
+// the update bandwidth at 8 bytes per update.
+func GUPS(mcfg machine.Config, cfg GUPSConfig) (metrics.Result, error) {
+	if cfg.TableWords <= 0 || cfg.Updates <= 0 || cfg.Threads <= 0 {
+		return metrics.Result{}, fmt.Errorf("kernels: invalid GUPS config %+v", cfg)
+	}
+	sys := newSystem(mcfg)
+	table := sys.Mem.AllocStriped(cfg.TableWords)
+	stream := workload.GUPSStream(cfg.Updates, cfg.TableWords, workload.NewRNG(cfg.Seed))
+
+	// Reference: count how many times each slot is bumped.
+	want := make([]uint64, cfg.TableWords)
+	for _, idx := range stream {
+		want[idx]++
+	}
+
+	nodelets := sys.Nodelets()
+	var res metrics.Result
+	_, err := sys.Run(func(root *machine.Thread) {
+		t0 := root.Now()
+		for k := 0; k < cfg.Threads; k++ {
+			k := k
+			lo, hi := share(cfg.Updates, k, cfg.Threads)
+			if lo == hi {
+				continue
+			}
+			root.SpawnAt(k%nodelets, func(w *machine.Thread) {
+				for j := lo; j < hi; j++ {
+					w.RemoteAdd(table.At(stream[j]), 1)
+					w.Compute(4)
+				}
+			})
+		}
+		root.Sync()
+		res.Elapsed = root.Now() - t0
+	})
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	for i, w := range want {
+		if got := sys.Mem.Read(table.At(i)); got != w {
+			return metrics.Result{}, fmt.Errorf("kernels: GUPS slot %d = %d, want %d", i, got, w)
+		}
+	}
+	if m := sys.Counters.TotalMigrations(); m != 0 {
+		return metrics.Result{}, fmt.Errorf("kernels: GUPS migrated %d times; atomics must not migrate", m)
+	}
+	res.Bytes = int64(cfg.Updates) * 8
+	return res, nil
+}

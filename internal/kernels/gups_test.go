@@ -1,0 +1,47 @@
+package kernels
+
+import (
+	"testing"
+
+	"emuchick/internal/machine"
+)
+
+func TestGUPSVerifies(t *testing.T) {
+	res, err := GUPS(machine.HardwareChick(), GUPSConfig{
+		TableWords: 256, Updates: 2048, Threads: 32, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 2048*8 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+}
+
+func TestGUPSThreadScaling(t *testing.T) {
+	bw := func(threads int) float64 {
+		res, err := GUPS(machine.HardwareChick(), GUPSConfig{
+			TableWords: 512, Updates: 4096, Threads: threads, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MBps()
+	}
+	if one, many := bw(1), bw(64); many <= one {
+		t.Fatalf("GUPS did not scale: 1->%v 64->%v MB/s", one, many)
+	}
+}
+
+func TestGUPSRejectsBadConfig(t *testing.T) {
+	bad := []GUPSConfig{
+		{TableWords: 0, Updates: 1, Threads: 1},
+		{TableWords: 1, Updates: 0, Threads: 1},
+		{TableWords: 1, Updates: 1, Threads: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := GUPS(machine.HardwareChick(), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package kernels
+
+import (
+	"testing"
+
+	"emuchick/internal/machine"
+	"emuchick/internal/sim"
+)
+
+func TestPingPongSingleThreadLatency(t *testing.T) {
+	res, err := PingPong(machine.HardwareChick(), PingPongConfig{
+		Threads: 1, Iterations: 500, NodeletA: 0, NodeletB: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the latency for a single thread migration on the current system is
+	// approximately 1-2 us" (section IV-D).
+	if res.MeanLatency < 1*sim.Microsecond || res.MeanLatency > 2*sim.Microsecond {
+		t.Fatalf("single-migration latency = %v, want 1-2 us", res.MeanLatency)
+	}
+	if res.Migrations != 1000 {
+		t.Fatalf("migrations = %d", res.Migrations)
+	}
+}
+
+func TestPingPongHardwareRate(t *testing.T) {
+	// Saturated hardware: ~9 M migrations/s.
+	res, err := PingPong(machine.HardwareChick(), PingPongConfig{
+		Threads: 64, Iterations: 200, NodeletA: 0, NodeletB: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigrationsPerSec < 8e6 || res.MigrationsPerSec > 9.5e6 {
+		t.Fatalf("hardware rate = %.2f M/s, want ~9", res.MigrationsPerSec/1e6)
+	}
+}
+
+func TestPingPongSimulatorRate(t *testing.T) {
+	// The vendor-simulator config: ~16 M migrations/s.
+	res, err := PingPong(machine.SimMatched(), PingPongConfig{
+		Threads: 64, Iterations: 200, NodeletA: 0, NodeletB: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigrationsPerSec < 14e6 || res.MigrationsPerSec > 16.5e6 {
+		t.Fatalf("simulator rate = %.2f M/s, want ~16", res.MigrationsPerSec/1e6)
+	}
+}
+
+func TestPingPongRejectsBadConfig(t *testing.T) {
+	bad := []PingPongConfig{
+		{Threads: 0, Iterations: 1, NodeletA: 0, NodeletB: 1},
+		{Threads: 1, Iterations: 0, NodeletA: 0, NodeletB: 1},
+		{Threads: 1, Iterations: 1, NodeletA: 3, NodeletB: 3},
+		{Threads: 1, Iterations: 1, NodeletA: 0, NodeletB: 99},
+	}
+	for _, cfg := range bad {
+		if _, err := PingPong(machine.HardwareChick(), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package kernels
+
+import (
+	"testing"
+
+	"emuchick/internal/machine"
+	"emuchick/internal/workload"
+)
+
+func chaseBW(t *testing.T, cfg ChaseConfig) float64 {
+	t.Helper()
+	res, err := PointerChase(machine.HardwareChick(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.MBps()
+}
+
+func TestPointerChaseVerifiesAllModes(t *testing.T) {
+	for _, mode := range workload.ShuffleModes {
+		res, err := PointerChase(machine.HardwareChick(), ChaseConfig{
+			Elements: 512, BlockSize: 16, Mode: mode, Seed: 42, Threads: 8, Nodelets: 8,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Bytes != 512*16 {
+			t.Fatalf("%v: bytes = %d", mode, res.Bytes)
+		}
+	}
+}
+
+func TestPointerChaseBlockOneDip(t *testing.T) {
+	// The defining Emu result: block size 1 migrates on almost every
+	// element and is far slower; performance recovers by block ~8.
+	base := ChaseConfig{Elements: 4096, Mode: workload.FullBlockShuffle, Seed: 7, Threads: 128, Nodelets: 8}
+	cfg1 := base
+	cfg1.BlockSize = 1
+	cfg8 := base
+	cfg8.BlockSize = 8
+	cfg256 := base
+	cfg256.BlockSize = 256
+	b1 := chaseBW(t, cfg1)
+	b8 := chaseBW(t, cfg8)
+	b256 := chaseBW(t, cfg256)
+	if b1 >= b8/2 {
+		t.Fatalf("block-1 dip missing: block1=%v block8=%v MB/s", b1, b8)
+	}
+	// Flatness across moderate blocks: within 2x.
+	if b8 > 2*b256 || b256 > 2*b8 {
+		t.Fatalf("not flat: block8=%v block256=%v MB/s", b8, b256)
+	}
+}
+
+func TestPointerChaseInsensitiveToShuffleAboveBlockOne(t *testing.T) {
+	// With decent block sizes, intra vs full shuffle barely matters on
+	// the Emu (no caches to defeat).
+	base := ChaseConfig{Elements: 4096, BlockSize: 64, Seed: 3, Threads: 128, Nodelets: 8}
+	intra := base
+	intra.Mode = workload.IntraBlockShuffle
+	full := base
+	full.Mode = workload.FullBlockShuffle
+	bi := chaseBW(t, intra)
+	bf := chaseBW(t, full)
+	ratio := bi / bf
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("shuffle sensitivity too high: intra=%v full=%v", bi, bf)
+	}
+}
+
+func TestPointerChaseThreadScaling(t *testing.T) {
+	base := ChaseConfig{Elements: 4096, BlockSize: 64, Mode: workload.FullBlockShuffle, Seed: 9, Nodelets: 8}
+	few := base
+	few.Threads = 16
+	many := base
+	many.Threads = 256
+	bf := chaseBW(t, few)
+	bm := chaseBW(t, many)
+	if bm < 2*bf {
+		t.Fatalf("thread scaling weak: 16->%v 256->%v MB/s", bf, bm)
+	}
+}
+
+func TestPointerChaseSimFasterAtBlockOne(t *testing.T) {
+	// Fig. 10: the vendor-simulator config (16 M mig/s) outruns hardware
+	// (9 M mig/s) on the migration-bound case but matches elsewhere.
+	cfg := ChaseConfig{Elements: 2048, BlockSize: 1, Mode: workload.FullBlockShuffle, Seed: 5, Threads: 256, Nodelets: 8}
+	hw, err := PointerChase(machine.HardwareChick(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := PointerChase(machine.SimMatched(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.MBps() <= hw.MBps()*12/10 {
+		t.Fatalf("sim (%v) should clearly beat hw (%v) at block 1", sm.MBps(), hw.MBps())
+	}
+}
+
+func TestPointerChaseMoreThreadsThanElements(t *testing.T) {
+	// Threads beyond elements leave some chains empty; must still verify.
+	if _, err := PointerChase(machine.HardwareChick(), ChaseConfig{
+		Elements: 8, BlockSize: 2, Mode: workload.BlockShuffle, Seed: 1, Threads: 16, Nodelets: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointerChaseRejectsBadConfig(t *testing.T) {
+	bad := []ChaseConfig{
+		{Elements: 0, BlockSize: 1, Threads: 1, Nodelets: 1},
+		{Elements: 8, BlockSize: 0, Threads: 1, Nodelets: 1},
+		{Elements: 8, BlockSize: 1, Threads: 0, Nodelets: 1},
+		{Elements: 8, BlockSize: 1, Threads: 1, Nodelets: 0},
+		{Elements: 8, BlockSize: 1, Threads: 1, Nodelets: 1000},
+	}
+	for _, cfg := range bad {
+		if _, err := PointerChase(machine.HardwareChick(), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

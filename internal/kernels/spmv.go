@@ -1,0 +1,312 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"emuchick/internal/cilk"
+	"emuchick/internal/machine"
+	"emuchick/internal/metrics"
+	"emuchick/internal/sim"
+	"emuchick/internal/sparse"
+)
+
+// Per-nonzero and per-row instruction overheads of the (untuned) CSR SpMV
+// inner loop: floating-point multiply-add and index arithmetic on a simple
+// in-order core.
+const (
+	spmvNNZCycles = 24
+	spmvRowCycles = 10
+)
+
+// SpMVLayout selects one of the three Emu data layouts of Fig. 3.
+type SpMVLayout int
+
+const (
+	// SpMVLocal places everything (matrix, x, y) on nodelet 0 with
+	// contiguous mallocs — the paper's "local" case, which serializes
+	// behind one nodelet's channel and core.
+	SpMVLocal SpMVLayout = iota
+	// SpMV1D stripes the matrix arrays word-by-word across nodelets
+	// (mw_malloc1dlong), replicates x, and keeps y on nodelet 0; a
+	// thread migrates on nearly every nonzero.
+	SpMV1D
+	// SpMV2D uses the paper's custom two-stage allocation: each nodelet
+	// holds the values and column indices of its assigned rows
+	// contiguously, so no migrations occur within a row.
+	SpMV2D
+)
+
+// SpMVLayouts lists the three layouts in the paper's order.
+var SpMVLayouts = []SpMVLayout{SpMVLocal, SpMV1D, SpMV2D}
+
+// String returns the paper's name for the layout.
+func (l SpMVLayout) String() string {
+	switch l {
+	case SpMVLocal:
+		return "local"
+	case SpMV1D:
+		return "1d"
+	case SpMV2D:
+		return "2d"
+	default:
+		return fmt.Sprintf("SpMVLayout(%d)", int(l))
+	}
+}
+
+// SpMVConfig parameterizes one Emu SpMV run over the synthetic Laplacian.
+type SpMVConfig struct {
+	// GridN is the stencil grid edge; the matrix is GridN^2 x GridN^2
+	// with five diagonals.
+	GridN int
+	// Layout selects the data placement.
+	Layout SpMVLayout
+	// GrainNNZ is the number of matrix elements per spawned task (the
+	// paper finds 16 most effective on the Emu). Thread concurrency is
+	// bounded by the machine's hardware contexts, as on the real Chick.
+	GrainNNZ int
+	// Nodelets restricts the layout to the first N nodelets; zero means
+	// all of them.
+	Nodelets int
+	// StripeX places the input vector as a 1D-striped array instead of
+	// replicating it per nodelet — the ablation of the paper's "smart
+	// thread migration" recommendation #2 (replicate common inputs).
+	// Only meaningful for the 1D and 2D layouts.
+	StripeX bool
+}
+
+// SpMV multiplies the Laplacian by a fixed dyadic-valued vector under the
+// configured layout, verifies y against the reference MulVec, and reports
+// effective bandwidth over the paper's useful-byte count.
+func SpMV(mcfg machine.Config, cfg SpMVConfig) (metrics.Result, error) {
+	if cfg.GridN <= 0 || cfg.GrainNNZ <= 0 {
+		return metrics.Result{}, fmt.Errorf("kernels: invalid spmv config %+v", cfg)
+	}
+	sys := newSystem(mcfg)
+	nodelets := cfg.Nodelets
+	if nodelets == 0 {
+		nodelets = sys.Nodelets()
+	}
+	if nodelets > sys.Nodelets() {
+		return metrics.Result{}, fmt.Errorf("kernels: spmv wants %d nodelets, machine has %d",
+			nodelets, sys.Nodelets())
+	}
+	m := sparse.Laplacian2D(cfg.GridN)
+	xv := make([]float64, m.Cols)
+	for i := range xv {
+		xv[i] = 1 + float64(i%7)*0.125 // dyadic values: exact FP arithmetic
+	}
+	want := m.MulVec(xv)
+
+	// Average Laplacian row has ~5 nonzeros; convert the nnz grain to a
+	// row grain.
+	grainRows := cfg.GrainNNZ / 5
+	if grainRows < 1 {
+		grainRows = 1
+	}
+
+	var elapsed metricsTime
+	var err error
+	switch cfg.Layout {
+	case SpMVLocal:
+		elapsed, err = spmvLocal(sys, m, xv, grainRows)
+	case SpMV1D:
+		elapsed, err = spmv1D(sys, m, xv, grainRows, nodelets, cfg.StripeX)
+	case SpMV2D:
+		elapsed, err = spmv2D(sys, m, xv, grainRows, nodelets, cfg.StripeX)
+	default:
+		return metrics.Result{}, fmt.Errorf("kernels: unknown layout %v", cfg.Layout)
+	}
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	for r := 0; r < m.Rows; r++ {
+		if got := math.Float64frombits(sys.Mem.Read(elapsed.y.At(r))); got != want[r] {
+			return metrics.Result{}, fmt.Errorf("kernels: spmv y[%d] = %v, want %v", r, got, want[r])
+		}
+	}
+	if cfg.Layout == SpMV2D && !cfg.StripeX {
+		if mig := sys.Counters.TotalMigrations(); mig != 0 {
+			return metrics.Result{}, fmt.Errorf("kernels: 2d layout migrated %d times; rows must be migration-free", mig)
+		}
+	}
+	return metrics.Result{Bytes: m.UsefulBytes(), Elapsed: elapsed.t}, nil
+}
+
+// metricsTime carries the timed duration plus the y vector handle for
+// verification.
+type metricsTime struct {
+	t sim.Time
+	y vector
+}
+
+// makeXLoader allocates the input vector under the requested placement and
+// returns the timed accessor kernels use for x[col]. Replication (the
+// default and the paper's recommendation) makes every x read local;
+// striping makes x[col] live on nodelet col mod N, so reading it migrates.
+func makeXLoader(sys *machine.System, xv []float64, stripeX bool) func(*machine.Thread, int) float64 {
+	if stripeX {
+		xs := sys.Mem.AllocStriped(len(xv))
+		for c := range xv {
+			sys.Mem.Write(xs.At(c), math.Float64bits(xv[c]))
+		}
+		return func(w *machine.Thread, c int) float64 {
+			return math.Float64frombits(w.Load(xs.At(c)))
+		}
+	}
+	xr := sys.Mem.AllocReplicated(len(xv))
+	for c := range xv {
+		xr.Broadcast(sys.Mem, c, math.Float64bits(xv[c]))
+	}
+	return func(w *machine.Thread, c int) float64 {
+		return math.Float64frombits(w.Load(xr.At(w.Nodelet(), c)))
+	}
+}
+
+// spmvLocal runs the all-on-nodelet-0 layout.
+func spmvLocal(sys *machine.System, m *sparse.CSR, xv []float64, grainRows int) (metricsTime, error) {
+	rp := sys.Mem.AllocLocal(0, m.Rows+1)
+	ci := sys.Mem.AllocLocal(0, m.NNZ())
+	vv := sys.Mem.AllocLocal(0, m.NNZ())
+	xa := sys.Mem.AllocLocal(0, m.Cols)
+	ya := sys.Mem.AllocLocal(0, m.Rows)
+	for r := 0; r <= m.Rows; r++ {
+		sys.Mem.Write(rp.At(r), uint64(m.RowPtr[r]))
+	}
+	for k := 0; k < m.NNZ(); k++ {
+		sys.Mem.Write(ci.At(k), uint64(m.ColIdx[k]))
+		sys.Mem.Write(vv.At(k), math.Float64bits(m.Val[k]))
+	}
+	for c := range xv {
+		sys.Mem.Write(xa.At(c), math.Float64bits(xv[c]))
+	}
+	var out metricsTime
+	out.y = ya
+	_, err := sys.Run(func(root *machine.Thread) {
+		t0 := root.Now()
+		cilk.ParallelFor(root, m.Rows, grainRows, func(w *machine.Thread, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				kLo := w.Load(rp.At(r))
+				kHi := w.Load(rp.At(r + 1))
+				var sum float64
+				for k := kLo; k < kHi; k++ {
+					c := w.Load(ci.At(int(k)))
+					v := math.Float64frombits(w.Load(vv.At(int(k))))
+					x := math.Float64frombits(w.Load(xa.At(int(c))))
+					sum += v * x
+					w.Compute(spmvNNZCycles)
+				}
+				w.Store(ya.At(r), math.Float64bits(sum))
+				w.Compute(spmvRowCycles)
+			}
+		})
+		out.t = root.Now() - t0
+	})
+	return out, err
+}
+
+// spmv1D runs the word-striped layout: matrix arrays striped, x replicated
+// (or striped under the ablation), y on nodelet 0.
+func spmv1D(sys *machine.System, m *sparse.CSR, xv []float64, grainRows, nodelets int, stripeX bool) (metricsTime, error) {
+	rp := sys.Mem.AllocStriped(m.Rows + 1)
+	ci := sys.Mem.AllocStriped(m.NNZ())
+	vv := sys.Mem.AllocStriped(m.NNZ())
+	loadX := makeXLoader(sys, xv, stripeX)
+	ya := sys.Mem.AllocLocal(0, m.Rows)
+	for r := 0; r <= m.Rows; r++ {
+		sys.Mem.Write(rp.At(r), uint64(m.RowPtr[r]))
+	}
+	for k := 0; k < m.NNZ(); k++ {
+		sys.Mem.Write(ci.At(k), uint64(m.ColIdx[k]))
+		sys.Mem.Write(vv.At(k), math.Float64bits(m.Val[k]))
+	}
+	var out metricsTime
+	out.y = ya
+	_, err := sys.Run(func(root *machine.Thread) {
+		t0 := root.Now()
+		cilk.ParallelFor(root, m.Rows, grainRows, func(w *machine.Thread, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				kLo := w.Load(rp.At(r))     // migrates to nodelet r mod N
+				kHi := w.Load(rp.At(r + 1)) // and again for r+1
+				var sum float64
+				for k := kLo; k < kHi; k++ {
+					// ColIdx and Val share stripe indices, so the pair
+					// is one migration followed by a local load.
+					c := w.Load(ci.At(int(k)))
+					v := math.Float64frombits(w.Load(vv.At(int(k))))
+					x := loadX(w, int(c))
+					sum += v * x
+					w.Compute(spmvNNZCycles)
+				}
+				w.Store(ya.At(r), math.Float64bits(sum)) // posted to nodelet 0
+				w.Compute(spmvRowCycles)
+			}
+		})
+		out.t = root.Now() - t0
+	})
+	return out, err
+}
+
+// spmv2D runs the two-stage blocked layout: rows dealt round-robin, each
+// nodelet's shard contiguous, per-row (offset, length) metadata local.
+func spmv2D(sys *machine.System, m *sparse.CSR, xv []float64, grainRows, nodelets int, stripeX bool) (metricsTime, error) {
+	part := sparse.PartitionRows(m, nodelets)
+	// Shards need padding to the system's nodelet count.
+	ciWords := make([]int, sys.Nodelets())
+	metaWords := make([]int, sys.Nodelets())
+	for nl := 0; nl < nodelets; nl++ {
+		ciWords[nl] = part.WordsOf[nl]
+		metaWords[nl] = 2 * len(part.RowsOf[nl])
+	}
+	ci := sys.Mem.AllocBlocked(ciWords)
+	vv := sys.Mem.AllocBlocked(ciWords)
+	meta := sys.Mem.AllocBlocked(metaWords)
+	loadX := makeXLoader(sys, xv, stripeX)
+	ya := sys.Mem.AllocLocal(0, m.Rows)
+	for nl := 0; nl < nodelets; nl++ {
+		for slot, r := range part.RowsOf[nl] {
+			off := part.Offset[r]
+			sys.Mem.Write(meta.At(nl, 2*slot), uint64(off))
+			sys.Mem.Write(meta.At(nl, 2*slot+1), uint64(m.RowNNZ(r)))
+			for j := 0; j < m.RowNNZ(r); j++ {
+				k := m.RowPtr[r] + int64(j)
+				sys.Mem.Write(ci.At(nl, off+j), uint64(m.ColIdx[k]))
+				sys.Mem.Write(vv.At(nl, off+j), math.Float64bits(m.Val[k]))
+			}
+		}
+	}
+	var out metricsTime
+	out.y = ya
+	_, err := sys.Run(func(root *machine.Thread) {
+		t0 := root.Now()
+		for nl := 0; nl < nodelets; nl++ {
+			nl := nl
+			rows := part.RowsOf[nl]
+			if len(rows) == 0 {
+				continue
+			}
+			root.SpawnAt(nl, func(coord *machine.Thread) {
+				cilk.ParallelFor(coord, len(rows), grainRows, func(w *machine.Thread, lo, hi int) {
+					for slot := lo; slot < hi; slot++ {
+						r := rows[slot]
+						off := w.Load(meta.At(nl, 2*slot))
+						cnt := w.Load(meta.At(nl, 2*slot+1))
+						var sum float64
+						for j := uint64(0); j < cnt; j++ {
+							c := w.Load(ci.At(nl, int(off+j)))
+							v := math.Float64frombits(w.Load(vv.At(nl, int(off+j))))
+							x := loadX(w, int(c))
+							sum += v * x
+							w.Compute(spmvNNZCycles)
+						}
+						w.Store(ya.At(r), math.Float64bits(sum)) // posted to nodelet 0
+						w.Compute(spmvRowCycles)
+					}
+				})
+			})
+		}
+		root.Sync()
+		out.t = root.Now() - t0
+	})
+	return out, err
+}

@@ -1,0 +1,155 @@
+package kernels
+
+import (
+	"testing"
+
+	"emuchick/internal/machine"
+)
+
+func TestSpMVLayoutNames(t *testing.T) {
+	if SpMVLocal.String() != "local" || SpMV1D.String() != "1d" || SpMV2D.String() != "2d" {
+		t.Fatal("layout names wrong")
+	}
+	if SpMVLayout(9).String() == "" {
+		t.Fatal("unknown layout String empty")
+	}
+}
+
+func TestSpMVAllLayoutsVerify(t *testing.T) {
+	for _, layout := range SpMVLayouts {
+		res, err := SpMV(machine.HardwareChick(), SpMVConfig{
+			GridN: 8, Layout: layout, GrainNNZ: 16,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if res.Bytes <= 0 || res.Elapsed <= 0 {
+			t.Fatalf("%v: empty result %+v", layout, res)
+		}
+	}
+}
+
+func TestSpMVLayoutOrdering(t *testing.T) {
+	// Fig. 9a: 2D > 1D > local in effective bandwidth.
+	bw := map[SpMVLayout]float64{}
+	for _, layout := range SpMVLayouts {
+		res, err := SpMV(machine.HardwareChick(), SpMVConfig{
+			GridN: 24, Layout: layout, GrainNNZ: 16,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		bw[layout] = res.MBps()
+	}
+	if !(bw[SpMV2D] > bw[SpMV1D] && bw[SpMV1D] > bw[SpMVLocal]) {
+		t.Fatalf("layout ordering broken: local=%.1f 1d=%.1f 2d=%.1f MB/s",
+			bw[SpMVLocal], bw[SpMV1D], bw[SpMV2D])
+	}
+}
+
+func TestSpMVSmallGrainBeatsHugeGrainOnEmu(t *testing.T) {
+	// Section IV-C: "a much smaller grain size of 16 elements per spawn
+	// is most effective for the Emu implementation" — a huge grain
+	// serializes the machine.
+	small, err := SpMV(machine.HardwareChick(), SpMVConfig{GridN: 16, Layout: SpMV2D, GrainNNZ: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge, err := SpMV(machine.HardwareChick(), SpMVConfig{GridN: 16, Layout: SpMV2D, GrainNNZ: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MBps() <= huge.MBps() {
+		t.Fatalf("grain 16 (%v MB/s) should beat huge grain (%v MB/s)", small.MBps(), huge.MBps())
+	}
+}
+
+func TestSpMV2DScalesWithMatrixSize(t *testing.T) {
+	bw := func(n int) float64 {
+		res, err := SpMV(machine.HardwareChick(), SpMVConfig{GridN: n, Layout: SpMV2D, GrainNNZ: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MBps()
+	}
+	if small, big := bw(6), bw(24); big <= small {
+		t.Fatalf("2D bandwidth should grow with n: n=6 %.1f, n=24 %.1f MB/s", small, big)
+	}
+}
+
+func TestSpMVStripedXCostsMigrations(t *testing.T) {
+	// The paper's "smart migration" recommendation: replicate common
+	// inputs like x. Striping x instead forces a migration per gather.
+	replicated, err := SpMV(machine.HardwareChick(), SpMVConfig{
+		GridN: 16, Layout: SpMV2D, GrainNNZ: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	striped, err := SpMV(machine.HardwareChick(), SpMVConfig{
+		GridN: 16, Layout: SpMV2D, GrainNNZ: 16, StripeX: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if striped.MBps() >= replicated.MBps() {
+		t.Fatalf("striped x (%v MB/s) should lose to replicated x (%v MB/s)",
+			striped.MBps(), replicated.MBps())
+	}
+}
+
+func TestSpMVCSXPaysOnlyWhenChannelBound(t *testing.T) {
+	// The compressed index stream trades channel words for decode cycles,
+	// so where the kernel binds decides who wins: the prototype's 150 MHz
+	// single core is issue-bound (CSR stays ahead), while the full-speed
+	// configuration's four 300 MHz cores push the bottleneck onto the
+	// channel and CSX pulls ahead — the quantitative answer to the
+	// paper's SparseX future-work question.
+	ratio := func(cfg machine.Config) float64 {
+		csr, err := SpMV(cfg, SpMVConfig{GridN: 48, Layout: SpMV2D, GrainNNZ: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		csx, err := SpMVCSX(cfg, SpMVCSXConfig{GridN: 48, GrainNNZ: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if csx.Bytes != csr.Bytes {
+			t.Fatalf("useful-byte accounting differs: %d vs %d", csx.Bytes, csr.Bytes)
+		}
+		return csx.MBps() / csr.MBps()
+	}
+	hw := ratio(machine.HardwareChick())
+	full := ratio(machine.FullSpeed(1))
+	if hw > 1.02 {
+		t.Fatalf("csx should not beat csr on the core-bound prototype (ratio %.2f)", hw)
+	}
+	if full <= 1.0 {
+		t.Fatalf("csx should win on the channel-bound full-speed machine (ratio %.2f)", full)
+	}
+	if full <= hw {
+		t.Fatalf("csx advantage should grow with core speed: hw %.2f, full %.2f", hw, full)
+	}
+}
+
+func TestSpMVCSXRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []SpMVCSXConfig{{GridN: 0, GrainNNZ: 16}, {GridN: 8, GrainNNZ: 0}} {
+		if _, err := SpMVCSX(machine.HardwareChick(), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestSpMVRejectsBadConfig(t *testing.T) {
+	bad := []SpMVConfig{
+		{GridN: 0, Layout: SpMVLocal, GrainNNZ: 16},
+		{GridN: 4, Layout: SpMVLocal, GrainNNZ: 0},
+		{GridN: 4, Layout: SpMVLayout(42), GrainNNZ: 16},
+		{GridN: 4, Layout: SpMVLocal, GrainNNZ: 16, Nodelets: 999},
+	}
+	for _, cfg := range bad {
+		if _, err := SpMV(machine.HardwareChick(), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

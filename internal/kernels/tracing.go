@@ -1,0 +1,33 @@
+package kernels
+
+import (
+	"io"
+
+	"emuchick/internal/machine"
+)
+
+// Package-level tracing hook: kernels build their own System per run, so
+// callers that want an operation trace (cmd/emurun's -trace flag) register
+// a writer here before invoking a kernel.
+var (
+	traceWriter io.Writer
+	traceLimit  int
+)
+
+// TraceNextSystem routes the first limit machine operations of every
+// subsequently constructed kernel system to w; pass (nil, 0) to disable.
+// Not safe for concurrent kernel invocations — it exists for the
+// single-run CLI path.
+func TraceNextSystem(w io.Writer, limit int) {
+	traceWriter = w
+	traceLimit = limit
+}
+
+// newSystem builds a machine with the package tracing hook applied.
+func newSystem(cfg machine.Config) *machine.System {
+	sys := machine.NewSystem(cfg)
+	if traceWriter != nil {
+		sys.TraceTo(traceWriter, traceLimit)
+	}
+	return sys
+}

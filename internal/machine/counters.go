@@ -1,0 +1,84 @@
+package machine
+
+// Counters mirror the event counts the Emu vendor simulator reports ("the
+// number of thread spawns, migrations, and memory operations per nodelet",
+// section III-B). They are exact — every simulated operation increments
+// exactly one of them — which the counter tests rely on.
+type Counters struct {
+	perNodelet []NodeletCounters
+
+	ThreadsSpawned   uint64
+	ThreadsCompleted uint64
+	LiveThreads      int
+	MaxLiveThreads   int
+}
+
+// NodeletCounters is the per-nodelet slice of the counter set.
+type NodeletCounters struct {
+	LocalSpawns   uint64 // threads created on this nodelet by a local parent
+	RemoteSpawns  uint64 // threads created on this nodelet by a remote parent
+	MigrationsIn  uint64
+	MigrationsOut uint64
+	LocalReads    uint64 // 8-byte word reads served by this nodelet's channel
+	LocalWrites   uint64 // 8-byte word writes from resident threads
+	RemoteStores  uint64 // posted stores arriving from other nodelets
+	Atomics       uint64 // memory-side atomic operations served
+	ComputeCycles uint64 // non-memory core cycles charged on this nodelet
+	ServiceCalls  uint64 // OS requests forwarded to the stationary core
+}
+
+func newCounters(nodelets int) *Counters {
+	return &Counters{perNodelet: make([]NodeletCounters, nodelets)}
+}
+
+// Nodelet returns a copy of the counters for one nodelet.
+func (c *Counters) Nodelet(nl int) NodeletCounters { return c.perNodelet[nl] }
+
+// Nodelets reports how many nodelets the counter set spans.
+func (c *Counters) Nodelets() int { return len(c.perNodelet) }
+
+// TotalMigrations sums migrations-out across nodelets (each migration is
+// counted once out and once in).
+func (c *Counters) TotalMigrations() uint64 {
+	var total uint64
+	for i := range c.perNodelet {
+		total += c.perNodelet[i].MigrationsOut
+	}
+	return total
+}
+
+// TotalSpawns sums thread creations across nodelets.
+func (c *Counters) TotalSpawns() uint64 {
+	var total uint64
+	for i := range c.perNodelet {
+		total += c.perNodelet[i].LocalSpawns + c.perNodelet[i].RemoteSpawns
+	}
+	return total
+}
+
+// TotalWords sums word reads, word writes, remote stores, and atomics —
+// the total channel word traffic of the run.
+func (c *Counters) TotalWords() uint64 {
+	var total uint64
+	for i := range c.perNodelet {
+		nc := &c.perNodelet[i]
+		total += nc.LocalReads + nc.LocalWrites + nc.RemoteStores + nc.Atomics
+	}
+	return total
+}
+
+// TotalBytes is TotalWords scaled to bytes.
+func (c *Counters) TotalBytes() uint64 { return 8 * c.TotalWords() }
+
+func (c *Counters) threadStarted() {
+	c.ThreadsSpawned++
+	c.LiveThreads++
+	if c.LiveThreads > c.MaxLiveThreads {
+		c.MaxLiveThreads = c.LiveThreads
+	}
+}
+
+func (c *Counters) threadFinished() {
+	c.ThreadsCompleted++
+	c.LiveThreads--
+}

@@ -1,0 +1,69 @@
+package machine
+
+import "testing"
+
+func TestCounterAggregates(t *testing.T) {
+	s := NewSystem(HardwareChick())
+	arr := s.Mem.AllocStriped(64)
+	remote := s.Mem.AllocLocal(3, 2)
+	_, err := s.Run(func(th *Thread) {
+		th.SpawnAt(2, func(c *Thread) {
+			for i := 0; i < 16; i++ {
+				c.Load(arr.At(i)) // striped walk: migrations + local reads
+			}
+			c.Store(remote.At(0), 7) // posted remote store
+			c.RemoteAdd(remote.At(1), 1)
+		})
+		th.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counters
+	if c.Nodelets() != 8 {
+		t.Fatalf("Nodelets = %d", c.Nodelets())
+	}
+	// Every spawn (root + child) appears in per-nodelet totals.
+	if c.TotalSpawns() != c.ThreadsSpawned {
+		t.Fatalf("TotalSpawns %d != ThreadsSpawned %d", c.TotalSpawns(), c.ThreadsSpawned)
+	}
+	// Word traffic: 16 reads + 1 remote store + 1 atomic.
+	if c.TotalWords() != 18 {
+		t.Fatalf("TotalWords = %d", c.TotalWords())
+	}
+	if c.TotalBytes() != 18*8 {
+		t.Fatalf("TotalBytes = %d", c.TotalBytes())
+	}
+	if c.TotalMigrations() == 0 {
+		t.Fatal("striped walk produced no migrations")
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	s := NewSystem(HardwareChick())
+	if s.Nodelets() != 8 {
+		t.Fatalf("Nodelets = %d", s.Nodelets())
+	}
+	if s.Clock().Hz() != 150e6 {
+		t.Fatalf("Clock = %d Hz", s.Clock().Hz())
+	}
+	arr := s.Mem.AllocLocal(0, 8)
+	elapsed, err := s.Run(func(th *Thread) {
+		for i := 0; i < 8; i++ {
+			th.Load(arr.At(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := s.ChannelUtilization(0, elapsed); u <= 0 {
+		t.Fatal("nodelet 0 channel utilization zero")
+	}
+	if u := s.ChannelUtilization(1, elapsed); u != 0 {
+		t.Fatal("idle nodelet has utilization")
+	}
+	mean := s.MeanChannelUtilization(elapsed)
+	if mean <= 0 || mean >= s.ChannelUtilization(0, elapsed) {
+		t.Fatalf("mean utilization = %v", mean)
+	}
+}

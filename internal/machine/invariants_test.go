@@ -1,0 +1,114 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emuchick/internal/workload"
+)
+
+// randomProgram drives a system with a pseudo-random mix of every thread
+// operation and returns it for invariant checking.
+func randomProgram(t *testing.T, seed uint64, ops int) (*System, error) {
+	t.Helper()
+	sys := NewSystem(HardwareChick())
+	arr := sys.Mem.AllocStriped(256)
+	acc := sys.Mem.AllocLocal(3, 4)
+	rng := workload.NewRNG(seed)
+	// Pre-draw the op stream so the simulated schedule cannot influence
+	// the workload (determinism of the generator itself).
+	kinds := make([]int, ops)
+	args := make([]int, ops)
+	for i := range kinds {
+		kinds[i] = rng.Intn(7)
+		args[i] = rng.Intn(256)
+	}
+	_, err := sys.Run(func(root *Thread) {
+		for w := 0; w < 8; w++ {
+			w := w
+			root.SpawnAt(w, func(th *Thread) {
+				for i := w; i < ops; i += 8 {
+					switch kinds[i] {
+					case 0:
+						th.Load(arr.At(args[i]))
+					case 1:
+						th.Store(arr.At(args[i]), uint64(i))
+					case 2:
+						th.FetchAdd(acc.At(args[i]%4), 1)
+					case 3:
+						th.RemoteAdd(acc.At(args[i]%4), 1)
+					case 4:
+						th.MigrateTo(args[i] % 8)
+					case 5:
+						th.Compute(int64(args[i]))
+					case 6:
+						th.Spawn(func(c *Thread) { c.Load(arr.At(args[i])) })
+					}
+				}
+				th.Sync()
+			})
+		}
+	})
+	return sys, err
+}
+
+// Property: for any op mix, the machine's conservation laws hold —
+// migrations out equal migrations in, every spawned thread completes, all
+// context slots drain, and the per-nodelet spawn counts account for every
+// thread.
+func TestMachineConservationProperty(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		ops := int(opsRaw%100) + 20
+		sys, err := randomProgram(t, seed, ops)
+		if err != nil {
+			return false
+		}
+		c := sys.Counters
+		var in, out uint64
+		for nl := 0; nl < c.Nodelets(); nl++ {
+			in += c.Nodelet(nl).MigrationsIn
+			out += c.Nodelet(nl).MigrationsOut
+		}
+		if in != out {
+			return false
+		}
+		if c.ThreadsSpawned != c.ThreadsCompleted || c.LiveThreads != 0 {
+			return false
+		}
+		if c.TotalSpawns() != c.ThreadsSpawned {
+			return false
+		}
+		for nl := 0; nl < sys.Nodelets(); nl++ {
+			if sys.nodelets[nl].slots.InUse() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same seed produces byte-identical counters and end time.
+func TestMachineDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, errA := randomProgram(t, seed, 80)
+		b, errB := randomProgram(t, seed, 80)
+		if errA != nil || errB != nil {
+			return false
+		}
+		if a.Eng.Now() != b.Eng.Now() || a.Eng.Fired() != b.Eng.Fired() {
+			return false
+		}
+		for nl := 0; nl < a.Counters.Nodelets(); nl++ {
+			if a.Counters.Nodelet(nl) != b.Counters.Nodelet(nl) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"fmt"
+
+	"emuchick/internal/sim"
+)
+
+// The Emu architecture pairs the Gossamer cores with stationary processors
+// that run the operating system: "Any operating system requests are
+// forwarded to the stationary control processors through the service
+// queue" (section II). The model gives each node one stationary core and a
+// service queue; a threadlet performing an OS request blocks for the queue
+// round trip plus the request's execution on the stationary core.
+//
+// The benchmarks themselves make no OS requests inside their timed regions
+// (neither do the paper's), but the path exists so that applications built
+// on the model — and the service-queue ablation — can measure its cost.
+
+// serviceQueueLatency is the one-way forwarding latency from a nodelet to
+// its node's stationary processor.
+const serviceQueueLatency = 500 * sim.Nanosecond
+
+// stationaryHz is the stationary core's clock. The prototype implements it
+// on the same FPGA fabric as the Gossamer cores.
+const stationaryHz = 300e6
+
+// ServiceCall forwards an operating-system request costing the given
+// number of stationary-core cycles through the node's service queue and
+// blocks until the response returns. It reports the request's total
+// round-trip time.
+func (t *Thread) ServiceCall(cycles int64) sim.Time {
+	if cycles < 0 {
+		panic(fmt.Sprintf("machine: negative service cycles %d", cycles))
+	}
+	s := t.sys
+	node := s.Cfg.NodeOf(t.nodelet)
+	start := t.p.Now()
+	arrive := start + serviceQueueLatency
+	_, served := s.stationary[node].Acquire(arrive, s.stationaryClock.Cycles(cycles))
+	s.Counters.perNodelet[t.nodelet].ServiceCalls++
+	finish := served + serviceQueueLatency
+	t.p.WaitUntil(finish)
+	return finish - start
+}

@@ -1,0 +1,109 @@
+package machine
+
+import "emuchick/internal/sim"
+
+// NodeletStats reports how busy one nodelet's modelled resources were over
+// an elapsed window — the per-nodelet view the vendor simulator's event
+// counts provide, expressed as utilizations.
+type NodeletStats struct {
+	Nodelet            int
+	ChannelUtilization float64
+	ChannelOps         uint64
+	ChannelMaxWait     sim.Time
+	CoreUtilization    []float64 // one per Gossamer core
+	ResidentPeak       int       // high-water mark of context slots
+}
+
+// NodeStats reports the shared per-node resources.
+type NodeStats struct {
+	Node                 int
+	MigrationUtilization float64
+	Migrations           uint64
+	MigrationMaxWait     sim.Time
+	FabricUtilization    float64
+	StationaryOps        uint64
+}
+
+// SystemStats is the full utilization snapshot of a finished run.
+type SystemStats struct {
+	Elapsed  sim.Time
+	Nodelets []NodeletStats
+	Nodes    []NodeStats
+}
+
+// Stats summarizes resource utilization over the given elapsed window
+// (typically the value System.Run returned).
+func (s *System) Stats(elapsed sim.Time) SystemStats {
+	out := SystemStats{Elapsed: elapsed}
+	for _, nl := range s.nodelets {
+		st := NodeletStats{
+			Nodelet:            nl.id,
+			ChannelUtilization: nl.channel.Utilization(elapsed),
+			ChannelOps:         nl.channel.Ops(),
+			ChannelMaxWait:     nl.channel.MaxWait(),
+			ResidentPeak:       nl.slots.MaxInUse(),
+		}
+		for _, core := range nl.cores {
+			st.CoreUtilization = append(st.CoreUtilization, core.Utilization(elapsed))
+		}
+		out.Nodelets = append(out.Nodelets, st)
+	}
+	for nd := 0; nd < s.Cfg.Nodes; nd++ {
+		out.Nodes = append(out.Nodes, NodeStats{
+			Node:                 nd,
+			MigrationUtilization: s.migEngines[nd].Utilization(elapsed),
+			Migrations:           s.migEngines[nd].Ops(),
+			MigrationMaxWait:     s.migEngines[nd].MaxWait(),
+			FabricUtilization:    s.links[nd].Utilization(elapsed),
+			StationaryOps:        s.stationary[nd].Ops(),
+		})
+	}
+	return out
+}
+
+// MeanChannel reports the average channel utilization across nodelets.
+func (ss SystemStats) MeanChannel() float64 {
+	if len(ss.Nodelets) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, nl := range ss.Nodelets {
+		sum += nl.ChannelUtilization
+	}
+	return sum / float64(len(ss.Nodelets))
+}
+
+// MaxCore reports the busiest Gossamer core's utilization.
+func (ss SystemStats) MaxCore() float64 {
+	best := 0.0
+	for _, nl := range ss.Nodelets {
+		for _, u := range nl.CoreUtilization {
+			if u > best {
+				best = u
+			}
+		}
+	}
+	return best
+}
+
+// BottleneckHint names the resource class with the highest utilization —
+// a diagnostic for the "what limits this kernel" questions the paper's
+// discussion section raises.
+func (ss SystemStats) BottleneckHint() string {
+	channel := ss.MeanChannel()
+	core := ss.MaxCore()
+	migration := 0.0
+	for _, nd := range ss.Nodes {
+		if nd.MigrationUtilization > migration {
+			migration = nd.MigrationUtilization
+		}
+	}
+	switch {
+	case migration >= channel && migration >= core:
+		return "migration-engine"
+	case core >= channel:
+		return "gossamer-core"
+	default:
+		return "memory-channel"
+	}
+}

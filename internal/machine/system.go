@@ -1,0 +1,132 @@
+package machine
+
+import (
+	"fmt"
+
+	"emuchick/internal/memsys"
+	"emuchick/internal/sim"
+)
+
+// System is one simulated Emu machine: an engine, a global address space,
+// and the modelled hardware resources of every nodelet. A System is
+// single-use: construct, allocate, Run, read results.
+type System struct {
+	Cfg      Config
+	Eng      *sim.Engine
+	Mem      *memsys.Space
+	Counters *Counters
+
+	clock           sim.Clock
+	stationaryClock sim.Clock
+	tracer          func(TraceEvent)
+	nodelets        []*nodelet
+	links           []*sim.Resource // per-node fabric egress link
+	migEngines      []*sim.Resource // per-node migration engine
+	stationary      []*sim.Resource // per-node stationary (OS) processor
+}
+
+// nodelet bundles the modelled resources of one nodelet.
+type nodelet struct {
+	id       int
+	cores    []*sim.Resource // issue port of each Gossamer core
+	nextCore int             // round-robin core assignment cursor
+	channel  *sim.Resource   // the NCDRAM channel
+	slots    *sim.Semaphore  // resident thread-context capacity
+}
+
+// NewSystem builds a system from the configuration. It panics on an invalid
+// configuration (a construction-time programming error, per the Validate
+// contract).
+func NewSystem(cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	n := cfg.TotalNodelets()
+	s := &System{
+		Cfg:             cfg,
+		Eng:             eng,
+		Mem:             memsys.NewSpace(n),
+		Counters:        newCounters(n),
+		clock:           sim.NewClock(cfg.CoreHz),
+		stationaryClock: sim.NewClock(stationaryHz),
+		nodelets:        make([]*nodelet, n),
+		links:           make([]*sim.Resource, cfg.Nodes),
+		migEngines:      make([]*sim.Resource, cfg.Nodes),
+		stationary:      make([]*sim.Resource, cfg.Nodes),
+	}
+	for i := 0; i < n; i++ {
+		nl := &nodelet{
+			id:      i,
+			cores:   make([]*sim.Resource, cfg.GCsPerNodelet),
+			channel: sim.NewResource(fmt.Sprintf("nl%d.channel", i)),
+			slots:   sim.NewSemaphore(eng, fmt.Sprintf("nl%d.contexts", i), cfg.ContextsPerNodelet()),
+		}
+		for c := range nl.cores {
+			nl.cores[c] = sim.NewResource(fmt.Sprintf("nl%d.gc%d", i, c))
+		}
+		s.nodelets[i] = nl
+	}
+	for nd := 0; nd < cfg.Nodes; nd++ {
+		s.links[nd] = sim.NewResource(fmt.Sprintf("node%d.fabric", nd))
+		s.migEngines[nd] = sim.NewResource(fmt.Sprintf("node%d.migration", nd))
+		s.stationary[nd] = sim.NewResource(fmt.Sprintf("node%d.stationary", nd))
+	}
+	return s
+}
+
+// Nodelets reports the total nodelet count.
+func (s *System) Nodelets() int { return len(s.nodelets) }
+
+// Clock returns the Gossamer core clock.
+func (s *System) Clock() sim.Clock { return s.clock }
+
+// ChannelUtilization reports the busy fraction of one nodelet's NCDRAM
+// channel over the given elapsed window.
+func (s *System) ChannelUtilization(nl int, elapsed sim.Time) float64 {
+	return s.nodelets[nl].channel.Utilization(elapsed)
+}
+
+// MeanChannelUtilization averages channel utilization across nodelets.
+func (s *System) MeanChannelUtilization(elapsed sim.Time) float64 {
+	var sum float64
+	for i := range s.nodelets {
+		sum += s.nodelets[i].channel.Utilization(elapsed)
+	}
+	return sum / float64(len(s.nodelets))
+}
+
+// Run executes root as the initial thread on nodelet 0 (where the Chick's
+// runtime launches a program's main thread) and drives the simulation until
+// every thread has finished. It returns the total simulated time.
+func (s *System) Run(root func(*Thread)) (sim.Time, error) {
+	start := s.Eng.Now()
+	s.Counters.perNodelet[0].LocalSpawns++ // the main thread itself
+	s.startThread(0, "main", root, nil)
+	if err := s.Eng.Run(); err != nil {
+		return 0, err
+	}
+	return s.Eng.Now() - start, nil
+}
+
+// startThread creates a thread on the given nodelet. The new thread first
+// waits for a context slot, runs body, then releases the slot and notifies
+// parentJoin (if any).
+func (s *System) startThread(nl int, name string, body func(*Thread), parentJoin *sim.Join) {
+	s.Eng.Go(name, func(p *sim.Proc) {
+		t := &Thread{sys: s, p: p, nodelet: nl}
+		home := s.nodelets[nl]
+		home.slots.Acquire(p)
+		t.core = home.nextCore
+		home.nextCore = (home.nextCore + 1) % len(home.cores)
+		s.Counters.threadStarted()
+		body(t)
+		// Implicit cilk sync at function end, matching Cilk semantics.
+		t.Sync()
+		s.nodelets[t.nodelet].slots.Release()
+		s.Counters.threadFinished()
+		if parentJoin != nil {
+			parentJoin.Done()
+		}
+	})
+}

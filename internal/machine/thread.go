@@ -1,0 +1,320 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"emuchick/internal/memsys"
+	"emuchick/internal/sim"
+)
+
+// Thread is one Gossamer threadlet: a lightweight context (the real thing is
+// 16 registers, a PC, a stack counter and status — under 200 bytes) resident
+// on some nodelet. Kernels are written against this API exactly the way the
+// paper's Cilk benchmarks are written against the Emu toolchain:
+//
+//   - Load of a local word costs an issue slot, channel occupancy, and
+//     memory latency.
+//   - Load of a REMOTE word first migrates the thread to the word's nodelet
+//     ("any remote read triggers a migration").
+//   - Stores to remote words are posted through the network without
+//     migrating, and atomics are executed by memory-side processors, both
+//     matching section II.
+//   - Spawn creates a child threadlet locally; SpawnAt creates it on a
+//     chosen nodelet (a "remote spawn"); Sync joins all children.
+//
+// All methods must be called from the thread's own simulated context.
+type Thread struct {
+	sys      *System
+	p        *sim.Proc
+	nodelet  int
+	core     int
+	children *sim.Join
+}
+
+// System returns the machine this thread runs on.
+func (t *Thread) System() *System { return t.sys }
+
+// Nodelet reports the nodelet the thread currently resides on.
+func (t *Thread) Nodelet() int { return t.nodelet }
+
+// Now reports the current simulated time.
+func (t *Thread) Now() sim.Time { return t.p.Now() }
+
+// Compute charges the given number of core cycles of non-memory work.
+func (t *Thread) Compute(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	s := t.sys
+	nl := s.nodelets[t.nodelet]
+	_, done := nl.cores[t.core].Acquire(t.p.Now(), s.clock.Cycles(cycles))
+	s.Counters.perNodelet[t.nodelet].ComputeCycles += uint64(cycles)
+	t.p.WaitUntil(done)
+}
+
+// localWordAccess models one blocking 8-byte access to the resident
+// nodelet's channel: issue at the core, occupy the channel, then the
+// load-to-use latency.
+func (t *Thread) localWordAccess() {
+	s := t.sys
+	nl := s.nodelets[t.nodelet]
+	_, issued := nl.cores[t.core].Acquire(t.p.Now(), s.clock.Cycles(s.Cfg.MemIssueCycles))
+	_, served := nl.channel.Acquire(issued, s.Cfg.WordAccessTime)
+	t.p.WaitUntil(served + s.Cfg.MemLatency)
+}
+
+// Load reads the word at a, migrating to its home nodelet first if the
+// address is remote. It returns the stored value.
+func (t *Thread) Load(a memsys.Addr) uint64 {
+	if home := a.Nodelet(); home != t.nodelet {
+		t.MigrateTo(home)
+	}
+	t.sys.Counters.perNodelet[t.nodelet].LocalReads++
+	t.localWordAccess()
+	t.sys.emit(TraceLoad, t.nodelet, -1, a)
+	return t.sys.Mem.Read(a)
+}
+
+// Store writes v to the word at a. A local store blocks like a load; a
+// remote store is posted through the network without migrating the thread
+// (the thread is charged only the issue cycle, and stalls only when the
+// destination's finite remote queue is saturated).
+//
+// Memory-ordering note: the functional value becomes visible immediately
+// even though the modelled delivery completes later, so programs that race
+// a posted store against a reader observe the store "early". The paper's
+// kernels (and this repository's) partition writers, or join with Sync
+// before reading, exactly as real Emu programs must.
+func (t *Thread) Store(a memsys.Addr, v uint64) {
+	s := t.sys
+	home := a.Nodelet()
+	if home == t.nodelet {
+		s.Counters.perNodelet[t.nodelet].LocalWrites++
+		t.localWordAccess()
+		s.Mem.Write(a, v)
+		s.emit(TraceStore, t.nodelet, -1, a)
+		return
+	}
+	// Posted remote store: issue locally, deliver after the network flight,
+	// occupying the destination channel on arrival.
+	nl := s.nodelets[t.nodelet]
+	_, issued := nl.cores[t.core].Acquire(t.p.Now(), s.clock.Cycles(s.Cfg.MemIssueCycles))
+	arrive := issued + t.networkLatency(home)
+	_, served := s.nodelets[home].channel.Acquire(arrive, s.Cfg.WordAccessTime)
+	s.Counters.perNodelet[home].RemoteStores++
+	s.Mem.Write(a, v)
+	s.emit(TraceRemoteStore, t.nodelet, home, a)
+	t.p.WaitUntil(t.postedAccept(issued, served))
+}
+
+// FetchAdd atomically adds delta to the word at a and returns the previous
+// value. The operation is executed by the memory-side processor of the
+// word's home nodelet; a remote FetchAdd blocks for the network round trip
+// but does NOT migrate the thread.
+func (t *Thread) FetchAdd(a memsys.Addr, delta uint64) uint64 {
+	s := t.sys
+	home := a.Nodelet()
+	nl := s.nodelets[t.nodelet]
+	_, issued := nl.cores[t.core].Acquire(t.p.Now(), s.clock.Cycles(s.Cfg.MemIssueCycles))
+	arrive := issued
+	if home != t.nodelet {
+		arrive += t.networkLatency(home)
+	}
+	// Read-modify-write occupies the home channel for two word times.
+	_, served := s.nodelets[home].channel.Acquire(arrive, 2*s.Cfg.WordAccessTime)
+	s.Counters.perNodelet[home].Atomics++
+	s.emit(TraceAtomic, t.nodelet, home, a)
+	old := s.Mem.Read(a)
+	s.Mem.Write(a, old+delta)
+	finish := served
+	if home != t.nodelet {
+		finish += t.networkLatency(home) // response flight
+	} else {
+		finish += s.Cfg.MemLatency
+	}
+	t.p.WaitUntil(finish)
+	return old
+}
+
+// RemoteAdd posts an atomic add without waiting for completion — the
+// "remote update" idiom Emu programs use to accumulate into far memory.
+func (t *Thread) RemoteAdd(a memsys.Addr, delta uint64) {
+	s := t.sys
+	home := a.Nodelet()
+	nl := s.nodelets[t.nodelet]
+	_, issued := nl.cores[t.core].Acquire(t.p.Now(), s.clock.Cycles(s.Cfg.MemIssueCycles))
+	arrive := issued
+	if home != t.nodelet {
+		arrive += t.networkLatency(home)
+	}
+	_, served := s.nodelets[home].channel.Acquire(arrive, 2*s.Cfg.WordAccessTime)
+	s.Counters.perNodelet[home].Atomics++
+	s.emit(TraceAtomic, t.nodelet, home, a)
+	s.Mem.Write(a, s.Mem.Read(a)+delta)
+	t.p.WaitUntil(t.postedAccept(issued, served))
+}
+
+// remoteQueueEntries bounds the per-nodelet queue of posted remote
+// operations. A sender whose packet would land more than this many
+// word-service times deep in the destination's backlog stalls until the
+// queue drains — finite buffering, without which posted operations would
+// be infinitely absorbing and destination contention invisible.
+const remoteQueueEntries = 64
+
+// postedAccept converts a posted operation's issue and service times into
+// the moment the sender may proceed.
+func (t *Thread) postedAccept(issued, served sim.Time) sim.Time {
+	bound := served - sim.Time(remoteQueueEntries)*t.sys.Cfg.WordAccessTime
+	if bound > issued {
+		return bound
+	}
+	return issued
+}
+
+// RemoteAddFloat posts an atomic float64 accumulation, the operation the
+// memory-side processors provide for reductions into far memory (tensor
+// contractions and SpMV outputs use it). Timing is identical to RemoteAdd.
+func (t *Thread) RemoteAddFloat(a memsys.Addr, delta float64) {
+	s := t.sys
+	home := a.Nodelet()
+	nl := s.nodelets[t.nodelet]
+	_, issued := nl.cores[t.core].Acquire(t.p.Now(), s.clock.Cycles(s.Cfg.MemIssueCycles))
+	arrive := issued
+	if home != t.nodelet {
+		arrive += t.networkLatency(home)
+	}
+	_, served := s.nodelets[home].channel.Acquire(arrive, 2*s.Cfg.WordAccessTime)
+	s.Counters.perNodelet[home].Atomics++
+	s.emit(TraceAtomic, t.nodelet, home, a)
+	cur := math.Float64frombits(s.Mem.Read(a))
+	s.Mem.Write(a, math.Float64bits(cur+delta))
+	t.p.WaitUntil(t.postedAccept(issued, served))
+}
+
+// networkLatency is the one-way flight time from the thread's nodelet to
+// the target nodelet's memory-side processor.
+func (t *Thread) networkLatency(target int) sim.Time {
+	lat := t.sys.Cfg.MigrationLatency
+	if t.sys.Cfg.NodeOf(target) != t.sys.Cfg.NodeOf(t.nodelet) {
+		lat += t.sys.Cfg.InterNodeLatency
+	}
+	return lat
+}
+
+// MigrateTo moves the thread's context to the target nodelet: it releases
+// its context slot, queues at the local migration-engine egress port, flies
+// across the (possibly inter-node) fabric, and claims a context slot at the
+// destination. Migrating to the current nodelet is a no-op.
+func (t *Thread) MigrateTo(target int) {
+	s := t.sys
+	if target == t.nodelet {
+		return
+	}
+	if target < 0 || target >= len(s.nodelets) {
+		panic(fmt.Sprintf("machine: migrate to nodelet %d of %d", target, len(s.nodelets)))
+	}
+	s.Counters.perNodelet[t.nodelet].MigrationsOut++
+	s.Counters.perNodelet[target].MigrationsIn++
+	s.emit(TraceMigrate, t.nodelet, target, 0)
+	s.nodelets[t.nodelet].slots.Release()
+	engine := s.migEngines[s.Cfg.NodeOf(t.nodelet)]
+	_, sent := engine.Acquire(t.p.Now(), sim.Interval(s.Cfg.MigrationsPerSec))
+	flight := s.Cfg.MigrationLatency
+	if s.Cfg.NodeOf(target) != s.Cfg.NodeOf(t.nodelet) {
+		link := s.links[s.Cfg.NodeOf(t.nodelet)]
+		_, sent = link.Acquire(sent, sim.TransferTime(s.Cfg.ContextBytes, s.Cfg.FabricBytesPerSec))
+		flight += s.Cfg.InterNodeLatency
+	}
+	t.p.WaitUntil(sent + flight)
+	t.nodelet = target
+	to := s.nodelets[target]
+	to.slots.Acquire(t.p)
+	t.core = to.nextCore
+	to.nextCore = (to.nextCore + 1) % len(to.cores)
+}
+
+// Spawn creates a child threadlet on the current nodelet (cilk_spawn). The
+// parent is charged the spawn cost; the child becomes runnable immediately
+// once it obtains a context slot. Children are joined by Sync.
+func (t *Thread) Spawn(fn func(*Thread)) {
+	t.Compute(t.sys.Cfg.LocalSpawnCycles)
+	t.spawnOn(t.nodelet, t.p.Now(), fn)
+}
+
+// SpawnAt creates a child threadlet on the given nodelet — Emu's "remote
+// spawn", which the paper shows is essential for saturating multi-nodelet
+// bandwidth (Fig. 5). The parent continues after issuing the spawn packet.
+func (t *Thread) SpawnAt(nl int, fn func(*Thread)) {
+	s := t.sys
+	if nl < 0 || nl >= len(s.nodelets) {
+		panic(fmt.Sprintf("machine: spawn at nodelet %d of %d", nl, len(s.nodelets)))
+	}
+	t.Compute(s.Cfg.LocalSpawnCycles)
+	start := t.p.Now()
+	if nl != t.nodelet {
+		start += s.Cfg.RemoteSpawnLatency
+		if s.Cfg.NodeOf(nl) != s.Cfg.NodeOf(t.nodelet) {
+			start += s.Cfg.InterNodeLatency
+		}
+	}
+	t.spawnOn(nl, start, fn)
+}
+
+func (t *Thread) spawnOn(nl int, at sim.Time, fn func(*Thread)) {
+	s := t.sys
+	if t.children == nil {
+		t.children = sim.NewJoin(0)
+	}
+	t.children.Add(1)
+	if nl == t.nodelet {
+		s.Counters.perNodelet[nl].LocalSpawns++
+	} else {
+		s.Counters.perNodelet[nl].RemoteSpawns++
+	}
+	s.emit(TraceSpawn, t.nodelet, nl, 0)
+	join := t.children
+	s.Eng.Schedule(at, func() {
+		s.startThread(nl, "t", fn, join)
+	})
+}
+
+// Sync blocks until every child this thread has spawned so far finishes
+// (cilk_sync). A thread with no outstanding children returns immediately.
+// While blocked, the thread's hardware context is saved to memory and its
+// slot released — the runtime behaviour that lets deep spawn trees exceed
+// the per-nodelet context count without deadlocking.
+func (t *Thread) Sync() {
+	if t.children == nil || t.children.Pending() == 0 {
+		return
+	}
+	t.parkDuring(func() { t.children.Wait(t.p) })
+}
+
+// parkDuring releases the thread's context slot around a blocking wait and
+// re-acquires it afterwards (possibly waiting for a free slot).
+func (t *Thread) parkDuring(wait func()) {
+	t.sys.nodelets[t.nodelet].slots.Release()
+	wait()
+	t.sys.nodelets[t.nodelet].slots.Acquire(t.p)
+}
+
+// Peek functionally reads a word the thread's resident nodelet owns without
+// consuming simulated time. It is for setup and verification code; timed
+// kernel code must use Load. Peeking remote memory panics — that would be a
+// modelling bug (a free remote read).
+func (t *Thread) Peek(a memsys.Addr) uint64 {
+	if a.Nodelet() != t.nodelet {
+		panic(fmt.Sprintf("machine: Peek of remote address %v from nodelet %d", a, t.nodelet))
+	}
+	return t.sys.Mem.Read(a)
+}
+
+// Poke functionally writes a local word without consuming simulated time.
+// Like Peek, it is restricted to the resident nodelet.
+func (t *Thread) Poke(a memsys.Addr, v uint64) {
+	if a.Nodelet() != t.nodelet {
+		panic(fmt.Sprintf("machine: Poke of remote address %v from nodelet %d", a, t.nodelet))
+	}
+	t.sys.Mem.Write(a, v)
+}

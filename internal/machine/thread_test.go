@@ -1,0 +1,433 @@
+package machine
+
+import (
+	"testing"
+
+	"emuchick/internal/sim"
+)
+
+// run executes root on a fresh system with the given config and returns the
+// system and elapsed time, failing the test on simulation errors.
+func run(t *testing.T, cfg Config, root func(*Thread)) (*System, sim.Time) {
+	t.Helper()
+	s := NewSystem(cfg)
+	elapsed, err := s.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, elapsed
+}
+
+func TestLocalLoadTiming(t *testing.T) {
+	cfg := HardwareChick()
+	var got sim.Time
+	s, _ := run(t, cfg, func(th *Thread) {
+		arr := th.System().Mem.AllocLocal(0, 4)
+		th.System().Mem.Write(arr.At(2), 99)
+		t0 := th.Now()
+		if v := th.Load(arr.At(2)); v != 99 {
+			t.Errorf("Load = %d, want 99", v)
+		}
+		got = th.Now() - t0
+	})
+	want := s.clock.Cycles(cfg.MemIssueCycles) + cfg.WordAccessTime + cfg.MemLatency
+	if got != want {
+		t.Fatalf("local load took %v, want %v", got, want)
+	}
+	if s.Counters.Nodelet(0).LocalReads != 1 {
+		t.Fatalf("LocalReads = %d", s.Counters.Nodelet(0).LocalReads)
+	}
+}
+
+func TestRemoteLoadMigrates(t *testing.T) {
+	s, _ := run(t, HardwareChick(), func(th *Thread) {
+		arr := th.System().Mem.AllocLocal(5, 1)
+		th.System().Mem.Write(arr.At(0), 7)
+		if th.Nodelet() != 0 {
+			t.Fatalf("root on nodelet %d", th.Nodelet())
+		}
+		if v := th.Load(arr.At(0)); v != 7 {
+			t.Errorf("Load = %d", v)
+		}
+		if th.Nodelet() != 5 {
+			t.Errorf("thread on nodelet %d after remote load, want 5", th.Nodelet())
+		}
+	})
+	c := s.Counters
+	if c.Nodelet(0).MigrationsOut != 1 || c.Nodelet(5).MigrationsIn != 1 {
+		t.Fatalf("migration counters: out0=%d in5=%d",
+			c.Nodelet(0).MigrationsOut, c.Nodelet(5).MigrationsIn)
+	}
+	// The read itself is served locally on nodelet 5.
+	if c.Nodelet(5).LocalReads != 1 || c.Nodelet(0).LocalReads != 0 {
+		t.Fatal("read served on wrong nodelet")
+	}
+}
+
+func TestMigrationLatencyBounds(t *testing.T) {
+	cfg := HardwareChick()
+	var dur sim.Time
+	run(t, cfg, func(th *Thread) {
+		t0 := th.Now()
+		th.MigrateTo(3)
+		dur = th.Now() - t0
+	})
+	// One uncontended migration costs engine service + flight latency;
+	// the paper measures 1-2 us end to end.
+	if dur < cfg.MigrationLatency {
+		t.Fatalf("migration faster than flight latency: %v", dur)
+	}
+	if dur > 2*sim.Microsecond {
+		t.Fatalf("uncontended migration took %v, exceeds the paper's 2 us bound", dur)
+	}
+}
+
+func TestMigrateToSelfIsFree(t *testing.T) {
+	s, _ := run(t, HardwareChick(), func(th *Thread) {
+		t0 := th.Now()
+		th.MigrateTo(th.Nodelet())
+		if th.Now() != t0 {
+			t.Error("self-migration consumed time")
+		}
+	})
+	if s.Counters.TotalMigrations() != 0 {
+		t.Fatal("self-migration counted")
+	}
+}
+
+func TestRemoteStoreIsPosted(t *testing.T) {
+	cfg := HardwareChick()
+	var dur sim.Time
+	s, _ := run(t, cfg, func(th *Thread) {
+		arr := th.System().Mem.AllocLocal(4, 1)
+		t0 := th.Now()
+		th.Store(arr.At(0), 11)
+		dur = th.Now() - t0
+		if th.Nodelet() != 0 {
+			t.Error("remote store migrated the thread")
+		}
+		if th.System().Mem.Read(arr.At(0)) != 11 {
+			t.Error("remote store lost")
+		}
+	})
+	// Posted: the thread only pays the issue cycle, far less than a
+	// migration or the memory latency.
+	if dur >= cfg.MemLatency {
+		t.Fatalf("posted store blocked for %v", dur)
+	}
+	if s.Counters.Nodelet(4).RemoteStores != 1 {
+		t.Fatalf("RemoteStores = %d", s.Counters.Nodelet(4).RemoteStores)
+	}
+}
+
+func TestLocalStoreBlocks(t *testing.T) {
+	cfg := HardwareChick()
+	var dur sim.Time
+	run(t, cfg, func(th *Thread) {
+		arr := th.System().Mem.AllocLocal(0, 1)
+		t0 := th.Now()
+		th.Store(arr.At(0), 5)
+		dur = th.Now() - t0
+	})
+	want := NewSystem(cfg).clock.Cycles(cfg.MemIssueCycles) + cfg.WordAccessTime + cfg.MemLatency
+	if dur != want {
+		t.Fatalf("local store took %v, want %v", dur, want)
+	}
+}
+
+func TestFetchAddLocalAndRemote(t *testing.T) {
+	s, _ := run(t, HardwareChick(), func(th *Thread) {
+		local := th.System().Mem.AllocLocal(0, 1)
+		remote := th.System().Mem.AllocLocal(6, 1)
+		if old := th.FetchAdd(local.At(0), 5); old != 0 {
+			t.Errorf("local FetchAdd returned %d", old)
+		}
+		if old := th.FetchAdd(local.At(0), 3); old != 5 {
+			t.Errorf("second FetchAdd returned %d", old)
+		}
+		if old := th.FetchAdd(remote.At(0), 9); old != 0 {
+			t.Errorf("remote FetchAdd returned %d", old)
+		}
+		if th.Nodelet() != 0 {
+			t.Error("FetchAdd migrated the thread")
+		}
+	})
+	if s.Counters.Nodelet(0).Atomics != 2 || s.Counters.Nodelet(6).Atomics != 1 {
+		t.Fatal("atomic counters wrong")
+	}
+}
+
+func TestRemoteAddAccumulates(t *testing.T) {
+	s, _ := run(t, HardwareChick(), func(th *Thread) {
+		acc := th.System().Mem.AllocLocal(7, 1)
+		for i := 0; i < 10; i++ {
+			th.RemoteAdd(acc.At(0), 2)
+		}
+		th.Sync()
+		if got := th.System().Mem.Read(acc.At(0)); got != 20 {
+			t.Errorf("accumulated %d, want 20", got)
+		}
+	})
+	if s.Counters.Nodelet(7).Atomics != 10 {
+		t.Fatal("RemoteAdd atomics miscounted")
+	}
+}
+
+func TestRemoteAddFloat(t *testing.T) {
+	s, _ := run(t, HardwareChick(), func(th *Thread) {
+		acc := th.System().Mem.AllocLocal(5, 1)
+		for i := 0; i < 8; i++ {
+			th.RemoteAddFloat(acc.At(0), 0.25)
+		}
+		th.Sync()
+		if th.Nodelet() != 0 {
+			t.Error("RemoteAddFloat migrated the thread")
+		}
+	})
+	if s.Counters.Nodelet(5).Atomics != 8 {
+		t.Fatalf("Atomics = %d", s.Counters.Nodelet(5).Atomics)
+	}
+}
+
+func TestPostedBackpressure(t *testing.T) {
+	// A burst of posted stores to one remote word must throttle to the
+	// destination channel's service rate once the finite remote queue
+	// fills, so doubling the burst roughly doubles the time.
+	elapsedFor := func(n int) sim.Time {
+		s := NewSystem(HardwareChick())
+		cell := s.Mem.AllocLocal(7, 1)
+		elapsed, err := s.Run(func(th *Thread) {
+			for i := 0; i < n; i++ {
+				th.Store(cell.At(0), uint64(i))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	small, big := elapsedFor(500), elapsedFor(1000)
+	ratio := big.Seconds() / small.Seconds()
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("backpressure missing: 500->%v 1000->%v (ratio %.2f)", small, big, ratio)
+	}
+}
+
+func TestSpawnSyncSemantics(t *testing.T) {
+	s, _ := run(t, HardwareChick(), func(th *Thread) {
+		sum := th.System().Mem.AllocLocal(0, 1)
+		for i := 0; i < 8; i++ {
+			th.Spawn(func(c *Thread) {
+				c.Compute(100)
+				c.FetchAdd(sum.At(0), 1)
+			})
+		}
+		th.Sync()
+		if got := th.Peek(sum.At(0)); got != 8 {
+			t.Errorf("after Sync sum = %d, want 8", got)
+		}
+	})
+	if s.Counters.ThreadsSpawned != 9 || s.Counters.ThreadsCompleted != 9 {
+		t.Fatalf("thread accounting: %d spawned, %d completed",
+			s.Counters.ThreadsSpawned, s.Counters.ThreadsCompleted)
+	}
+	if s.Counters.Nodelet(0).LocalSpawns != 9 {
+		t.Fatalf("LocalSpawns = %d, want 9 (root + 8 children)", s.Counters.Nodelet(0).LocalSpawns)
+	}
+}
+
+func TestImplicitSyncAtThreadEnd(t *testing.T) {
+	// A thread that returns without calling Sync must still be joined
+	// after its children (Cilk semantics).
+	var childDone bool
+	run(t, HardwareChick(), func(th *Thread) {
+		th.Spawn(func(c *Thread) {
+			c.Spawn(func(g *Thread) {
+				g.Compute(10000)
+				childDone = true
+			})
+			// no explicit Sync
+		})
+		th.Sync()
+		if !childDone {
+			t.Error("grandchild not finished at parent Sync")
+		}
+	})
+}
+
+func TestSpawnAtPlacesChild(t *testing.T) {
+	s, _ := run(t, HardwareChick(), func(th *Thread) {
+		for nl := 0; nl < 8; nl++ {
+			nl := nl
+			th.SpawnAt(nl, func(c *Thread) {
+				if c.Nodelet() != nl {
+					t.Errorf("child started on nodelet %d, want %d", c.Nodelet(), nl)
+				}
+			})
+		}
+		th.Sync()
+	})
+	for nl := 1; nl < 8; nl++ {
+		if s.Counters.Nodelet(nl).RemoteSpawns != 1 {
+			t.Fatalf("nodelet %d RemoteSpawns = %d", nl, s.Counters.Nodelet(nl).RemoteSpawns)
+		}
+	}
+	if s.Counters.TotalMigrations() != 0 {
+		t.Fatal("remote spawns must not count as migrations")
+	}
+}
+
+func TestContextSlotsLimitResidentThreads(t *testing.T) {
+	cfg := HardwareChick()
+	cfg.ThreadsPerGC = 4 // tiny capacity to make the limit observable
+	s := NewSystem(cfg)
+	var maxLive int
+	_, err := s.Run(func(th *Thread) {
+		for i := 0; i < 16; i++ {
+			th.Spawn(func(c *Thread) {
+				c.Compute(1000)
+			})
+		}
+		th.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLive = s.nodelets[0].slots.MaxInUse()
+	if maxLive > cfg.ContextsPerNodelet() {
+		t.Fatalf("resident threads %d exceeded context capacity %d", maxLive, cfg.ContextsPerNodelet())
+	}
+	if s.Counters.ThreadsCompleted != 17 {
+		t.Fatalf("completed %d of 17", s.Counters.ThreadsCompleted)
+	}
+}
+
+func TestMigrationReleasesSlot(t *testing.T) {
+	// A full nodelet must accept a new spawn once a resident thread
+	// migrates away.
+	cfg := HardwareChick()
+	cfg.ThreadsPerGC = 2
+	s := NewSystem(cfg)
+	_, err := s.Run(func(th *Thread) {
+		remote := s.Mem.AllocLocal(1, 1)
+		// Root holds slot 1 of 2. Child A takes slot 2 and migrates away.
+		th.Spawn(func(a *Thread) {
+			a.Load(remote.At(0)) // migrates to nodelet 1
+			a.Compute(100000)
+		})
+		// Child B needs the slot A vacates.
+		th.Spawn(func(b *Thread) { b.Compute(10) })
+		th.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekPokeLocalityEnforced(t *testing.T) {
+	run(t, HardwareChick(), func(th *Thread) {
+		remote := th.System().Mem.AllocLocal(3, 1)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("remote Peek did not panic")
+				}
+			}()
+			th.Peek(remote.At(0))
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("remote Poke did not panic")
+				}
+			}()
+			th.Poke(remote.At(0), 1)
+		}()
+	})
+}
+
+func TestCrossNodeMigration(t *testing.T) {
+	cfg := HardwareChickNodes(2)
+	s, _ := run(t, cfg, func(th *Thread) {
+		arr := th.System().Mem.AllocLocal(12, 1) // node 1
+		th.Load(arr.At(0))
+		if th.Nodelet() != 12 {
+			t.Errorf("on nodelet %d, want 12", th.Nodelet())
+		}
+	})
+	if s.Counters.Nodelet(12).MigrationsIn != 1 {
+		t.Fatal("cross-node migration not counted")
+	}
+	if s.links[0].Ops() != 1 {
+		t.Fatal("cross-node migration did not use the fabric link")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trial := func() (sim.Time, uint64, uint64) {
+		s := NewSystem(HardwareChick())
+		arr := s.Mem.AllocStriped(256)
+		elapsed, err := s.Run(func(th *Thread) {
+			for w := 0; w < 16; w++ {
+				w := w
+				th.SpawnAt(w%8, func(c *Thread) {
+					for i := w; i < 256; i += 16 {
+						c.Load(arr.At(i))
+					}
+				})
+			}
+			th.Sync()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed, s.Counters.TotalMigrations(), s.Counters.TotalWords()
+	}
+	e1, m1, w1 := trial()
+	e2, m2, w2 := trial()
+	if e1 != e2 || m1 != m2 || w1 != w2 {
+		t.Fatalf("runs diverged: (%v,%d,%d) vs (%v,%d,%d)", e1, m1, w1, e2, m2, w2)
+	}
+}
+
+func TestComputeChargesCore(t *testing.T) {
+	cfg := HardwareChick()
+	var dur sim.Time
+	s, _ := run(t, cfg, func(th *Thread) {
+		t0 := th.Now()
+		th.Compute(150) // 150 cycles at 150 MHz = 1 us
+		dur = th.Now() - t0
+	})
+	if dur != s.clock.Cycles(150) {
+		t.Fatalf("Compute(150) took %v", dur)
+	}
+	if s.Counters.Nodelet(0).ComputeCycles != 150 {
+		t.Fatal("compute cycles miscounted")
+	}
+	// Compute(0) is free.
+	run(t, cfg, func(th *Thread) {
+		t0 := th.Now()
+		th.Compute(0)
+		if th.Now() != t0 {
+			t.Error("Compute(0) consumed time")
+		}
+	})
+}
+
+func TestCoreContentionSerializesIssue(t *testing.T) {
+	// Two threads computing on the same single-core nodelet take twice as
+	// long in aggregate as one.
+	cfg := HardwareChick()
+	_, one := run(t, cfg, func(th *Thread) {
+		th.Spawn(func(c *Thread) { c.Compute(15000) })
+		th.Sync()
+	})
+	_, two := run(t, cfg, func(th *Thread) {
+		th.Spawn(func(c *Thread) { c.Compute(15000) })
+		th.Spawn(func(c *Thread) { c.Compute(15000) })
+		th.Sync()
+	})
+	if two < one+NewSystem(cfg).clock.Cycles(15000)*9/10 {
+		t.Fatalf("core contention missing: one=%v two=%v", one, two)
+	}
+}

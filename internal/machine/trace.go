@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+
+	"emuchick/internal/memsys"
+	"emuchick/internal/sim"
+)
+
+// TraceKind classifies one traced machine operation.
+type TraceKind int
+
+const (
+	TraceLoad TraceKind = iota
+	TraceStore
+	TraceRemoteStore
+	TraceAtomic
+	TraceMigrate
+	TraceSpawn
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceLoad:
+		return "load"
+	case TraceStore:
+		return "store"
+	case TraceRemoteStore:
+		return "remote_store"
+	case TraceAtomic:
+		return "atomic"
+	case TraceMigrate:
+		return "migrate"
+	case TraceSpawn:
+		return "spawn"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one machine operation as observed by a tracer.
+type TraceEvent struct {
+	Time    sim.Time
+	Kind    TraceKind
+	Nodelet int         // where the issuing thread resides
+	Target  int         // destination nodelet (migrations, remote ops); -1 otherwise
+	Addr    memsys.Addr // the word involved, when applicable
+}
+
+// String renders the event as one trace line.
+func (e TraceEvent) String() string {
+	if e.Target >= 0 {
+		return fmt.Sprintf("%12v %-12s nl%d -> nl%d %v", e.Time, e.Kind, e.Nodelet, e.Target, e.Addr)
+	}
+	return fmt.Sprintf("%12v %-12s nl%d %v", e.Time, e.Kind, e.Nodelet, e.Addr)
+}
+
+// Trace installs fn as the system's operation tracer (nil uninstalls).
+// Tracing is for debugging and inspection; it does not affect timing.
+func (s *System) Trace(fn func(TraceEvent)) { s.tracer = fn }
+
+// TraceTo installs a tracer that writes one line per event to w and stops
+// after limit events (0 = unlimited).
+func (s *System) TraceTo(w io.Writer, limit int) {
+	count := 0
+	s.Trace(func(e TraceEvent) {
+		if limit > 0 && count >= limit {
+			return
+		}
+		count++
+		fmt.Fprintln(w, e.String())
+	})
+}
+
+// emit sends an event to the tracer if one is installed.
+func (s *System) emit(kind TraceKind, nodelet, target int, addr memsys.Addr) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer(TraceEvent{Time: s.Eng.Now(), Kind: kind, Nodelet: nodelet, Target: target, Addr: addr})
+}

@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceCapturesOps(t *testing.T) {
+	s := NewSystem(HardwareChick())
+	var events []TraceEvent
+	s.Trace(func(e TraceEvent) { events = append(events, e) })
+	local := s.Mem.AllocLocal(0, 2)
+	remote := s.Mem.AllocLocal(3, 2)
+	_, err := s.Run(func(th *Thread) {
+		th.Load(local.At(0))          // load
+		th.Store(local.At(1), 1)      // store
+		th.Store(remote.At(0), 2)     // remote_store
+		th.RemoteAdd(remote.At(1), 1) // atomic
+		th.Spawn(func(c *Thread) {})  // spawn
+		th.Sync()
+		th.MigrateTo(5) // migrate
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[TraceKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []TraceKind{TraceLoad, TraceStore, TraceRemoteStore, TraceAtomic, TraceSpawn, TraceMigrate} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events", k)
+		}
+	}
+	// Remote ops carry their destination.
+	for _, e := range events {
+		if e.Kind == TraceRemoteStore && e.Target != 3 {
+			t.Errorf("remote store target = %d", e.Target)
+		}
+		if e.Kind == TraceMigrate && e.Target != 5 {
+			t.Errorf("migrate target = %d", e.Target)
+		}
+	}
+	// Times are monotone non-decreasing.
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatal("trace times not monotone")
+		}
+	}
+}
+
+func TestTraceToLimits(t *testing.T) {
+	s := NewSystem(HardwareChick())
+	var b strings.Builder
+	s.TraceTo(&b, 3)
+	arr := s.Mem.AllocLocal(0, 10)
+	if _, err := s.Run(func(th *Thread) {
+		for i := 0; i < 10; i++ {
+			th.Load(arr.At(i))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(b.String(), "\n")
+	if lines != 3 {
+		t.Fatalf("trace emitted %d lines, want 3", lines)
+	}
+	if !strings.Contains(b.String(), "load") {
+		t.Fatal("trace lines missing kind")
+	}
+}
+
+func TestTraceEventStrings(t *testing.T) {
+	if TraceLoad.String() != "load" || TraceMigrate.String() != "migrate" {
+		t.Fatal("kind names wrong")
+	}
+	if TraceKind(42).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+	e := TraceEvent{Kind: TraceMigrate, Nodelet: 1, Target: 2}
+	if !strings.Contains(e.String(), "nl1 -> nl2") {
+		t.Fatalf("event string %q", e.String())
+	}
+	e2 := TraceEvent{Kind: TraceLoad, Nodelet: 1, Target: -1}
+	if strings.Contains(e2.String(), "->") {
+		t.Fatalf("local event string %q", e2.String())
+	}
+}
+
+func TestTraceUninstall(t *testing.T) {
+	s := NewSystem(HardwareChick())
+	count := 0
+	s.Trace(func(TraceEvent) { count++ })
+	s.Trace(nil)
+	arr := s.Mem.AllocLocal(0, 1)
+	if _, err := s.Run(func(th *Thread) { th.Load(arr.At(0)) }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatal("uninstalled tracer still fired")
+	}
+}

@@ -1,0 +1,74 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrRoundTrip(t *testing.T) {
+	a := NewAddr(7, 12345)
+	if a.Nodelet() != 7 || a.Offset() != 12345 {
+		t.Fatalf("round trip failed: %v", a)
+	}
+}
+
+func TestAddrPlus(t *testing.T) {
+	a := NewAddr(3, 100)
+	b := a.Plus(5)
+	if b.Nodelet() != 3 || b.Offset() != 105 {
+		t.Fatalf("Plus = %v", b)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if s := NewAddr(2, 255).String(); s != "n2:0xff" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAddrBounds(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewAddr(-1, 0) },
+		func() { NewAddr(MaxNodelets, 0) },
+		func() { NewAddr(0, offsetMask+1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range address did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+	// Extremes must be fine.
+	a := NewAddr(MaxNodelets-1, offsetMask)
+	if a.Nodelet() != MaxNodelets-1 || a.Offset() != offsetMask {
+		t.Fatal("extreme address corrupted")
+	}
+}
+
+// Property: encode/decode is the identity for all valid (nodelet, offset).
+func TestAddrRoundTripProperty(t *testing.T) {
+	f := func(nl uint8, off uint64) bool {
+		off &= offsetMask
+		a := NewAddr(int(nl), off)
+		return a.Nodelet() == int(nl) && a.Offset() == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distinct (nodelet, offset) pairs produce distinct addresses.
+func TestAddrInjectivityProperty(t *testing.T) {
+	f := func(n1, n2 uint8, o1, o2 uint32) bool {
+		a1 := NewAddr(int(n1), uint64(o1))
+		a2 := NewAddr(int(n2), uint64(o2))
+		same := n1 == n2 && o1 == o2
+		return (a1 == a2) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

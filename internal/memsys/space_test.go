@@ -1,0 +1,91 @@
+package memsys
+
+import "testing"
+
+func TestSpaceReadWrite(t *testing.T) {
+	s := NewSpace(4)
+	l := s.AllocLocal(2, 10)
+	s.Write(l.At(3), 42)
+	if got := s.Read(l.At(3)); got != 42 {
+		t.Fatalf("Read = %d", got)
+	}
+	if got := s.Read(l.At(0)); got != 0 {
+		t.Fatalf("fresh memory = %d, want 0", got)
+	}
+}
+
+func TestSpaceUnallocatedPanics(t *testing.T) {
+	s := NewSpace(2)
+	s.AllocLocal(0, 4)
+	cases := []Addr{
+		NewAddr(0, 4),   // one past the end
+		NewAddr(1, 0),   // nodelet with no allocations
+		NewAddr(100, 0), // nodelet outside the space
+	}
+	for _, a := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("read of %v did not panic", a)
+				}
+			}()
+			s.Read(a)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("write of %v did not panic", a)
+				}
+			}()
+			s.Write(a, 1)
+		}()
+	}
+}
+
+func TestSpaceValid(t *testing.T) {
+	s := NewSpace(2)
+	l := s.AllocLocal(1, 2)
+	if !s.Valid(l.At(1)) {
+		t.Fatal("allocated address reported invalid")
+	}
+	if s.Valid(NewAddr(1, 2)) {
+		t.Fatal("unallocated address reported valid")
+	}
+}
+
+func TestSpaceAccounting(t *testing.T) {
+	s := NewSpace(3)
+	s.AllocLocal(0, 5)
+	s.AllocLocal(0, 7)
+	s.AllocLocal(2, 1)
+	if s.HeapWords(0) != 12 || s.HeapWords(1) != 0 || s.HeapWords(2) != 1 {
+		t.Fatalf("heap words = %d/%d/%d", s.HeapWords(0), s.HeapWords(1), s.HeapWords(2))
+	}
+	if s.TotalWords() != 13 {
+		t.Fatalf("TotalWords = %d", s.TotalWords())
+	}
+}
+
+func TestSpaceSequentialAllocationsDisjoint(t *testing.T) {
+	s := NewSpace(1)
+	a := s.AllocLocal(0, 4)
+	b := s.AllocLocal(0, 4)
+	s.Write(a.At(3), 1)
+	s.Write(b.At(0), 2)
+	if s.Read(a.At(3)) != 1 {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestNewSpaceBounds(t *testing.T) {
+	for _, n := range []int{0, -1, MaxNodelets + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) did not panic", n)
+				}
+			}()
+			NewSpace(n)
+		}()
+	}
+}

@@ -1,0 +1,145 @@
+// Package metrics holds the measurement vocabulary of the reproduction:
+// bandwidth results, multi-trial statistics (the paper reports "the average
+// memory bandwidth ... over ten trials"), and labelled series suitable for
+// regenerating each figure's curves.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"emuchick/internal/sim"
+)
+
+// Result is one timed benchmark run: how many useful bytes moved in how
+// much simulated time.
+type Result struct {
+	Bytes   int64
+	Elapsed sim.Time
+}
+
+// BytesPerSec reports the measured bandwidth.
+func (r Result) BytesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds()
+}
+
+// MBps reports bandwidth in decimal megabytes per second, the unit most of
+// the paper's plots use.
+func (r Result) MBps() float64 { return r.BytesPerSec() / 1e6 }
+
+// GBps reports bandwidth in decimal gigabytes per second.
+func (r Result) GBps() float64 { return r.BytesPerSec() / 1e9 }
+
+// Stats summarizes a set of trial measurements.
+type Stats struct {
+	N                      int
+	Mean, Min, Max, StdDev float64
+}
+
+// Aggregate reduces trial values to summary statistics. An empty input
+// yields a zero Stats.
+func Aggregate(values []float64) Stats {
+	if len(values) == 0 {
+		return Stats{}
+	}
+	s := Stats{N: len(values), Min: values[0], Max: values[0]}
+	var sum float64
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(values))
+	var ss float64
+	for _, v := range values {
+		d := v - s.Mean
+		ss += d * d
+	}
+	if len(values) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(values)-1))
+	}
+	return s
+}
+
+// Trials runs f once per trial index and aggregates the returned values.
+// The paper uses ten trials per data point; callers pass the trial index
+// through to their workload seeds so trials differ deterministically.
+func Trials(n int, f func(trial int) float64) Stats {
+	if n <= 0 {
+		panic("metrics: trial count must be positive")
+	}
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = f(i)
+	}
+	return Aggregate(values)
+}
+
+// Point is one x position of a figure curve.
+type Point struct {
+	X     float64 // the swept parameter (threads, block size, matrix size)
+	Stats Stats   // trial statistics of the measured metric at X
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x float64, st Stats) {
+	s.Points = append(s.Points, Point{X: x, Stats: st})
+}
+
+// MaxMean reports the largest mean across the series' points (used for
+// "peak measured bandwidth" normalization in Fig. 8).
+func (s *Series) MaxMean() float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p.Stats.Mean > best {
+			best = p.Stats.Mean
+		}
+	}
+	return best
+}
+
+// At returns the stats at the given x, or an error if the series has no
+// such point.
+func (s *Series) At(x float64) (Stats, error) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Stats, nil
+		}
+	}
+	return Stats{}, fmt.Errorf("metrics: series %q has no point at x=%v", s.Name, x)
+}
+
+// Figure is a regenerated paper artifact: a set of curves plus axis labels.
+type Figure struct {
+	ID     string // e.g. "fig5"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+	// XTicks optionally names x positions for categorical "figures"
+	// (the scalar-anchor tables); nil for ordinary numeric sweeps.
+	XTicks map[float64]string
+}
+
+// FindSeries returns the named series, or nil.
+func (f *Figure) FindSeries(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}

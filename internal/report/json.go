@@ -1,0 +1,84 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"emuchick/internal/metrics"
+)
+
+// jsonFigure is the stable on-disk schema for a regenerated figure.
+type jsonFigure struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"x_label"`
+	YLabel string       `json:"y_label"`
+	Series []jsonSeries `json:"series"`
+}
+
+type jsonSeries struct {
+	Name   string      `json:"name"`
+	Points []jsonPoint `json:"points"`
+}
+
+type jsonPoint struct {
+	X      float64 `json:"x"`
+	XLabel string  `json:"x_tick,omitempty"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	StdDev float64 `json:"stddev"`
+	Trials int     `json:"trials"`
+}
+
+// FigureJSON writes the figure as indented JSON, the machine-readable
+// companion to FigureCSV for archiving runs in EXPERIMENTS.md workflows.
+func FigureJSON(w io.Writer, f *metrics.Figure) error {
+	out := jsonFigure{ID: f.ID, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		js := jsonSeries{Name: s.Name}
+		for _, p := range s.Points {
+			js.Points = append(js.Points, jsonPoint{
+				X:      p.X,
+				XLabel: f.XTicks[p.X],
+				Mean:   p.Stats.Mean,
+				Min:    p.Stats.Min,
+				Max:    p.Stats.Max,
+				StdDev: p.Stats.StdDev,
+				Trials: p.Stats.N,
+			})
+		}
+		out.Series = append(out.Series, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ParseFigureJSON reads a figure previously written by FigureJSON.
+func ParseFigureJSON(r io.Reader) (*metrics.Figure, error) {
+	var in jsonFigure
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	f := &metrics.Figure{ID: in.ID, Title: in.Title, XLabel: in.XLabel, YLabel: in.YLabel}
+	for _, js := range in.Series {
+		s := &metrics.Series{Name: js.Name}
+		for _, p := range js.Points {
+			s.Points = append(s.Points, metrics.Point{
+				X: p.X,
+				Stats: metrics.Stats{
+					N: p.Trials, Mean: p.Mean, Min: p.Min, Max: p.Max, StdDev: p.StdDev,
+				},
+			})
+			if p.XLabel != "" {
+				if f.XTicks == nil {
+					f.XTicks = map[float64]string{}
+				}
+				f.XTicks[p.X] = p.XLabel
+			}
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureJSONRoundTrip(t *testing.T) {
+	orig := sampleFigure()
+	orig.XTicks = map[float64]string{1: "one"}
+	var b strings.Builder
+	if err := FigureJSON(&b, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFigureJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != orig.ID || back.Title != orig.Title || len(back.Series) != len(orig.Series) {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	for i, s := range orig.Series {
+		bs := back.Series[i]
+		if bs.Name != s.Name || len(bs.Points) != len(s.Points) {
+			t.Fatalf("series %d shape lost", i)
+		}
+		for j, p := range s.Points {
+			bp := bs.Points[j]
+			if bp.X != p.X || bp.Stats.Mean != p.Stats.Mean || bp.Stats.N != p.Stats.N {
+				t.Fatalf("point %d/%d lost: %+v vs %+v", i, j, bp, p)
+			}
+		}
+	}
+	if back.XTicks[1] != "one" {
+		t.Fatal("ticks lost")
+	}
+}
+
+func TestParseFigureJSONRejectsGarbage(t *testing.T) {
+	if _, err := ParseFigureJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

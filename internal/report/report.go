@@ -1,0 +1,239 @@
+// Package report renders benchmark output: fixed-width tables mirroring
+// the rows each paper figure plots, CSV for external plotting, and a plain
+// ASCII line chart so the shape of a figure is visible directly in a
+// terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"emuchick/internal/metrics"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Rows reports the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var total int64
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		n, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		total += int64(n)
+		return err
+	}
+	if err := line(t.headers); err != nil {
+		return total, err
+	}
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return total, err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		// strings.Builder never errors; this guards future Writer swaps.
+		panic(err)
+	}
+	return b.String()
+}
+
+// FigureCSV renders a figure as CSV with one row per (series, point).
+func FigureCSV(w io.Writer, f *metrics.Figure) error {
+	if _, err := fmt.Fprintf(w, "figure,series,x,mean,min,max,stddev,trials\n"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			_, err := fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g,%d\n",
+				f.ID, s.Name, p.X, p.Stats.Mean, p.Stats.Min, p.Stats.Max, p.Stats.StdDev, p.Stats.N)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FigureTable renders a figure as a table with one column per series.
+func FigureTable(f *metrics.Figure) *Table {
+	headers := []string{f.XLabel}
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	t := NewTable(headers...)
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for _, x := range xs {
+		label := formatX(x)
+		if name, ok := f.XTicks[x]; ok {
+			label = name
+		}
+		row := []string{label}
+		for _, s := range f.Series {
+			if st, err := s.At(x); err == nil {
+				row = append(row, fmt.Sprintf("%.2f", st.Mean))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func formatX(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// AsciiChart renders the figure's series means as a log-x line chart of the
+// given size. It is intentionally crude — the point is to eyeball shapes
+// (plateaus, dips, crossings) without leaving the terminal.
+func AsciiChart(f *metrics.Figure, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var xs []float64
+	var ymax float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs = append(xs, p.X)
+			if p.Stats.Mean > ymax {
+				ymax = p.Stats.Mean
+			}
+		}
+	}
+	if len(xs) == 0 || ymax <= 0 {
+		return "(no data)\n"
+	}
+	xmin, xmax := xs[0], xs[0]
+	for _, x := range xs {
+		if x < xmin {
+			xmin = x
+		}
+		if x > xmax {
+			xmax = x
+		}
+	}
+	logScale := xmin > 0 && xmax/xmin >= 8
+	xpos := func(x float64) int {
+		if xmax == xmin {
+			return 0
+		}
+		var frac float64
+		if logScale {
+			frac = (math.Log2(x) - math.Log2(xmin)) / (math.Log2(xmax) - math.Log2(xmin))
+		} else {
+			frac = (x - xmin) / (xmax - xmin)
+		}
+		col := int(frac*float64(width-1) + 0.5)
+		if col < 0 {
+			col = 0
+		}
+		if col > width-1 {
+			col = width - 1
+		}
+		return col
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "ox+*#@%&"
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			row := height - 1 - int(p.Stats.Mean/ymax*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row > height-1 {
+				row = height - 1
+			}
+			grid[row][xpos(p.X)] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (y: %s, max %.4g)\n", f.ID, f.Title, f.YLabel, ymax)
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+-" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "  x: %s from %s to %s", f.XLabel, formatX(xmin), formatX(xmax))
+	if logScale {
+		b.WriteString(" (log scale)")
+	}
+	b.WriteByte('\n')
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"emuchick/internal/metrics"
+)
+
+func sampleFigure() *metrics.Figure {
+	emu := &metrics.Series{Name: "emu"}
+	emu.Add(1, metrics.Aggregate([]float64{10}))
+	emu.Add(8, metrics.Aggregate([]float64{80}))
+	emu.Add(64, metrics.Aggregate([]float64{100}))
+	xeon := &metrics.Series{Name: "xeon"}
+	xeon.Add(1, metrics.Aggregate([]float64{50}))
+	xeon.Add(64, metrics.Aggregate([]float64{60}))
+	return &metrics.Figure{
+		ID: "figX", Title: "demo", XLabel: "threads", YLabel: "MB/s",
+		Series: []*metrics.Series{emu, xeon},
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("a", "long_header", "c")
+	tab.AddRow("1", "2")
+	tab.AddRow("wide_cell_here", "3", "4")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "long_header") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("rule line %q", lines[1])
+	}
+	if tab.Rows() != 2 {
+		t.Fatalf("Rows = %d", tab.Rows())
+	}
+	// Columns align: "long_header" and "3" start at the same offset.
+	h := strings.Index(lines[0], "long_header")
+	if lines[2][h] == ' ' && lines[2][h-1] != ' ' {
+		t.Fatal("column misaligned")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	var b strings.Builder
+	if err := FigureCSV(&b, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+5 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "figure,series,x,mean,min,max,stddev,trials" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "figX,emu,1,10,") {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	tab := FigureTable(sampleFigure())
+	out := tab.String()
+	if !strings.Contains(out, "threads") || !strings.Contains(out, "emu") || !strings.Contains(out, "xeon") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	// xeon has no point at x=8: rendered as "-".
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "8 ") && strings.Contains(line, "-") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing-point dash absent:\n%s", out)
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	out := AsciiChart(sampleFigure(), 40, 8)
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "o = emu") || !strings.Contains(out, "x = xeon") {
+		t.Fatalf("chart missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "log scale") {
+		t.Fatalf("64:1 x range should use log scale:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("no marks plotted")
+	}
+}
+
+func TestAsciiChartEmpty(t *testing.T) {
+	f := &metrics.Figure{ID: "e", Series: []*metrics.Series{{Name: "none"}}}
+	if out := AsciiChart(f, 10, 2); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output %q", out)
+	}
+}
+
+func TestAsciiChartClampsSize(t *testing.T) {
+	out := AsciiChart(sampleFigure(), 1, 1) // clamped to minimums
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}

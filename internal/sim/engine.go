@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events fire in (at, seq) order so that ties
+// resolve in scheduling order and runs are deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a sequential discrete-event simulator. It is not safe for
+// concurrent use; all interaction must happen from the goroutine that calls
+// Run, or from a Proc while that Proc holds the control token.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// parked is the control-token channel between the engine loop and the
+	// currently running Proc. It is unbuffered: a send is a direct handoff.
+	parked chan struct{}
+	cur    *Proc
+
+	procs     int    // live (spawned, not finished) procs
+	fired     uint64 // events dispatched so far
+	MaxEvents uint64 // safety valve; 0 means no limit
+	MaxTime   Time   // safety valve; 0 means no limit
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been dispatched.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// LiveProcs reports the number of spawned processes that have not finished.
+func (e *Engine) LiveProcs() int { return e.procs }
+
+// Schedule registers fn to run at absolute time t. Scheduling in the past is
+// a bug in the caller and panics.
+func (e *Engine) Schedule(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After registers fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Run dispatches events in order until none remain. It returns an error if a
+// safety valve trips or if processes are still live when the event queue
+// drains (a deadlock: some Proc parked forever).
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		if e.MaxEvents > 0 && e.fired >= e.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
+		}
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		if e.MaxTime > 0 && ev.at > e.MaxTime {
+			return fmt.Errorf("sim: exceeded MaxTime=%v", e.MaxTime)
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	if e.procs > 0 {
+		return fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events at t=%v", e.procs, e.now)
+	}
+	return nil
+}

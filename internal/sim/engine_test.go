@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("Fired = %d", e.Fired())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Schedule(5, func() {
+		hits = append(hits, e.Now())
+		e.After(7, func() { hits = append(hits, e.Now()) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0] != 5 || hits[1] != 12 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineMaxEvents(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 100
+	var tick func()
+	tick = func() { e.After(1, tick) }
+	e.Schedule(0, tick)
+	if err := e.Run(); err == nil {
+		t.Fatal("runaway loop not caught by MaxEvents")
+	}
+}
+
+func TestEngineMaxTime(t *testing.T) {
+	e := NewEngine()
+	e.MaxTime = 50
+	var tick func()
+	tick = func() { e.After(10, tick) }
+	e.Schedule(0, tick)
+	if err := e.Run(); err == nil {
+		t.Fatal("runaway loop not caught by MaxTime")
+	}
+	if e.Now() > 50 {
+		t.Fatalf("engine ran past MaxTime: %v", e.Now())
+	}
+}
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 0 || e.Fired() != 0 {
+		t.Fatal("empty run changed state")
+	}
+}
+
+// Determinism: two identical runs must visit identical (time, value) traces.
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		var trace []Time
+		for i := 0; i < 50; i++ {
+			d := Time((i * 7919) % 101)
+			e.Schedule(d, func() { trace = append(trace, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

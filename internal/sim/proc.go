@@ -1,0 +1,117 @@
+package sim
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with the engine through a control token so that exactly one of (engine,
+// some Proc) runs at any moment. While a Proc holds the token it may freely
+// read and mutate engine-owned state (resources, counters, other model
+// structures) without locks; when it performs a blocking operation it hands
+// the token back and is re-dispatched by a scheduled event.
+//
+// This is cooperative coroutine scheduling over goroutines — the idiomatic
+// Go way to express a process-oriented discrete-event simulation while
+// keeping the model code in straight-line style.
+type Proc struct {
+	eng    *Engine
+	resume chan struct{}
+	name   string
+	done   bool
+}
+
+// Name reports the name the Proc was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this Proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Go creates a process and schedules its first dispatch at the current time
+// (plus any queued same-time events ahead of it). fn runs to completion in
+// simulation order; when it returns, the process is finished.
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, resume: make(chan struct{}), name: name}
+	e.procs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		e.procs--
+		e.parked <- struct{}{}
+	}()
+	e.Schedule(e.now, func() { e.dispatch(p) })
+	return p
+}
+
+// GoAt is like Go but delays the first dispatch until absolute time t.
+func (e *Engine) GoAt(t Time, name string, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, resume: make(chan struct{}), name: name}
+	e.procs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		e.procs--
+		e.parked <- struct{}{}
+	}()
+	e.Schedule(t, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands the control token to p and blocks until p yields it back
+// (by parking, sleeping, or finishing).
+func (e *Engine) dispatch(p *Proc) {
+	if p.done {
+		panic("sim: dispatching finished proc " + p.name)
+	}
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-e.parked
+	e.cur = prev
+}
+
+// yield returns the control token to the engine loop and blocks until this
+// Proc is dispatched again. The caller must already have arranged for a
+// future dispatch (a scheduled event or a registered waiter), otherwise the
+// engine will report a deadlock.
+func (p *Proc) yield() {
+	p.eng.parked <- struct{}{}
+	<-p.resume
+}
+
+// WaitUntil suspends the Proc until absolute simulated time t. Waiting for a
+// time not after now returns immediately without yielding.
+func (p *Proc) WaitUntil(t Time) {
+	e := p.eng
+	if t <= e.now {
+		return
+	}
+	e.Schedule(t, func() { e.dispatch(p) })
+	p.yield()
+}
+
+// Delay suspends the Proc for duration d.
+func (p *Proc) Delay(d Time) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	p.WaitUntil(p.eng.now + d)
+}
+
+// Park suspends the Proc indefinitely; it resumes when another party calls
+// Unpark. The caller must have registered itself somewhere an Unpark will
+// come from before calling Park.
+func (p *Proc) Park() { p.yield() }
+
+// Unpark schedules p to resume at the current time (after already-queued
+// same-time events). It must be called exactly once per Park.
+func (p *Proc) Unpark() {
+	e := p.eng
+	e.Schedule(e.now, func() { e.dispatch(p) })
+}
+
+// UnparkAt schedules p to resume at absolute time t.
+func (p *Proc) UnparkAt(t Time) {
+	p.eng.Schedule(t, func() { p.eng.dispatch(p) })
+}

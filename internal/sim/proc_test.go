@@ -1,0 +1,190 @@
+package sim
+
+import "testing"
+
+func TestProcDelayAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Go("p", func(p *Proc) {
+		p.Delay(100)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 100 {
+		t.Fatalf("proc resumed at %v, want 100", at)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("live procs = %d", e.LiveProcs())
+	}
+}
+
+func TestProcWaitUntilPastIsNoop(t *testing.T) {
+	e := NewEngine()
+	e.Go("p", func(p *Proc) {
+		p.Delay(50)
+		p.WaitUntil(10) // already past; must not deadlock or rewind
+		if p.Now() != 50 {
+			t.Errorf("Now = %v, want 50", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Go("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			trace = append(trace, "a")
+			p.Delay(10)
+		}
+	})
+	e.Go("b", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			trace = append(trace, "b")
+			p.Delay(10)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestGoAt(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.GoAt(42, "late", func(p *Proc) { at = p.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 42 {
+		t.Fatalf("started at %v, want 42", at)
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	e := NewEngine()
+	var waiter *Proc
+	var resumedAt Time
+	e.Go("waiter", func(p *Proc) {
+		waiter = p
+		p.Park()
+		resumedAt = p.Now()
+	})
+	e.Go("waker", func(p *Proc) {
+		p.Delay(200)
+		waiter.Unpark()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resumedAt != 200 {
+		t.Fatalf("resumed at %v, want 200", resumedAt)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	e.Go("stuck", func(p *Proc) { p.Park() })
+	if err := e.Run(); err == nil {
+		t.Fatal("parked-forever proc not reported as deadlock")
+	}
+}
+
+func TestProcSpawnsProc(t *testing.T) {
+	e := NewEngine()
+	var childAt Time
+	e.Go("parent", func(p *Proc) {
+		p.Delay(5)
+		e.Go("child", func(c *Proc) {
+			c.Delay(5)
+			childAt = c.Now()
+		})
+		p.Delay(100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 10 {
+		t.Fatalf("child finished at %v, want 10", childAt)
+	}
+}
+
+func TestProcAccessorsAndUnparkAt(t *testing.T) {
+	e := NewEngine()
+	var waiter *Proc
+	var resumedAt Time
+	e.Go("sleeper", func(p *Proc) {
+		if p.Name() != "sleeper" || p.Engine() != e {
+			t.Error("accessors wrong")
+		}
+		waiter = p
+		p.Park()
+		resumedAt = p.Now()
+	})
+	e.Go("waker", func(p *Proc) {
+		waiter.UnparkAt(500)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resumedAt != 500 {
+		t.Fatalf("UnparkAt resumed at %v", resumedAt)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	e.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Delay did not panic")
+			}
+		}()
+		p.Delay(-1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative After did not panic")
+			}
+		}()
+		e2.After(-1, func() {})
+	}()
+}
+
+func TestManyProcs(t *testing.T) {
+	e := NewEngine()
+	const n = 2000
+	var finished int
+	for i := 0; i < n; i++ {
+		d := Time(i % 37)
+		e.Go("w", func(p *Proc) {
+			p.Delay(d)
+			finished++
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != n {
+		t.Fatalf("finished = %d, want %d", finished, n)
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceIdleStartsImmediately(t *testing.T) {
+	r := NewResource("chan")
+	start, done := r.Acquire(100, 10)
+	if start != 100 || done != 110 {
+		t.Fatalf("start=%v done=%v", start, done)
+	}
+	if r.FreeAt() != 110 {
+		t.Fatalf("FreeAt = %v", r.FreeAt())
+	}
+}
+
+func TestResourceQueues(t *testing.T) {
+	r := NewResource("chan")
+	r.Acquire(0, 10)
+	start, done := r.Acquire(0, 10) // arrives while busy
+	if start != 10 || done != 20 {
+		t.Fatalf("queued op start=%v done=%v", start, done)
+	}
+	if r.TotalWait() != 10 || r.MaxWait() != 10 {
+		t.Fatalf("wait accounting: total=%v max=%v", r.TotalWait(), r.MaxWait())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	r := NewResource("chan")
+	r.Acquire(0, 10)
+	start, _ := r.Acquire(50, 10) // arrives after idle gap
+	if start != 50 {
+		t.Fatalf("start = %v, want 50", start)
+	}
+	if r.BusyTime() != 20 {
+		t.Fatalf("busy = %v, want 20", r.BusyTime())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	r := NewResource("chan")
+	r.Acquire(0, 25)
+	r.Acquire(0, 25)
+	if u := r.Utilization(100); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if u := r.Utilization(10); u != 1 {
+		t.Fatalf("utilization clamps to 1, got %v", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Fatalf("utilization of empty window = %v", u)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("chan")
+	r.Acquire(0, 10)
+	r.Reset()
+	if r.Ops() != 0 || r.BusyTime() != 0 || r.FreeAt() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestResourceNegativeServicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative service time did not panic")
+		}
+	}()
+	NewResource("chan").Acquire(0, -1)
+}
+
+// Property: for any arrival/service sequence, completions are monotone
+// non-decreasing, no operation starts before it arrives, and total busy time
+// equals the sum of service times.
+func TestResourceInvariantsProperty(t *testing.T) {
+	f := func(arrivalSteps, services []uint8) bool {
+		r := NewResource("q")
+		now := Time(0)
+		var lastDone Time
+		var sumSvc Time
+		n := len(arrivalSteps)
+		if len(services) < n {
+			n = len(services)
+		}
+		for i := 0; i < n; i++ {
+			now += Time(arrivalSteps[i])
+			svc := Time(services[i])
+			start, done := r.Acquire(now, svc)
+			if start < now || done != start+svc || done < lastDone {
+				return false
+			}
+			lastDone = done
+			sumSvc += svc
+		}
+		return r.BusyTime() == sumSvc && r.Ops() == uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import "fmt"
+
+// Semaphore is a counting semaphore for Procs with FIFO wakeup order.
+// The Emu model uses it for hardware thread-context slots: a Gossamer core
+// has a fixed number of resident threadlet contexts, and a spawn or an
+// inbound migration must wait for a free slot.
+type Semaphore struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+	maxInUse int
+}
+
+// NewSemaphore returns a semaphore with the given capacity.
+func NewSemaphore(eng *Engine, name string, capacity int) *Semaphore {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: semaphore %q needs positive capacity", name))
+	}
+	return &Semaphore{eng: eng, name: name, capacity: capacity}
+}
+
+// Acquire takes one slot, blocking p until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.inUse < s.capacity {
+		s.take()
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.Park()
+	// The releaser transferred its slot to us and woke us; the count was
+	// already adjusted in Release.
+}
+
+// TryAcquire takes a slot if one is free without blocking; it reports
+// whether it succeeded.
+func (s *Semaphore) TryAcquire() bool {
+	if s.inUse < s.capacity {
+		s.take()
+		return true
+	}
+	return false
+}
+
+func (s *Semaphore) take() {
+	s.inUse++
+	if s.inUse > s.maxInUse {
+		s.maxInUse = s.inUse
+	}
+}
+
+// Release returns one slot. If a Proc is waiting, the slot transfers
+// directly to the head of the queue.
+func (s *Semaphore) Release() {
+	if s.inUse <= 0 {
+		panic(fmt.Sprintf("sim: semaphore %q released below zero", s.name))
+	}
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		copy(s.waiters, s.waiters[1:])
+		s.waiters = s.waiters[:len(s.waiters)-1]
+		// Slot transfers: inUse stays the same.
+		w.Unpark()
+		return
+	}
+	s.inUse--
+}
+
+// InUse reports the number of slots currently held.
+func (s *Semaphore) InUse() int { return s.inUse }
+
+// Capacity reports the semaphore's capacity.
+func (s *Semaphore) Capacity() int { return s.capacity }
+
+// MaxInUse reports the high-water mark of held slots.
+func (s *Semaphore) MaxInUse() int { return s.maxInUse }
+
+// Waiting reports how many Procs are blocked in Acquire.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+// Join is a completion counter, the simulation analogue of sync.WaitGroup.
+// A parent uses it to implement cilk_sync: children call Done, the parent
+// calls Wait.
+type Join struct {
+	remaining int
+	waiter    *Proc
+}
+
+// NewJoin returns a Join expecting n completions.
+func NewJoin(n int) *Join {
+	if n < 0 {
+		panic("sim: negative join count")
+	}
+	return &Join{remaining: n}
+}
+
+// Add registers n more expected completions.
+func (j *Join) Add(n int) {
+	if n < 0 {
+		panic("sim: negative join add")
+	}
+	j.remaining += n
+}
+
+// Done records one completion, waking the waiter if the count reaches zero.
+func (j *Join) Done() {
+	if j.remaining <= 0 {
+		panic("sim: join Done below zero")
+	}
+	j.remaining--
+	if j.remaining == 0 && j.waiter != nil {
+		w := j.waiter
+		j.waiter = nil
+		w.Unpark()
+	}
+}
+
+// Pending reports the number of completions still outstanding.
+func (j *Join) Pending() int { return j.remaining }
+
+// Wait blocks p until the count reaches zero. At most one Proc may wait.
+func (j *Join) Wait(p *Proc) {
+	if j.remaining == 0 {
+		return
+	}
+	if j.waiter != nil {
+		panic("sim: join already has a waiter")
+	}
+	j.waiter = p
+	p.Park()
+}

@@ -1,0 +1,167 @@
+// Package sparse provides the Compressed Sparse Row matrices the SpMV
+// benchmark runs over, including the paper's synthetic inputs: Laplacian
+// matrices of d-dimensional k-point stencils (the tested case is d=2, k=4,
+// giving an n^2-by-n^2 matrix with 5 diagonals).
+package sparse
+
+import (
+	"fmt"
+
+	"emuchick/internal/workload"
+)
+
+// CSR is a sparse matrix in Compressed Sparse Row format: row r's nonzeros
+// occupy Val[RowPtr[r]:RowPtr[r+1]] with column indices in the matching
+// slice of ColIdx.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64
+	ColIdx     []int64
+	Val        []float64
+}
+
+// NNZ reports the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// RowNNZ reports the number of nonzeros in row r.
+func (m *CSR) RowNNZ(r int) int { return int(m.RowPtr[r+1] - m.RowPtr[r]) }
+
+// Validate checks the structural invariants of the CSR encoding.
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d for %d rows", len(m.RowPtr), m.Rows)
+	}
+	if len(m.ColIdx) != len(m.Val) {
+		return fmt.Errorf("sparse: ColIdx/Val length mismatch %d/%d", len(m.ColIdx), len(m.Val))
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != int64(len(m.Val)) {
+		return fmt.Errorf("sparse: RowPtr endpoints %d..%d for %d nonzeros",
+			m.RowPtr[0], m.RowPtr[m.Rows], len(m.Val))
+	}
+	for r := 0; r < m.Rows; r++ {
+		if m.RowPtr[r] > m.RowPtr[r+1] {
+			return fmt.Errorf("sparse: RowPtr decreases at row %d", r)
+		}
+		if m.RowPtr[r] < 0 || m.RowPtr[r+1] > int64(len(m.Val)) {
+			return fmt.Errorf("sparse: RowPtr out of bounds at row %d", r)
+		}
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			if c := m.ColIdx[k]; c < 0 || c >= int64(m.Cols) {
+				return fmt.Errorf("sparse: row %d has column %d of %d", r, c, m.Cols)
+			}
+		}
+	}
+	return nil
+}
+
+// MulVec computes y = A*x with a simple sequential reference loop. It is
+// the oracle every simulated SpMV result is checked against.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("sparse: MulVec with |x|=%d for %d columns", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		var sum float64
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			sum += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[r] = sum
+	}
+	return y
+}
+
+// Laplacian2D builds the synthetic input of section III-E: the 5-point
+// stencil Laplacian of an n-by-n grid — an n^2-by-n^2 matrix with 5
+// diagonals (4 on the main diagonal, -1 toward each grid neighbour).
+func Laplacian2D(n int) *CSR {
+	if n <= 0 {
+		panic("sparse: Laplacian2D needs a positive grid size")
+	}
+	rows := n * n
+	m := &CSR{
+		Rows:   rows,
+		Cols:   rows,
+		RowPtr: make([]int64, rows+1),
+	}
+	// Upper bound 5 nonzeros per row.
+	m.ColIdx = make([]int64, 0, 5*rows)
+	m.Val = make([]float64, 0, 5*rows)
+	idx := func(i, j int) int64 { return int64(i*n + j) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r := idx(i, j)
+			// Emit in ascending column order.
+			if i > 0 {
+				m.ColIdx = append(m.ColIdx, idx(i-1, j))
+				m.Val = append(m.Val, -1)
+			}
+			if j > 0 {
+				m.ColIdx = append(m.ColIdx, idx(i, j-1))
+				m.Val = append(m.Val, -1)
+			}
+			m.ColIdx = append(m.ColIdx, r)
+			m.Val = append(m.Val, 4)
+			if j < n-1 {
+				m.ColIdx = append(m.ColIdx, idx(i, j+1))
+				m.Val = append(m.Val, -1)
+			}
+			if i < n-1 {
+				m.ColIdx = append(m.ColIdx, idx(i+1, j))
+				m.Val = append(m.Val, -1)
+			}
+			m.RowPtr[r+1] = int64(len(m.Val))
+		}
+	}
+	return m
+}
+
+// Random builds a rows-by-cols matrix where each row holds between 0 and
+// maxRowNNZ nonzeros at distinct random columns — the generator behind the
+// package's property tests.
+func Random(rows, cols, maxRowNNZ int, rng *workload.RNG) *CSR {
+	if rows < 0 || cols <= 0 || maxRowNNZ < 0 {
+		panic("sparse: invalid Random dimensions")
+	}
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+	for r := 0; r < rows; r++ {
+		nnz := 0
+		if maxRowNNZ > 0 {
+			nnz = rng.Intn(maxRowNNZ + 1)
+		}
+		if nnz > cols {
+			nnz = cols
+		}
+		seen := map[int64]bool{}
+		for len(seen) < nnz {
+			seen[int64(rng.Intn(cols))] = true
+		}
+		cols := make([]int64, 0, nnz)
+		for c := range seen {
+			cols = append(cols, c)
+		}
+		// Deterministic order: insertion order of a map is not, so sort.
+		for i := 1; i < len(cols); i++ {
+			for j := i; j > 0 && cols[j] < cols[j-1]; j-- {
+				cols[j], cols[j-1] = cols[j-1], cols[j]
+			}
+		}
+		for _, c := range cols {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Val = append(m.Val, rng.Float64()*2-1)
+		}
+		m.RowPtr[r+1] = int64(len(m.Val))
+	}
+	return m
+}
+
+// UsefulBytes reports the "effective bandwidth" byte count of one SpMV pass
+// in the sense the paper plots: every nonzero moves an 8-byte value and an
+// 8-byte column index, every row moves an 8-byte row pointer and an 8-byte
+// result, and every column of x is read once.
+func (m *CSR) UsefulBytes() int64 {
+	return int64(m.NNZ())*16 + int64(m.Rows)*16 + int64(m.Cols)*8
+}

@@ -1,0 +1,101 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emuchick/internal/workload"
+)
+
+func TestCSXRoundTripLaplacian(t *testing.T) {
+	m := Laplacian2D(8)
+	x, err := EncodeCSX(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < m.Rows; r++ {
+		cols := x.RowColumns(r)
+		if len(cols) != m.RowNNZ(r) {
+			t.Fatalf("row %d count %d, want %d", r, len(cols), m.RowNNZ(r))
+		}
+		for i, c := range cols {
+			if c != m.ColIdx[m.RowPtr[r]+int64(i)] {
+				t.Fatalf("row %d col %d = %d, want %d", r, i, c, m.ColIdx[m.RowPtr[r]+int64(i)])
+			}
+		}
+	}
+}
+
+func TestCSXCompression(t *testing.T) {
+	m := Laplacian2D(16)
+	x, err := EncodeCSX(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSR needs one word per nonzero for indices; CSX needs roughly
+	// rows + nnz/4.
+	if x.IndexWords() >= m.NNZ() {
+		t.Fatalf("no compression: %d index words for %d nonzeros", x.IndexWords(), m.NNZ())
+	}
+	if x.IndexWords() > m.Rows+m.NNZ()/4+m.Rows {
+		t.Fatalf("compression below expectation: %d words", x.IndexWords())
+	}
+}
+
+func TestCSXEmptyRows(t *testing.T) {
+	m := &CSR{Rows: 3, Cols: 4, RowPtr: []int64{0, 0, 2, 2},
+		ColIdx: []int64{1, 3}, Val: []float64{5, 7}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x, err := EncodeCSX(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.RowFirst[0] != -1 || x.RowFirst[2] != -1 {
+		t.Fatal("empty rows not marked")
+	}
+	cols := x.RowColumns(1)
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 3 {
+		t.Fatalf("row 1 cols = %v", cols)
+	}
+	if x.RowColumns(0) != nil {
+		t.Fatal("empty row decoded nonzeros")
+	}
+}
+
+func TestCSXRejectsWideDeltas(t *testing.T) {
+	m := &CSR{Rows: 1, Cols: 1 << 20, RowPtr: []int64{0, 2},
+		ColIdx: []int64{0, 1 << 17}, Val: []float64{1, 2}}
+	if _, err := EncodeCSX(m); err == nil {
+		t.Fatal("17-bit delta accepted")
+	}
+}
+
+// Property: encode/decode is the identity for random banded matrices.
+func TestCSXRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := Random(30, 40, 6, workload.NewRNG(seed))
+		x, err := EncodeCSX(m)
+		if err != nil {
+			// Random matrices can have wide deltas; that is a valid
+			// refusal, not a failure.
+			return true
+		}
+		for r := 0; r < m.Rows; r++ {
+			cols := x.RowColumns(r)
+			if len(cols) != m.RowNNZ(r) {
+				return false
+			}
+			for i, c := range cols {
+				if c != m.ColIdx[m.RowPtr[r]+int64(i)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

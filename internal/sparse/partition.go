@@ -1,0 +1,46 @@
+package sparse
+
+// Partition assigns matrix rows to nodelets for the Emu "2D" layout: the
+// paper's two-stage allocation first computes "the lengths of each row that
+// is assigned to a nodelet" and then allocates each nodelet's shard of the
+// value and column-index arrays locally. Rows are dealt round-robin (row r
+// to nodelet r mod N), which also balances the diagonal structure of the
+// Laplacian inputs.
+type Partition struct {
+	Nodelets int
+	// RowsOf[nl] lists the matrix rows assigned to nodelet nl, in order.
+	RowsOf [][]int
+	// WordsOf[nl] is the number of nonzeros (and hence 8-byte words per
+	// array) nodelet nl's shard holds.
+	WordsOf []int
+	// Slot[r] is the index of row r within its nodelet's row list.
+	Slot []int
+	// Offset[r] is the starting nonzero offset of row r within its
+	// nodelet's shard.
+	Offset []int
+}
+
+// PartitionRows builds the round-robin row partition of m over nodelets.
+func PartitionRows(m *CSR, nodelets int) *Partition {
+	if nodelets <= 0 {
+		panic("sparse: partition needs positive nodelet count")
+	}
+	p := &Partition{
+		Nodelets: nodelets,
+		RowsOf:   make([][]int, nodelets),
+		WordsOf:  make([]int, nodelets),
+		Slot:     make([]int, m.Rows),
+		Offset:   make([]int, m.Rows),
+	}
+	for r := 0; r < m.Rows; r++ {
+		nl := r % nodelets
+		p.Slot[r] = len(p.RowsOf[nl])
+		p.Offset[r] = p.WordsOf[nl]
+		p.RowsOf[nl] = append(p.RowsOf[nl], r)
+		p.WordsOf[nl] += m.RowNNZ(r)
+	}
+	return p
+}
+
+// NodeletOf reports the nodelet that owns row r.
+func (p *Partition) NodeletOf(r int) int { return r % p.Nodelets }

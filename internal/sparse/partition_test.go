@@ -1,0 +1,96 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emuchick/internal/workload"
+)
+
+func TestPartitionRoundRobin(t *testing.T) {
+	m := Laplacian2D(4) // 16 rows
+	p := PartitionRows(m, 8)
+	if p.Nodelets != 8 {
+		t.Fatal("nodelet count lost")
+	}
+	for r := 0; r < m.Rows; r++ {
+		if p.NodeletOf(r) != r%8 {
+			t.Fatalf("row %d on nodelet %d", r, p.NodeletOf(r))
+		}
+	}
+	// 16 rows over 8 nodelets: 2 rows each.
+	for nl := 0; nl < 8; nl++ {
+		if len(p.RowsOf[nl]) != 2 {
+			t.Fatalf("nodelet %d has %d rows", nl, len(p.RowsOf[nl]))
+		}
+	}
+}
+
+func TestPartitionOffsetsDense(t *testing.T) {
+	m := Laplacian2D(5) // 25 rows, uneven over 8 nodelets
+	p := PartitionRows(m, 8)
+	// Per nodelet, offsets must tile the shard exactly.
+	for nl := 0; nl < 8; nl++ {
+		next := 0
+		for _, r := range p.RowsOf[nl] {
+			if p.Offset[r] != next {
+				t.Fatalf("row %d offset %d, want %d", r, p.Offset[r], next)
+			}
+			next += m.RowNNZ(r)
+		}
+		if next != p.WordsOf[nl] {
+			t.Fatalf("nodelet %d words %d, rows sum to %d", nl, p.WordsOf[nl], next)
+		}
+	}
+}
+
+func TestPartitionSlots(t *testing.T) {
+	m := Laplacian2D(4)
+	p := PartitionRows(m, 3)
+	for nl := 0; nl < 3; nl++ {
+		for slot, r := range p.RowsOf[nl] {
+			if p.Slot[r] != slot {
+				t.Fatalf("row %d slot %d, want %d", r, p.Slot[r], slot)
+			}
+		}
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero nodelets did not panic")
+		}
+	}()
+	PartitionRows(Laplacian2D(2), 0)
+}
+
+// Property: every row appears exactly once across shards and shard word
+// counts sum to NNZ, for random matrices and nodelet counts.
+func TestPartitionCoverageProperty(t *testing.T) {
+	f := func(seed uint64, nlRaw uint8) bool {
+		nodelets := int(nlRaw%16) + 1
+		m := Random(40, 30, 6, workload.NewRNG(seed))
+		p := PartitionRows(m, nodelets)
+		seen := make([]bool, m.Rows)
+		words := 0
+		for nl := 0; nl < nodelets; nl++ {
+			for _, r := range p.RowsOf[nl] {
+				if seen[r] {
+					return false
+				}
+				seen[r] = true
+			}
+			words += p.WordsOf[nl]
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return words == m.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package stinger
+
+import (
+	"emuchick/internal/machine"
+	"emuchick/internal/memsys"
+)
+
+// Graph analytics kernels in the style the paper's motivation names
+// (STINGER's breadth-first search and connectivity). Both keep their
+// per-vertex state (distances, labels) in striped simulated memory and do
+// all per-vertex work with timed operations; only the level/iteration
+// bookkeeping (frontier lists, convergence flags) is host-side, standing
+// in for the runtime's work-queues.
+
+// unvisited marks a vertex not yet reached by BFS.
+const unvisited = ^uint64(0)
+
+// BFS computes hop distances from src with a level-synchronous parallel
+// expansion: each level's frontier is partitioned across worker threads
+// spawned at their vertices' home nodelets; neighbour distance checks use
+// memory-side atomics (no migration) and distance writes are posted
+// stores. It returns the distance of every vertex (-1 if unreachable).
+// BFS must run inside a kernel thread (within System.Run).
+func BFS(t *machine.Thread, g *Graph, src, workers int) []int64 {
+	sys := g.sys
+	dist := sys.Mem.AllocStriped(g.cfg.Vertices)
+	for v := 0; v < g.cfg.Vertices; v++ {
+		sys.Mem.Write(dist.At(v), unvisited)
+	}
+	sys.Mem.Write(dist.At(src), 0)
+
+	frontier := []int{src}
+	level := uint64(0)
+	inNext := make([]bool, g.cfg.Vertices)
+	for len(frontier) > 0 {
+		// Partition the frontier round-robin over min(workers, |frontier|)
+		// threads, each spawned at its first vertex's home nodelet.
+		active := workers
+		if len(frontier) < active {
+			active = len(frontier)
+		}
+		next := make([][]int, active)
+		groups := make([][]int, sys.Nodelets())
+		for w := 0; w < active; w++ {
+			nl := frontier[w] % sys.Nodelets()
+			groups[nl] = append(groups[nl], w)
+		}
+		spawnBFSLevel(t, g, groups, frontier, active, level, dist, next, inNext)
+		frontier = frontier[:0]
+		for _, part := range next {
+			frontier = append(frontier, part...)
+		}
+		for _, v := range frontier {
+			inNext[v] = false
+		}
+		level++
+	}
+
+	out := make([]int64, g.cfg.Vertices)
+	for v := range out {
+		d := sys.Mem.Read(dist.At(v))
+		if d == unvisited {
+			out[v] = -1
+		} else {
+			out[v] = int64(d)
+		}
+	}
+	return out
+}
+
+// spawnBFSLevel expands one frontier level in parallel.
+func spawnBFSLevel(t *machine.Thread, g *Graph, groups [][]int, frontier []int,
+	active int, level uint64, dist memsys.Striped, next [][]int, inNext []bool) {
+	for nl := range groups {
+		for _, w := range groups[nl] {
+			w := w
+			nl := nl
+			t.SpawnAt(nl, func(th *machine.Thread) {
+				for fi := w; fi < len(frontier); fi += active {
+					v := frontier[fi]
+					g.WalkTimed(th, v, func(dst int, _ uint64) {
+						// Memory-side atomic read: no migration.
+						if th.FetchAdd(dist.At(dst), 0) == unvisited {
+							th.Store(dist.At(dst), level+1) // posted
+							if !inNext[dst] {
+								inNext[dst] = true
+								next[w] = append(next[w], dst)
+							}
+						}
+					})
+				}
+			})
+		}
+	}
+	t.Sync()
+}
+
+// Components computes weakly-connected component labels by iterative
+// minimum-label propagation over the directed edges (treated as
+// undirected): every vertex repeatedly adopts the minimum label among
+// itself and its neighbours, and pushes its label to them, until a full
+// pass changes nothing. It returns the final label of every vertex.
+func Components(t *machine.Thread, g *Graph, workers int) []uint64 {
+	sys := g.sys
+	labels := sys.Mem.AllocStriped(g.cfg.Vertices)
+	for v := 0; v < g.cfg.Vertices; v++ {
+		sys.Mem.Write(labels.At(v), uint64(v))
+	}
+	for {
+		changed := make([]bool, workers)
+		emitPass := func(w int, th *machine.Thread) {
+			for v := w; v < g.cfg.Vertices; v += workers {
+				lv := th.FetchAdd(labels.At(v), 0)
+				minL := lv
+				g.WalkTimed(th, v, func(dst int, _ uint64) {
+					ld := th.FetchAdd(labels.At(dst), 0)
+					if ld < minL {
+						minL = ld
+					}
+					if lv < ld {
+						th.Store(labels.At(dst), lv) // pull dst down (posted)
+						changed[w] = true
+					}
+				})
+				if minL < lv {
+					th.Store(labels.At(v), minL)
+					changed[w] = true
+				}
+			}
+		}
+		for w := 0; w < workers; w++ {
+			w := w
+			t.SpawnAt(w%sys.Nodelets(), func(th *machine.Thread) { emitPass(w, th) })
+		}
+		t.Sync()
+		any := false
+		for _, c := range changed {
+			any = any || c
+		}
+		if !any {
+			break
+		}
+	}
+	out := make([]uint64, g.cfg.Vertices)
+	for v := range out {
+		out[v] = sys.Mem.Read(labels.At(v))
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Package tensor provides the sparse-tensor workload behind the paper's
+// second motivating application: ParTI-style tensor decomposition (CP and
+// Tucker), whose bottleneck kernels are sparse tensor contractions with
+// the same weak locality as SpMV. The package implements 3-mode COO
+// tensors, a reference tensor-times-vector (TTV) contraction, and Emu
+// kernels that contrast the 1D-striped and 2D row-blocked layouts the
+// paper studies for SpMV.
+package tensor
+
+import (
+	"fmt"
+
+	"emuchick/internal/workload"
+)
+
+// COO is a 3-mode sparse tensor in coordinate format. Entries with equal
+// coordinates accumulate.
+type COO struct {
+	Dims [3]int
+	I    []int32 // mode-0 coordinates
+	J    []int32 // mode-1 coordinates
+	K    []int32 // mode-2 coordinates
+	Val  []float64
+}
+
+// NNZ reports the stored entry count.
+func (t *COO) NNZ() int { return len(t.Val) }
+
+// Validate checks structural invariants.
+func (t *COO) Validate() error {
+	for m, d := range t.Dims {
+		if d <= 0 {
+			return fmt.Errorf("tensor: mode %d has size %d", m, d)
+		}
+	}
+	if len(t.I) != len(t.Val) || len(t.J) != len(t.Val) || len(t.K) != len(t.Val) {
+		return fmt.Errorf("tensor: coordinate/value lengths differ")
+	}
+	for n := range t.Val {
+		if t.I[n] < 0 || int(t.I[n]) >= t.Dims[0] ||
+			t.J[n] < 0 || int(t.J[n]) >= t.Dims[1] ||
+			t.K[n] < 0 || int(t.K[n]) >= t.Dims[2] {
+			return fmt.Errorf("tensor: entry %d coordinates out of range", n)
+		}
+	}
+	return nil
+}
+
+// Random builds a tensor with nnz entries at uniform coordinates and
+// dyadic values (so contractions are exact in float64), sorted by (i, j)
+// so that slice-contiguous layouts are constructible.
+func Random(dims [3]int, nnz int, rng *workload.RNG) *COO {
+	t := &COO{Dims: dims}
+	for n := 0; n < nnz; n++ {
+		t.I = append(t.I, int32(rng.Intn(dims[0])))
+		t.J = append(t.J, int32(rng.Intn(dims[1])))
+		t.K = append(t.K, int32(rng.Intn(dims[2])))
+		t.Val = append(t.Val, float64(rng.Intn(16))*0.25-2)
+	}
+	t.sortByIJ()
+	return t
+}
+
+// sortByIJ sorts entries by (i, j, k) with a simple insertion sort on an
+// index permutation (tensors here are small; determinism matters more
+// than asymptotics).
+func (t *COO) sortByIJ() {
+	n := t.NNZ()
+	key := func(n int) int64 {
+		return int64(t.I[n])<<40 | int64(t.J[n])<<20 | int64(t.K[n])
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && key(idx[j]) < key(idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	i2 := make([]int32, n)
+	j2 := make([]int32, n)
+	k2 := make([]int32, n)
+	v2 := make([]float64, n)
+	for p, q := range idx {
+		i2[p], j2[p], k2[p], v2[p] = t.I[q], t.J[q], t.K[q], t.Val[q]
+	}
+	t.I, t.J, t.K, t.Val = i2, j2, k2, v2
+}
+
+// TTV contracts mode 2 with v: Y(i,j) = sum_k X(i,j,k) * v(k). The result
+// is dense over modes 0 and 1, returned row-major.
+func (t *COO) TTV(v []float64) []float64 {
+	if len(v) != t.Dims[2] {
+		panic(fmt.Sprintf("tensor: TTV with |v|=%d for mode size %d", len(v), t.Dims[2]))
+	}
+	y := make([]float64, t.Dims[0]*t.Dims[1])
+	for n := range t.Val {
+		y[int(t.I[n])*t.Dims[1]+int(t.J[n])] += t.Val[n] * v[t.K[n]]
+	}
+	return y
+}

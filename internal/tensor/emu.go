@@ -1,0 +1,186 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"emuchick/internal/cilk"
+	"emuchick/internal/machine"
+	"emuchick/internal/memsys"
+	"emuchick/internal/metrics"
+	"emuchick/internal/sim"
+	"emuchick/internal/workload"
+)
+
+// Layout selects the Emu data placement for the TTV kernel, mirroring the
+// SpMV study: Layout1D stripes the nonzero arrays word-by-word (a
+// migration on nearly every entry), Layout2D deals mode-0 slices
+// round-robin to nodelets with each shard contiguous (no migrations while
+// reading entries).
+type Layout int
+
+const (
+	Layout1D Layout = iota
+	Layout2D
+)
+
+// Layouts lists both options.
+var Layouts = []Layout{Layout1D, Layout2D}
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case Layout1D:
+		return "1d"
+	case Layout2D:
+		return "2d"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Per-entry compute cost of the contraction loop.
+const ttvNNZCycles = 24
+
+// TTVConfig parameterizes one Emu TTV run.
+type TTVConfig struct {
+	Dims     [3]int
+	NNZ      int
+	Seed     uint64
+	Layout   Layout
+	GrainNNZ int
+}
+
+// TTVEmu contracts a random tensor's mode 2 with a dyadic vector on a
+// fresh machine and verifies against the reference TTV. Effective bytes
+// count each entry's packed coordinates, value, vector read, and output
+// accumulation — the analogue of SpMV's useful-bytes metric.
+func TTVEmu(mcfg machine.Config, cfg TTVConfig) (metrics.Result, error) {
+	if cfg.NNZ <= 0 || cfg.GrainNNZ <= 0 {
+		return metrics.Result{}, fmt.Errorf("tensor: invalid TTV config %+v", cfg)
+	}
+	t := Random(cfg.Dims, cfg.NNZ, workload.NewRNG(cfg.Seed))
+	if err := t.Validate(); err != nil {
+		return metrics.Result{}, err
+	}
+	v := make([]float64, cfg.Dims[2])
+	for k := range v {
+		v[k] = 1 + float64(k%5)*0.25
+	}
+	want := t.TTV(v)
+
+	sys := machine.NewSystem(mcfg)
+	cells := cfg.Dims[0] * cfg.Dims[1]
+
+	// The vector is replicated (the paper's recommendation for common
+	// inputs); the output is striped by cell and accumulated with posted
+	// memory-side float adds, so entry processing never migrates toward
+	// the output.
+	vr := sys.Mem.AllocReplicated(cfg.Dims[2])
+	for k := range v {
+		vr.Broadcast(sys.Mem, k, math.Float64bits(v[k]))
+	}
+	ya := sys.Mem.AllocStriped(cells)
+
+	var elapsed sim.Time
+	var runErr error
+	switch cfg.Layout {
+	case Layout1D:
+		elapsed, runErr = ttv1D(sys, t, vr, ya, cfg.GrainNNZ)
+	case Layout2D:
+		elapsed, runErr = ttv2D(sys, t, vr, ya, cfg.GrainNNZ)
+	default:
+		return metrics.Result{}, fmt.Errorf("tensor: unknown layout %v", cfg.Layout)
+	}
+	if runErr != nil {
+		return metrics.Result{}, runErr
+	}
+	for c := 0; c < cells; c++ {
+		got := math.Float64frombits(sys.Mem.Read(ya.At(c)))
+		if got != want[c] {
+			return metrics.Result{}, fmt.Errorf("tensor: Y[%d] = %v, want %v", c, got, want[c])
+		}
+	}
+	return metrics.Result{Bytes: int64(cfg.NNZ) * 32, Elapsed: elapsed}, nil
+}
+
+// packCoord packs (i, j, k) into one word, as an Emu port would to keep
+// the per-entry footprint small (21 bits per mode).
+func packCoord(i, j, k int32) uint64 {
+	return uint64(uint32(i))<<42 | uint64(uint32(j))<<21 | uint64(uint32(k))
+}
+
+func unpackCoord(w uint64) (i, j, k int32) {
+	return int32(w >> 42 & 0x1FFFFF), int32(w >> 21 & 0x1FFFFF), int32(w & 0x1FFFFF)
+}
+
+// ttv1D stripes the coordinate and value arrays word-by-word.
+func ttv1D(sys *machine.System, t *COO, vr memsys.Replicated, ya memsys.Striped, grain int) (sim.Time, error) {
+	coords := sys.Mem.AllocStriped(t.NNZ())
+	vals := sys.Mem.AllocStriped(t.NNZ())
+	for n := 0; n < t.NNZ(); n++ {
+		sys.Mem.Write(coords.At(n), packCoord(t.I[n], t.J[n], t.K[n]))
+		sys.Mem.Write(vals.At(n), math.Float64bits(t.Val[n]))
+	}
+	var elapsed sim.Time
+	_, err := sys.Run(func(root *machine.Thread) {
+		t0 := root.Now()
+		cilk.ParallelFor(root, t.NNZ(), grain, func(w *machine.Thread, lo, hi int) {
+			for n := lo; n < hi; n++ {
+				cw := w.Load(coords.At(n)) // migrates to nodelet n mod N
+				i, j, k := unpackCoord(cw)
+				val := math.Float64frombits(w.Load(vals.At(n))) // local: same stripe
+				vk := math.Float64frombits(w.Load(vr.At(w.Nodelet(), int(k))))
+				w.RemoteAddFloat(ya.At(int(i)*t.Dims[1]+int(j)), val*vk)
+				w.Compute(ttvNNZCycles)
+			}
+		})
+		elapsed = root.Now() - t0
+	})
+	return elapsed, err
+}
+
+// ttv2D deals mode-0 slices round-robin: nodelet nl holds the entries of
+// slices i with i mod N == nl, contiguous in its shard.
+func ttv2D(sys *machine.System, t *COO, vr memsys.Replicated, ya memsys.Striped, grain int) (sim.Time, error) {
+	nodelets := sys.Nodelets()
+	perNL := make([]int, nodelets)
+	for n := 0; n < t.NNZ(); n++ {
+		perNL[int(t.I[n])%nodelets]++
+	}
+	coords := sys.Mem.AllocBlocked(perNL)
+	vals := sys.Mem.AllocBlocked(perNL)
+	fill := make([]int, nodelets)
+	for n := 0; n < t.NNZ(); n++ {
+		nl := int(t.I[n]) % nodelets
+		sys.Mem.Write(coords.At(nl, fill[nl]), packCoord(t.I[n], t.J[n], t.K[n]))
+		sys.Mem.Write(vals.At(nl, fill[nl]), math.Float64bits(t.Val[n]))
+		fill[nl]++
+	}
+	var elapsed sim.Time
+	_, err := sys.Run(func(root *machine.Thread) {
+		t0 := root.Now()
+		for nl := 0; nl < nodelets; nl++ {
+			nl := nl
+			count := perNL[nl]
+			if count == 0 {
+				continue
+			}
+			root.SpawnAt(nl, func(coord *machine.Thread) {
+				cilk.ParallelFor(coord, count, grain, func(w *machine.Thread, lo, hi int) {
+					for n := lo; n < hi; n++ {
+						cw := w.Load(coords.At(nl, n)) // local
+						i, j, k := unpackCoord(cw)
+						val := math.Float64frombits(w.Load(vals.At(nl, n)))
+						vk := math.Float64frombits(w.Load(vr.At(nl, int(k))))
+						w.RemoteAddFloat(ya.At(int(i)*t.Dims[1]+int(j)), val*vk)
+						w.Compute(ttvNNZCycles)
+					}
+				})
+			})
+		}
+		root.Sync()
+		elapsed = root.Now() - t0
+	})
+	return elapsed, err
+}

@@ -1,0 +1,138 @@
+package workload
+
+import "fmt"
+
+// ShuffleMode selects which of Fig. 2's permutations is applied to the
+// linked list's traversal order.
+type ShuffleMode int
+
+const (
+	// NoShuffle visits elements in memory order (the top row of Fig. 2).
+	NoShuffle ShuffleMode = iota
+	// IntraBlockShuffle randomizes the order of elements within each
+	// block; blocks are visited in memory order (middle row of Fig. 2).
+	IntraBlockShuffle
+	// BlockShuffle randomizes the order in which blocks are visited;
+	// elements within a block stay in memory order.
+	BlockShuffle
+	// FullBlockShuffle randomizes both (bottom row of Fig. 2).
+	FullBlockShuffle
+)
+
+// ShuffleModes lists the three shuffles the paper plots, plus the ordered
+// baseline.
+var ShuffleModes = []ShuffleMode{NoShuffle, IntraBlockShuffle, BlockShuffle, FullBlockShuffle}
+
+// String returns the paper's snake_case name for the mode.
+func (m ShuffleMode) String() string {
+	switch m {
+	case NoShuffle:
+		return "no_shuffle"
+	case IntraBlockShuffle:
+		return "intra_block_shuffle"
+	case BlockShuffle:
+		return "block_shuffle"
+	case FullBlockShuffle:
+		return "full_block_shuffle"
+	default:
+		return fmt.Sprintf("ShuffleMode(%d)", int(m))
+	}
+}
+
+// ParseShuffleMode maps a snake_case name back to its ShuffleMode.
+func ParseShuffleMode(name string) (ShuffleMode, error) {
+	for _, m := range ShuffleModes {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown shuffle mode %q", name)
+}
+
+// ListOrder computes the traversal order of a block-shuffled linked list:
+// the returned slice holds element memory positions in visit order, so
+// order[k] is the position of the k-th visited element. Elements are
+// grouped into blocks of blockSize consecutive memory positions (the final
+// block may be short when blockSize does not divide n). The rules match
+// Fig. 2: all elements of a block are visited before jumping to the next
+// block; IntraBlockShuffle permutes positions within each block,
+// BlockShuffle permutes the block visit order, and FullBlockShuffle does
+// both.
+func ListOrder(n, blockSize int, mode ShuffleMode, rng *RNG) []int {
+	if n < 0 {
+		panic("workload: negative list length")
+	}
+	if blockSize <= 0 {
+		panic("workload: block size must be positive")
+	}
+	if n == 0 {
+		return nil
+	}
+	numBlocks := (n + blockSize - 1) / blockSize
+
+	blockOrder := make([]int, numBlocks)
+	for i := range blockOrder {
+		blockOrder[i] = i
+	}
+	if mode == BlockShuffle || mode == FullBlockShuffle {
+		rng.Shuffle(numBlocks, func(i, j int) {
+			blockOrder[i], blockOrder[j] = blockOrder[j], blockOrder[i]
+		})
+	}
+
+	order := make([]int, 0, n)
+	scratch := make([]int, 0, blockSize)
+	for _, b := range blockOrder {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		scratch = scratch[:0]
+		for p := lo; p < hi; p++ {
+			scratch = append(scratch, p)
+		}
+		if mode == IntraBlockShuffle || mode == FullBlockShuffle {
+			rng.Shuffle(len(scratch), func(i, j int) {
+				scratch[i], scratch[j] = scratch[j], scratch[i]
+			})
+		}
+		order = append(order, scratch...)
+	}
+	return order
+}
+
+// ListSpec bundles the parameters of one pointer-chasing list.
+type ListSpec struct {
+	Elements  int // total list elements (each 16 bytes: payload + next)
+	BlockSize int // elements per locality block
+	Mode      ShuffleMode
+	Seed      uint64
+}
+
+// Order materializes the traversal order for the spec.
+func (ls ListSpec) Order() []int {
+	return ListOrder(ls.Elements, ls.BlockSize, ls.Mode, NewRNG(ls.Seed))
+}
+
+// Blocks reports how many locality blocks the list has.
+func (ls ListSpec) Blocks() int {
+	if ls.Elements == 0 {
+		return 0
+	}
+	return (ls.Elements + ls.BlockSize - 1) / ls.BlockSize
+}
+
+// GUPSStream returns n pseudo-random table indices in [0, tableSize) — the
+// access pattern of the HPCC RandomAccess benchmark the paper contrasts
+// with pointer chasing (GUPS lacks data-dependent loads).
+func GUPSStream(n, tableSize int, rng *RNG) []int {
+	if tableSize <= 0 {
+		panic("workload: GUPS table must be non-empty")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = rng.Intn(tableSize)
+	}
+	return idx
+}

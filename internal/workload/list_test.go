@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShuffleModeNames(t *testing.T) {
+	want := map[ShuffleMode]string{
+		NoShuffle:         "no_shuffle",
+		IntraBlockShuffle: "intra_block_shuffle",
+		BlockShuffle:      "block_shuffle",
+		FullBlockShuffle:  "full_block_shuffle",
+	}
+	for m, name := range want {
+		if m.String() != name {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+		parsed, err := ParseShuffleMode(name)
+		if err != nil || parsed != m {
+			t.Errorf("ParseShuffleMode(%q) = %v, %v", name, parsed, err)
+		}
+	}
+	if _, err := ParseShuffleMode("nope"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if ShuffleMode(42).String() == "" {
+		t.Error("unknown mode String empty")
+	}
+}
+
+func TestNoShuffleIsIdentity(t *testing.T) {
+	order := ListOrder(10, 4, NoShuffle, NewRNG(1))
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestIntraBlockKeepsBlockSequence(t *testing.T) {
+	const n, bs = 64, 8
+	order := ListOrder(n, bs, IntraBlockShuffle, NewRNG(3))
+	// The k-th group of bs visits must cover exactly block k.
+	for b := 0; b < n/bs; b++ {
+		for k := b * bs; k < (b+1)*bs; k++ {
+			if order[k]/bs != b {
+				t.Fatalf("visit %d touches block %d, want %d", k, order[k]/bs, b)
+			}
+		}
+	}
+}
+
+func TestBlockShuffleKeepsWithinBlockSequence(t *testing.T) {
+	const n, bs = 64, 8
+	order := ListOrder(n, bs, BlockShuffle, NewRNG(3))
+	for k := 0; k < n; k += bs {
+		base := order[k]
+		if base%bs != 0 {
+			t.Fatalf("block visit %d starts mid-block at %d", k/bs, base)
+		}
+		for j := 0; j < bs; j++ {
+			if order[k+j] != base+j {
+				t.Fatalf("within-block order broken at visit %d", k+j)
+			}
+		}
+	}
+}
+
+func TestFullShuffleStillVisitsBlocksAtomically(t *testing.T) {
+	const n, bs = 96, 8
+	order := ListOrder(n, bs, FullBlockShuffle, NewRNG(5))
+	// Consecutive runs of bs visits must stay within one block ("all
+	// elements within a block are accessed before jumping to the next").
+	for k := 0; k < n; k += bs {
+		b := order[k] / bs
+		for j := 1; j < bs; j++ {
+			if order[k+j]/bs != b {
+				t.Fatalf("block broken across visits %d..%d", k, k+j)
+			}
+		}
+	}
+}
+
+func TestShufflesActuallyShuffle(t *testing.T) {
+	const n, bs = 1024, 16
+	for _, mode := range []ShuffleMode{IntraBlockShuffle, BlockShuffle, FullBlockShuffle} {
+		order := ListOrder(n, bs, mode, NewRNG(7))
+		fixed := 0
+		for i, v := range order {
+			if i == v {
+				fixed++
+			}
+		}
+		if fixed > n/2 {
+			t.Errorf("%v left %d of %d positions fixed", mode, fixed, n)
+		}
+	}
+}
+
+func TestListOrderShortFinalBlock(t *testing.T) {
+	// 10 elements in blocks of 4: final block has 2.
+	for _, mode := range ShuffleModes {
+		order := ListOrder(10, 4, mode, NewRNG(2))
+		if len(order) != 10 {
+			t.Fatalf("%v: len = %d", mode, len(order))
+		}
+		seen := make([]bool, 10)
+		for _, v := range order {
+			if v < 0 || v >= 10 || seen[v] {
+				t.Fatalf("%v: not a permutation: %v", mode, order)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestListOrderDegenerateCases(t *testing.T) {
+	if got := ListOrder(0, 4, FullBlockShuffle, NewRNG(1)); len(got) != 0 {
+		t.Fatal("n=0 not empty")
+	}
+	// blockSize 1 with full shuffle is a global permutation.
+	order := ListOrder(32, 1, FullBlockShuffle, NewRNG(1))
+	if len(order) != 32 {
+		t.Fatal("blockSize 1 wrong length")
+	}
+	// blockSize >= n with intra shuffle is also a global permutation.
+	order = ListOrder(32, 64, IntraBlockShuffle, NewRNG(1))
+	if len(order) != 32 {
+		t.Fatal("oversized block wrong length")
+	}
+	for _, f := range []func(){
+		func() { ListOrder(-1, 4, NoShuffle, NewRNG(1)) },
+		func() { ListOrder(4, 0, NoShuffle, NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid ListOrder args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestListSpec(t *testing.T) {
+	ls := ListSpec{Elements: 100, BlockSize: 8, Mode: FullBlockShuffle, Seed: 9}
+	if ls.Blocks() != 13 {
+		t.Fatalf("Blocks = %d", ls.Blocks())
+	}
+	if len(ls.Order()) != 100 {
+		t.Fatal("Order wrong length")
+	}
+	a, b := ls.Order(), ls.Order()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ListSpec.Order not deterministic")
+		}
+	}
+	if (ListSpec{Elements: 0, BlockSize: 4}).Blocks() != 0 {
+		t.Fatal("empty spec Blocks != 0")
+	}
+}
+
+// Property: for every mode, n, blockSize, and seed, ListOrder is a
+// permutation of [0, n) that visits each block contiguously.
+func TestListOrderPermutationProperty(t *testing.T) {
+	f := func(nRaw, bsRaw uint8, modeRaw uint8, seed uint64) bool {
+		n := int(nRaw % 200)
+		bs := int(bsRaw%32) + 1
+		mode := ShuffleModes[int(modeRaw)%len(ShuffleModes)]
+		order := ListOrder(n, bs, mode, NewRNG(seed))
+		if len(order) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range order {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		// Block atomicity: once a block is left it is never revisited.
+		visited := map[int]bool{}
+		cur := -1
+		for _, v := range order {
+			b := v / bs
+			if b != cur {
+				if visited[b] {
+					return false
+				}
+				visited[b] = true
+				cur = b
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGUPSStream(t *testing.T) {
+	idx := GUPSStream(1000, 64, NewRNG(3))
+	if len(idx) != 1000 {
+		t.Fatal("wrong length")
+	}
+	hit := make([]bool, 64)
+	for _, v := range idx {
+		if v < 0 || v >= 64 {
+			t.Fatalf("index %d out of range", v)
+		}
+		hit[v] = true
+	}
+	covered := 0
+	for _, h := range hit {
+		if h {
+			covered++
+		}
+	}
+	if covered < 60 {
+		t.Fatalf("only %d of 64 slots hit", covered)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty table did not panic")
+		}
+	}()
+	GUPSStream(1, 0, NewRNG(1))
+}

@@ -1,0 +1,77 @@
+package workload
+
+import "fmt"
+
+// RMATConfig parameterizes a recursive-matrix (R-MAT) edge generator, the
+// standard synthetic input for streaming-graph work like STINGER's: edges
+// recursively prefer one quadrant of the adjacency matrix, producing the
+// skewed degree distributions real graph data shows.
+type RMATConfig struct {
+	Scale int     // vertices = 1 << Scale
+	Edges int     // edges to generate
+	A     float64 // quadrant probabilities; A+B+C+D must be ~1
+	B     float64
+	C     float64
+	D     float64
+}
+
+// DefaultRMAT returns the community-standard (0.57, 0.19, 0.19, 0.05)
+// parameterization at the given scale and average degree.
+func DefaultRMAT(scale, avgDegree int) RMATConfig {
+	return RMATConfig{
+		Scale: scale,
+		Edges: (1 << scale) * avgDegree,
+		A:     0.57, B: 0.19, C: 0.19, D: 0.05,
+	}
+}
+
+// Vertices reports the vertex count.
+func (c RMATConfig) Vertices() int { return 1 << c.Scale }
+
+// Validate reports a descriptive error for unusable parameters.
+func (c RMATConfig) Validate() error {
+	if c.Scale <= 0 || c.Scale > 20 {
+		return fmt.Errorf("workload: R-MAT scale %d out of range", c.Scale)
+	}
+	if c.Edges <= 0 {
+		return fmt.Errorf("workload: R-MAT needs positive edge count")
+	}
+	sum := c.A + c.B + c.C + c.D
+	if c.A < 0 || c.B < 0 || c.C < 0 || c.D < 0 || sum < 0.99 || sum > 1.01 {
+		return fmt.Errorf("workload: R-MAT quadrant probabilities sum to %v", sum)
+	}
+	return nil
+}
+
+// RMATEdge is one generated (src, dst) pair.
+type RMATEdge struct {
+	Src, Dst int
+}
+
+// RMAT generates the edge list. Duplicate edges and self-loops are kept,
+// as streaming-graph benchmarks do.
+func RMAT(cfg RMATConfig, rng *RNG) ([]RMATEdge, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	edges := make([]RMATEdge, cfg.Edges)
+	for i := range edges {
+		src, dst := 0, 0
+		for bit := 0; bit < cfg.Scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < cfg.A:
+				// top-left: neither bit set
+			case r < cfg.A+cfg.B:
+				dst |= 1 << bit
+			case r < cfg.A+cfg.B+cfg.C:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		edges[i] = RMATEdge{Src: src, Dst: dst}
+	}
+	return edges, nil
+}

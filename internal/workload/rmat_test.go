@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMATBasics(t *testing.T) {
+	cfg := DefaultRMAT(8, 4)
+	if cfg.Vertices() != 256 || cfg.Edges != 1024 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	edges, err := RMAT(cfg, NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 1024 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	for _, e := range edges {
+		if e.Src < 0 || e.Src >= 256 || e.Dst < 0 || e.Dst >= 256 {
+			t.Fatalf("edge %+v out of range", e)
+		}
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// The defining property: degree distribution is heavily skewed — the
+	// busiest decile of vertices should carry far more than a tenth of
+	// the edges.
+	cfg := DefaultRMAT(10, 8)
+	edges, err := RMAT(cfg, NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := make([]int, cfg.Vertices())
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	top := 0
+	for _, d := range deg[:cfg.Vertices()/10] {
+		top += d
+	}
+	frac := float64(top) / float64(len(edges))
+	if frac < 0.3 {
+		t.Fatalf("top decile carries only %.0f%% of edges; no skew", frac*100)
+	}
+}
+
+func TestRMATDeterminism(t *testing.T) {
+	cfg := DefaultRMAT(6, 4)
+	a, _ := RMAT(cfg, NewRNG(5))
+	b, _ := RMAT(cfg, NewRNG(5))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	bad := []RMATConfig{
+		{Scale: 0, Edges: 1, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 30, Edges: 1, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 4, Edges: 0, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 4, Edges: 4, A: 0.9, B: 0.3, C: 0.2, D: 0.1},
+		{Scale: 4, Edges: 4, A: -0.1, B: 0.5, C: 0.3, D: 0.3},
+	}
+	for _, cfg := range bad {
+		if _, err := RMAT(cfg, NewRNG(1)); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// Property: all edges in range for arbitrary scales and seeds.
+func TestRMATRangeProperty(t *testing.T) {
+	f := func(scaleRaw uint8, seed uint64) bool {
+		scale := int(scaleRaw%10) + 2
+		cfg := DefaultRMAT(scale, 2)
+		edges, err := RMAT(cfg, NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		n := cfg.Vertices()
+		for _, e := range edges {
+			if e.Src < 0 || e.Src >= n || e.Dst < 0 || e.Dst >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package xeon
+
+// cache is a set-associative cache with true-LRU replacement, keyed by line
+// number. It tracks presence only — data is carried functionally by the
+// kernels — which is all a timing model needs.
+type cache struct {
+	sets    int
+	assoc   int
+	tags    []int64  // sets*assoc entries; -1 = invalid
+	stamps  []uint64 // LRU timestamps parallel to tags
+	dirty   []bool   // parallel to tags
+	tick    uint64
+	hits    uint64
+	misses  uint64
+	inserts uint64
+}
+
+// newCache builds a cache of the given total size in lines.
+func newCache(totalBytes, lineBytes, assoc int) *cache {
+	lines := totalBytes / lineBytes
+	sets := lines / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	c := &cache{
+		sets:   sets,
+		assoc:  assoc,
+		tags:   make([]int64, sets*assoc),
+		stamps: make([]uint64, sets*assoc),
+		dirty:  make([]bool, sets*assoc),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+func (c *cache) setOf(line int64) int {
+	s := int(line % int64(c.sets))
+	if s < 0 {
+		s += c.sets
+	}
+	return s
+}
+
+// lookup probes for line, updating LRU state on a hit. It reports whether
+// the line was present.
+func (c *cache) lookup(line int64) bool {
+	base := c.setOf(line) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == line {
+			c.tick++
+			c.stamps[base+w] = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// contains probes without updating LRU or statistics.
+func (c *cache) contains(line int64) bool {
+	base := c.setOf(line) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// markDirty flags a resident line as modified; it is a no-op for lines
+// not present.
+func (c *cache) markDirty(line int64) {
+	base := c.setOf(line) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == line {
+			c.dirty[base+w] = true
+			return
+		}
+	}
+}
+
+// insert fills line, evicting the LRU way of its set if needed, and
+// reports the evicted line and whether it was dirty (needing writeback).
+// Inserting a line that is already present only refreshes its LRU stamp.
+func (c *cache) insert(line int64) (evicted int64, wasDirty bool) {
+	base := c.setOf(line) * c.assoc
+	victim := base
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.tick++
+			c.stamps[i] = c.tick
+			return -1, false
+		}
+		if c.tags[i] == -1 {
+			victim = i
+			break
+		}
+		if c.stamps[i] < c.stamps[victim] {
+			victim = i
+		}
+	}
+	evicted, wasDirty = c.tags[victim], c.dirty[victim]
+	c.tick++
+	c.tags[victim] = line
+	c.stamps[victim] = c.tick
+	c.dirty[victim] = false
+	c.inserts++
+	if evicted == -1 {
+		return -1, false
+	}
+	return evicted, wasDirty
+}
+
+// lines reports the cache's capacity in lines.
+func (c *cache) lines() int { return c.sets * c.assoc }
+
+// resident counts valid lines (test helper; O(capacity)).
+func (c *cache) resident() int {
+	n := 0
+	for _, t := range c.tags {
+		if t != -1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,101 @@
+package xeon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := newCache(1024, 64, 4) // 16 lines, 4 sets
+	if c.lookup(5) {
+		t.Fatal("hit in empty cache")
+	}
+	c.insert(5)
+	if !c.lookup(5) {
+		t.Fatal("miss after insert")
+	}
+	if c.hits != 1 || c.misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.hits, c.misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(4*64, 64, 4) // one set of 4 ways
+	for line := int64(0); line < 4; line++ {
+		c.insert(line * 1) // all map to set 0 (sets=1)
+	}
+	c.lookup(0) // refresh line 0 -> line 1 is now LRU
+	c.insert(100)
+	if !c.contains(0) {
+		t.Fatal("recently used line evicted")
+	}
+	if c.contains(1) {
+		t.Fatal("LRU line survived")
+	}
+	if !c.contains(100) {
+		t.Fatal("inserted line absent")
+	}
+}
+
+func TestCacheInsertExistingRefreshes(t *testing.T) {
+	c := newCache(4*64, 64, 4)
+	for line := int64(0); line < 4; line++ {
+		c.insert(line)
+	}
+	c.insert(0) // refresh, not duplicate
+	c.insert(50)
+	if c.contains(1) {
+		t.Fatal("line 1 should be the eviction victim")
+	}
+	if !c.contains(0) {
+		t.Fatal("refreshed line evicted")
+	}
+	// No duplicates: resident count equals capacity.
+	if c.resident() != 4 {
+		t.Fatalf("resident = %d", c.resident())
+	}
+}
+
+func TestCacheSetIsolation(t *testing.T) {
+	c := newCache(2*2*64, 64, 2) // 2 sets x 2 ways
+	// Lines 0,2,4,6 map to set 0; lines 1,3 to set 1.
+	c.insert(0)
+	c.insert(2)
+	c.insert(4) // evicts 0 from set 0
+	if c.contains(0) {
+		t.Fatal("set-0 eviction missing")
+	}
+	c.insert(1)
+	if !c.contains(1) || !c.contains(2) || !c.contains(4) {
+		t.Fatal("set isolation broken")
+	}
+}
+
+func TestCacheNegativeLineSafety(t *testing.T) {
+	c := newCache(1024, 64, 4)
+	c.insert(-7) // must not panic; -7 mod sets handled
+	if !c.contains(-7) {
+		t.Fatal("negative line lost")
+	}
+}
+
+// Property: the cache never holds more distinct lines than its capacity,
+// and a just-inserted line is always resident.
+func TestCacheCapacityProperty(t *testing.T) {
+	f := func(lines []int16) bool {
+		c := newCache(8*64, 64, 2) // 8 lines
+		for _, l := range lines {
+			c.insert(int64(l))
+			if !c.contains(int64(l)) {
+				return false
+			}
+			if c.resident() > c.lines() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

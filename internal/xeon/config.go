@@ -1,0 +1,146 @@
+// Package xeon models the paper's CPU comparison platforms: a dual-socket
+// Sandy Bridge Xeon E5-2670 (STREAM and pointer chasing) and a four-socket
+// Haswell Xeon E7-4850 v3 (SpMV). The model is the cache-architecture
+// counterpoint to the Emu machine model: set-associative L2/L3 caches with
+// 64-byte lines, a stream prefetcher, and DRAM channels with open-row
+// (8 KiB page) bank state. These are precisely the mechanisms behind the
+// Xeon behaviours the paper reports — full-line transfers for 16-byte
+// elements, a performance sweet spot at one-DRAM-page blocks, and
+// near-nominal STREAM bandwidth.
+package xeon
+
+import (
+	"fmt"
+
+	"emuchick/internal/sim"
+)
+
+// Config describes one CPU platform.
+type Config struct {
+	Name string
+
+	// Cores.
+	Cores          int   // physical cores
+	ThreadsPerCore int   // hardware threads per core (SMT)
+	CoreHz         int64 // core clock
+
+	// Cache hierarchy: a private per-core L2 and a shared L3.
+	LineBytes int
+	L2Bytes   int
+	L2Assoc   int
+	L2Latency sim.Time
+	L3Bytes   int
+	L3Assoc   int
+	L3Latency sim.Time
+
+	// DRAM.
+	Channels           int
+	ChannelBytesPerSec float64
+	RowBytes           int // DRAM page size; the paper leans on 8 KiB
+	BanksPerChannel    int
+	RowHitLatency      sim.Time
+	RowMissLatency     sim.Time
+
+	// Stream prefetcher: lines fetched ahead once a sequential stream is
+	// detected. Zero disables prefetching.
+	PrefetchDegree int
+
+	// Runtime.
+	SpawnOverhead sim.Time // cilk_spawn cost (parent charge and child start delay)
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0 || c.ThreadsPerCore <= 0:
+		return fmt.Errorf("xeon: config %q: core counts must be positive", c.Name)
+	case c.CoreHz <= 0:
+		return fmt.Errorf("xeon: config %q: CoreHz must be positive", c.Name)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("xeon: config %q: LineBytes must be a positive power of two", c.Name)
+	case c.L2Bytes <= 0 || c.L2Assoc <= 0 || c.L3Bytes <= 0 || c.L3Assoc <= 0:
+		return fmt.Errorf("xeon: config %q: cache geometry must be positive", c.Name)
+	case c.L2Bytes%(c.LineBytes*c.L2Assoc) != 0:
+		return fmt.Errorf("xeon: config %q: L2 size not divisible into sets", c.Name)
+	case c.L3Bytes%(c.LineBytes*c.L3Assoc) != 0:
+		return fmt.Errorf("xeon: config %q: L3 size not divisible into sets", c.Name)
+	case c.Channels <= 0 || c.ChannelBytesPerSec <= 0:
+		return fmt.Errorf("xeon: config %q: DRAM channels must be positive", c.Name)
+	case c.RowBytes < c.LineBytes:
+		return fmt.Errorf("xeon: config %q: RowBytes smaller than a line", c.Name)
+	case c.BanksPerChannel <= 0:
+		return fmt.Errorf("xeon: config %q: BanksPerChannel must be positive", c.Name)
+	case c.RowHitLatency <= 0 || c.RowMissLatency < c.RowHitLatency:
+		return fmt.Errorf("xeon: config %q: row latencies inconsistent", c.Name)
+	case c.PrefetchDegree < 0:
+		return fmt.Errorf("xeon: config %q: negative prefetch degree", c.Name)
+	case c.SpawnOverhead < 0:
+		return fmt.Errorf("xeon: config %q: negative spawn overhead", c.Name)
+	}
+	return nil
+}
+
+// HardwareThreads reports the total hardware thread slots.
+func (c Config) HardwareThreads() int { return c.Cores * c.ThreadsPerCore }
+
+// PeakMemoryBytesPerSec reports the nominal peak memory bandwidth — for
+// the Sandy Bridge configuration this is the paper's 51.2 GB/s.
+func (c Config) PeakMemoryBytesPerSec() float64 {
+	return float64(c.Channels) * c.ChannelBytesPerSec
+}
+
+// SandyBridgeXeon returns the dual-socket E5-2670 used for STREAM and
+// pointer chasing: 16 cores / 32 threads at 2.6 GHz, a 2x20 MiB shared L3
+// (modelled as one 40 MiB cache), and four DDR3-1600 channels totalling
+// 51.2 GB/s.
+func SandyBridgeXeon() Config {
+	return Config{
+		Name:               "xeon-e5-2670-sandybridge",
+		Cores:              16,
+		ThreadsPerCore:     2,
+		CoreHz:             2.6e9,
+		LineBytes:          64,
+		L2Bytes:            256 << 10,
+		L2Assoc:            8,
+		L2Latency:          4 * sim.Nanosecond,
+		L3Bytes:            20 << 20, // per-socket capacity; a thread caches in its own socket
+		L3Assoc:            16,
+		L3Latency:          13 * sim.Nanosecond,
+		Channels:           4,
+		ChannelBytesPerSec: 12.8e9,
+		RowBytes:           8 << 10,
+		BanksPerChannel:    8,
+		RowHitLatency:      50 * sim.Nanosecond,
+		RowMissLatency:     95 * sim.Nanosecond,
+		PrefetchDegree:     8,
+		SpawnOverhead:      1 * sim.Microsecond,
+	}
+}
+
+// HaswellXeon returns the four-socket E7-4850 v3 used for SpMV: 56 cores at
+// 2.2 GHz, 4x35 MiB L3, and buffered DDR4 at 1333 MT/s giving 85 GB/s of
+// nominal bandwidth per socket. NUMA is flattened (the paper interleaves
+// with numactl), so the model exposes one uniform memory system.
+func HaswellXeon() Config {
+	return Config{
+		Name:               "xeon-e7-4850v3-haswell",
+		Cores:              56,
+		ThreadsPerCore:     2,
+		CoreHz:             2.2e9,
+		LineBytes:          64,
+		L2Bytes:            256 << 10,
+		L2Assoc:            8,
+		L2Latency:          4 * sim.Nanosecond,
+		L3Bytes:            35 << 20, // per-socket capacity
+		L3Assoc:            20,
+		L3Latency:          15 * sim.Nanosecond,
+		Channels:           32,
+		ChannelBytesPerSec: 10.6e9,
+		RowBytes:           8 << 10,
+		BanksPerChannel:    16,
+		RowHitLatency:      60 * sim.Nanosecond,
+		RowMissLatency:     110 * sim.Nanosecond,
+		PrefetchDegree:     8,
+		SpawnOverhead:      1 * sim.Microsecond,
+	}
+}

@@ -1,0 +1,101 @@
+package xeon
+
+import (
+	"fmt"
+
+	"emuchick/internal/sim"
+)
+
+// dram models the memory controller: lines interleave across channels,
+// each channel has banks with one open row apiece (open-page policy), and
+// each line transfer occupies its channel for LineBytes at the channel
+// rate. A request to a bank whose open row differs pays the row-miss
+// latency and switches the open row — the mechanism behind the paper's
+// observation that "an entire DRAM row must be activated for each element
+// traversed" under random access.
+type dram struct {
+	cfg          *Config
+	channels     []*sim.Resource
+	openRow      [][]int64 // [channel][bank] open row, -1 = closed
+	lineTime     sim.Time
+	linesPerRow  int64
+	rowHits      uint64
+	rowMisses    uint64
+	linesFetched uint64
+}
+
+func newDRAM(cfg *Config) *dram {
+	d := &dram{
+		cfg:         cfg,
+		channels:    make([]*sim.Resource, cfg.Channels),
+		openRow:     make([][]int64, cfg.Channels),
+		lineTime:    sim.TransferTime(int64(cfg.LineBytes), cfg.ChannelBytesPerSec),
+		linesPerRow: int64(cfg.RowBytes / cfg.LineBytes),
+	}
+	for ch := range d.channels {
+		d.channels[ch] = sim.NewResource(fmt.Sprintf("dram.ch%d", ch))
+		d.openRow[ch] = make([]int64, cfg.BanksPerChannel)
+		for b := range d.openRow[ch] {
+			d.openRow[ch][b] = -1
+		}
+	}
+	return d
+}
+
+// locate maps a line to its channel, bank, and row: consecutive lines
+// interleave across channels (fine-grained interleave, as memory
+// controllers do to balance streams), and each channel's consecutive
+// lines share a row until the page boundary.
+func (d *dram) locate(line int64) (ch, bank int, row int64) {
+	ch = int(line % int64(d.cfg.Channels))
+	if ch < 0 {
+		ch += d.cfg.Channels
+	}
+	perChannel := line / int64(d.cfg.Channels)
+	row = perChannel / d.linesPerRow
+	bank = int(row % int64(d.cfg.BanksPerChannel))
+	return ch, bank, row
+}
+
+// fetch books the transfer of one line arriving at the controller at time
+// now and returns its completion time.
+func (d *dram) fetch(now sim.Time, line int64) sim.Time {
+	ch, bank, row := d.locate(line)
+	lat := d.cfg.RowHitLatency
+	if d.openRow[ch][bank] != row {
+		lat = d.cfg.RowMissLatency
+		d.openRow[ch][bank] = row
+		d.rowMisses++
+	} else {
+		d.rowHits++
+	}
+	d.linesFetched++
+	_, served := d.channels[ch].Acquire(now, d.lineTime)
+	return served + lat
+}
+
+// writeback books the transfer of one dirty line back to memory at time
+// now. Nobody waits on a writeback; it only consumes channel bandwidth and
+// bank row state.
+func (d *dram) writeback(now sim.Time, line int64) {
+	ch, bank, row := d.locate(line)
+	if d.openRow[ch][bank] != row {
+		d.rowMisses++
+		d.openRow[ch][bank] = row
+	} else {
+		d.rowHits++
+	}
+	d.channels[ch].Acquire(now, d.lineTime)
+}
+
+// busiestUtilization reports the highest per-channel utilization over the
+// window (a saturation indicator).
+func (d *dram) busiestUtilization(elapsed sim.Time) float64 {
+	best := 0.0
+	for _, ch := range d.channels {
+		if u := ch.Utilization(elapsed); u > best {
+			best = u
+		}
+	}
+	return best
+}

@@ -1,0 +1,86 @@
+package xeon
+
+import (
+	"testing"
+
+	"emuchick/internal/sim"
+)
+
+func TestDRAMRowHitVsMiss(t *testing.T) {
+	cfg := SandyBridgeXeon()
+	d := newDRAM(&cfg)
+	// First touch of a row is a miss.
+	done1 := d.fetch(0, 0)
+	if d.rowMisses != 1 || d.rowHits != 0 {
+		t.Fatalf("first access: hits=%d misses=%d", d.rowHits, d.rowMisses)
+	}
+	// The next line on the SAME channel shares the open row: lines
+	// interleave across channels, so that is line+Channels.
+	done2 := d.fetch(done1, int64(cfg.Channels)) - done1
+	if d.rowHits != 1 {
+		t.Fatal("same-row access not a hit")
+	}
+	if done2 >= done1 {
+		t.Fatalf("row hit (%v) not faster than cold miss (%v)", done2, done1)
+	}
+	// A different row on the same channel and bank: miss again.
+	linesApart := int64(cfg.Channels) * int64(cfg.RowBytes/cfg.LineBytes) * int64(cfg.BanksPerChannel)
+	d.fetch(done1, linesApart)
+	if d.rowMisses != 2 {
+		t.Fatal("row conflict not a miss")
+	}
+}
+
+func TestDRAMChannelOccupancy(t *testing.T) {
+	cfg := SandyBridgeXeon()
+	d := newDRAM(&cfg)
+	// Two back-to-back fetches to the same channel (lines interleave
+	// across channels, so line 0 and line Channels share channel 0): the
+	// second must wait out the first's transfer time.
+	d.fetch(0, 0)
+	d.fetch(0, int64(cfg.Channels))
+	lineTime := sim.TransferTime(int64(cfg.LineBytes), cfg.ChannelBytesPerSec)
+	ch := d.channels[0]
+	if ch.Ops() != 2 {
+		t.Fatalf("channel served %d ops", ch.Ops())
+	}
+	if ch.TotalWait() != lineTime {
+		t.Fatalf("queueing wait %v, want one line time %v", ch.TotalWait(), lineTime)
+	}
+	if ch.BusyTime() != 2*lineTime {
+		t.Fatalf("busy time %v, want %v", ch.BusyTime(), 2*lineTime)
+	}
+}
+
+func TestDRAMChannelInterleave(t *testing.T) {
+	cfg := SandyBridgeXeon()
+	d := newDRAM(&cfg)
+	// Adjacent lines land on different channels, so they do not queue
+	// behind each other.
+	a := d.fetch(0, 0)
+	b := d.fetch(0, 1)
+	if a != b {
+		t.Fatalf("independent channels queued: %v vs %v", a, b)
+	}
+	used := 0
+	for _, ch := range d.channels {
+		if ch.Ops() > 0 {
+			used++
+		}
+	}
+	if used != 2 {
+		t.Fatalf("fetches used %d channels, want 2", used)
+	}
+}
+
+func TestBusiestUtilization(t *testing.T) {
+	cfg := SandyBridgeXeon()
+	d := newDRAM(&cfg)
+	d.fetch(0, 0)
+	if u := d.busiestUtilization(10 * sim.Nanosecond); u <= 0 {
+		t.Fatal("no utilization recorded")
+	}
+	if u := d.busiestUtilization(0); u != 0 {
+		t.Fatalf("empty window utilization = %v", u)
+	}
+}

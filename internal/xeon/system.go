@@ -1,0 +1,327 @@
+package xeon
+
+import (
+	"fmt"
+
+	"emuchick/internal/sim"
+)
+
+// System is one simulated CPU platform: cores with private L2s, a shared
+// L3, a DRAM controller, and a Cilk-like runtime (Spawn/Sync) whose workers
+// are placed round-robin over hardware threads. Like machine.System it is
+// single-use.
+type System struct {
+	Cfg Config
+	Eng *sim.Engine
+
+	clock sim.Clock
+	cores []*sim.Resource // per-core issue/execute port
+	l2    []*cache        // per-core private L2
+	l3    *cache          // shared L3
+	mem   *dram
+
+	nextHW  int   // round-robin hardware-thread placement cursor
+	nextMem int64 // bump allocator for model addresses
+
+	// prefetchReady holds the DRAM completion time of lines that were
+	// prefetched into the caches but whose transfer may still be in
+	// flight; a demand hit on such a line waits for it.
+	prefetchReady map[int64]sim.Time
+
+	DRAMLines      uint64 // lines fetched from memory (fills + prefetches)
+	WritebackLines uint64 // dirty lines written back to memory
+	NTWriteLines   uint64 // lines written by non-temporal stores
+}
+
+// NewSystem builds a CPU platform from the configuration, panicking on an
+// invalid one.
+func NewSystem(cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{
+		Cfg:           cfg,
+		Eng:           sim.NewEngine(),
+		clock:         sim.NewClock(cfg.CoreHz),
+		cores:         make([]*sim.Resource, cfg.Cores),
+		l2:            make([]*cache, cfg.Cores),
+		l3:            newCache(cfg.L3Bytes, cfg.LineBytes, cfg.L3Assoc),
+		mem:           newDRAM(&cfg),
+		prefetchReady: make(map[int64]sim.Time),
+	}
+	for i := range s.cores {
+		s.cores[i] = sim.NewResource(fmt.Sprintf("core%d", i))
+		s.l2[i] = newCache(cfg.L2Bytes, cfg.LineBytes, cfg.L2Assoc)
+	}
+	return s
+}
+
+// Alloc reserves bytes of model address space, aligned to a cache line,
+// and returns the base address. The addresses drive the timing model only;
+// kernels keep their data in ordinary Go slices.
+func (s *System) Alloc(bytes int64) int64 {
+	base := s.nextMem
+	lb := int64(s.Cfg.LineBytes)
+	s.nextMem += (bytes + lb - 1) / lb * lb
+	return base
+}
+
+// RowHitRatio reports the fraction of DRAM line fetches that hit an open
+// row.
+func (s *System) RowHitRatio() float64 {
+	total := s.mem.rowHits + s.mem.rowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.mem.rowHits) / float64(total)
+}
+
+// PeakChannelUtilization reports the busiest DRAM channel's utilization.
+func (s *System) PeakChannelUtilization(elapsed sim.Time) float64 {
+	return s.mem.busiestUtilization(elapsed)
+}
+
+// Run executes root as the first software thread and drives the simulation
+// to completion, returning total simulated time.
+func (s *System) Run(root func(*CPUThread)) (sim.Time, error) {
+	start := s.Eng.Now()
+	s.startThread(s.Eng.Now(), root, nil)
+	if err := s.Eng.Run(); err != nil {
+		return 0, err
+	}
+	return s.Eng.Now() - start, nil
+}
+
+func (s *System) startThread(at sim.Time, body func(*CPUThread), parent *sim.Join) {
+	core := (s.nextHW) % s.Cfg.Cores
+	s.nextHW = (s.nextHW + 1) % s.Cfg.HardwareThreads()
+	s.Eng.GoAt(at, "cpu", func(p *sim.Proc) {
+		t := &CPUThread{sys: s, p: p, core: core, wcLine: -1}
+		for i := range t.streams {
+			t.streams[i] = -2 // no stream tracks line -2 or -1
+		}
+		body(t)
+		if t.children != nil {
+			t.children.Wait(p)
+		}
+		if parent != nil {
+			parent.Done()
+		}
+	})
+}
+
+// streamTableSize is how many concurrent sequential streams the per-thread
+// prefetcher tracks — real L2 prefetchers track several, which matters for
+// kernels like STREAM that interleave accesses to multiple arrays.
+const streamTableSize = 4
+
+// CPUThread is one software thread of the Cilk runtime, pinned to a core.
+type CPUThread struct {
+	sys      *System
+	p        *sim.Proc
+	core     int
+	children *sim.Join
+
+	// Stream-prefetcher state (per hardware context): last line and run
+	// length of each tracked stream, plus a round-robin victim cursor.
+	streams [streamTableSize]int64
+	runs    [streamTableSize]int
+	victim  int
+
+	// wcLine is the line held by the non-temporal write-combining buffer.
+	wcLine int64
+}
+
+// Core reports the core the thread is pinned to.
+func (t *CPUThread) Core() int { return t.core }
+
+// Now reports the current simulated time.
+func (t *CPUThread) Now() sim.Time { return t.p.Now() }
+
+// System returns the platform the thread runs on.
+func (t *CPUThread) System() *System { return t.sys }
+
+// Compute charges cycles of execution on the thread's core.
+func (t *CPUThread) Compute(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	_, done := t.sys.cores[t.core].Acquire(t.p.Now(), t.sys.clock.Cycles(cycles))
+	t.p.WaitUntil(done)
+}
+
+// Read models a blocking load of bytes at addr, walking the cache
+// hierarchy per covered line.
+func (t *CPUThread) Read(addr, bytes int64) { t.access(addr, bytes, false) }
+
+// Write models a store of bytes at addr with write-allocate semantics: the
+// line is fetched like a read, marked dirty, and written back to memory
+// when eventually evicted (consuming channel bandwidth asynchronously).
+func (t *CPUThread) Write(addr, bytes int64) { t.access(addr, bytes, true) }
+
+// WriteNT models a non-temporal (streaming) store: it bypasses the caches
+// through a per-thread write-combining buffer, booking one full-line DRAM
+// write each time the store stream enters a new line. Tuned STREAM kernels
+// use it for the destination array. The thread does not stall.
+func (t *CPUThread) WriteNT(addr, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	s := t.sys
+	lb := int64(s.Cfg.LineBytes)
+	first := addr / lb
+	last := (addr + bytes - 1) / lb
+	for line := first; line <= last; line++ {
+		if line == t.wcLine {
+			continue // combines into the open write-combining buffer
+		}
+		t.wcLine = line
+		s.mem.writeback(t.p.Now(), line)
+		s.NTWriteLines++
+	}
+}
+
+func (t *CPUThread) access(addr, bytes int64, write bool) {
+	if bytes <= 0 {
+		return
+	}
+	s := t.sys
+	lb := int64(s.Cfg.LineBytes)
+	first := addr / lb
+	last := (addr + bytes - 1) / lb
+	finish := t.p.Now()
+	for line := first; line <= last; line++ {
+		if done := t.lineAccess(line, write); done > finish {
+			finish = done
+		}
+	}
+	t.p.WaitUntil(finish)
+}
+
+// insertL3 fills a line into the shared L3, writing back the dirty victim.
+func (s *System) insertL3(now sim.Time, line int64) {
+	if ev, dirty := s.l3.insert(line); dirty {
+		s.mem.writeback(now, ev)
+		s.WritebackLines++
+	}
+}
+
+// insertL2 fills a line into a core's L2; a dirty victim is absorbed by
+// the L3 when present there (marked dirty), otherwise written to memory.
+func (s *System) insertL2(now sim.Time, core int, line int64) {
+	ev, dirty := s.l2[core].insert(line)
+	if !dirty {
+		return
+	}
+	if s.l3.contains(ev) {
+		s.l3.markDirty(ev)
+		return
+	}
+	s.mem.writeback(now, ev)
+	s.WritebackLines++
+}
+
+// lineAccess resolves one line through L2 -> L3 -> DRAM and returns the
+// completion time. It also drives the stream prefetcher.
+func (t *CPUThread) lineAccess(line int64, write bool) sim.Time {
+	s := t.sys
+	now := t.p.Now()
+
+	// Stream detection: two sequential line advances on any tracked
+	// stream arm the prefetcher, which then runs PrefetchDegree lines
+	// ahead into L3.
+	if s.Cfg.PrefetchDegree > 0 && t.prefetchArm(line) {
+		for ahead := int64(1); ahead <= int64(s.Cfg.PrefetchDegree); ahead++ {
+			pl := line + ahead
+			if !s.l3.contains(pl) {
+				ready := s.mem.fetch(now, pl)
+				s.insertL3(now, pl)
+				s.prefetchReady[pl] = ready
+				s.DRAMLines++
+			}
+			// The L2 prefetcher pulls the stream into the requesting
+			// core's private cache, which is what lets STREAM run at
+			// L2 speed.
+			s.insertL2(now, t.core, pl)
+		}
+	}
+
+	// waitReady adds any in-flight prefetch completion to a hit time, so
+	// prefetched lines cannot be consumed faster than DRAM delivers them.
+	waitReady := func(done sim.Time) sim.Time {
+		if ready, ok := s.prefetchReady[line]; ok {
+			delete(s.prefetchReady, line)
+			if ready > done {
+				return ready
+			}
+		}
+		return done
+	}
+
+	if s.l2[t.core].lookup(line) {
+		if write {
+			s.l2[t.core].markDirty(line)
+		}
+		return waitReady(now + s.Cfg.L2Latency)
+	}
+	if s.l3.lookup(line) {
+		s.insertL2(now, t.core, line)
+		if write {
+			s.l2[t.core].markDirty(line)
+		}
+		return waitReady(now + s.Cfg.L3Latency)
+	}
+	done := s.mem.fetch(now, line)
+	s.insertL3(now, line)
+	s.insertL2(now, t.core, line)
+	if write {
+		s.l2[t.core].markDirty(line)
+	}
+	s.DRAMLines++
+	return done
+}
+
+// prefetchArm feeds one demand line to the stream table and reports
+// whether an armed stream should prefetch ahead of it. Re-touching a
+// stream's current line is neutral; advancing it by one line extends the
+// run; anything else allocates a fresh table entry round-robin.
+func (t *CPUThread) prefetchArm(line int64) bool {
+	for i := range t.streams {
+		switch line {
+		case t.streams[i]:
+			return false
+		case t.streams[i] + 1:
+			t.streams[i] = line
+			t.runs[i]++
+			return t.runs[i] >= 2
+		}
+	}
+	t.streams[t.victim] = line
+	t.runs[t.victim] = 0
+	t.victim = (t.victim + 1) % streamTableSize
+	return false
+}
+
+// Spawn creates a child thread (cilk_spawn): the parent is charged the
+// runtime's spawn overhead and the child begins after the same overhead on
+// the next hardware thread slot.
+func (t *CPUThread) Spawn(fn func(*CPUThread)) {
+	s := t.sys
+	if s.Cfg.SpawnOverhead > 0 {
+		_, done := s.cores[t.core].Acquire(t.p.Now(), s.Cfg.SpawnOverhead)
+		t.p.WaitUntil(done)
+	}
+	if t.children == nil {
+		t.children = sim.NewJoin(0)
+	}
+	t.children.Add(1)
+	s.startThread(t.p.Now()+s.Cfg.SpawnOverhead, fn, t.children)
+}
+
+// Sync blocks until all children spawned so far have finished (cilk_sync).
+func (t *CPUThread) Sync() {
+	if t.children == nil || t.children.Pending() == 0 {
+		return
+	}
+	t.children.Wait(t.p)
+}
