@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-quick bench figures figures-quick scorecard scorecard-quick examples clean
+.PHONY: all build vet test test-quick bench bench-quick race figures figures-quick scorecard scorecard-quick examples clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,16 @@ test-quick: test
 
 bench:
 	$(GO) test -bench . -benchmem .
+
+# One pass over the figure benchmarks, archived as JSON (name, ns/op, and
+# the simulated-bandwidth metrics) so engine changes can be diffed.
+bench-quick:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime 1x . | $(GO) run ./cmd/benchjson > BENCH_engine.json
+
+# Race-detector pass over the event engine and the parallel experiment
+# runner — the two packages that share state across goroutines.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/experiments/...
 
 # Regenerate every paper artifact at full size (~10-15 minutes).
 figures:

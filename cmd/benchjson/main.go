@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON document on stdout, so benchmark runs can be archived and
+// diffed (see `make bench-quick`, which writes BENCH_engine.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkFig' -benchtime 1x . | benchjson
+//
+// Each benchmark line contributes its iteration count, ns/op, and any
+// custom b.ReportMetric values (simMB/s, %ofpeak, ...). Header lines
+// (goos, goarch, pkg, cpu) become the context object.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type document struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []result          `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	doc := document{Context: map[string]string{}, Benchmarks: []result{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if key, val, ok := contextLine(line); ok {
+			doc.Context[key] = val
+			continue
+		}
+		if r, ok := benchLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(doc.Context) == 0 {
+		doc.Context = nil
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// contextLine recognizes the `go test` preamble: "goos: linux" and friends.
+func contextLine(line string) (key, val string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if rest, found := strings.CutPrefix(line, k+":"); found {
+			return k, strings.TrimSpace(rest), true
+		}
+	}
+	return "", "", false
+}
+
+// benchLine parses "BenchmarkName[-P]  N  V1 unit1  V2 unit2 ...".
+// The -P GOMAXPROCS suffix is stripped so names stay stable across hosts.
+func benchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Iterations: iters}
+	// Remaining fields alternate value/unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: emuchick
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFig4StreamSingleNodelet 	       1	   3868043 ns/op	       149.2 simMB/s
+BenchmarkFig8Utilization-8       	       2	  51234567 ns/op	        79.90 %ofpeak	    1024 B/op	       3 allocs/op
+PASS
+ok  	emuchick	0.007s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["cpu"] == "" {
+		t.Fatalf("context = %v", doc.Context)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkFig4StreamSingleNodelet" || b0.Iterations != 1 {
+		t.Fatalf("b0 = %+v", b0)
+	}
+	if b0.NsPerOp != 3868043 {
+		t.Fatalf("b0.NsPerOp = %v", b0.NsPerOp)
+	}
+	if b0.Metrics["simMB/s"] != 149.2 {
+		t.Fatalf("b0.Metrics = %v", b0.Metrics)
+	}
+	b1 := doc.Benchmarks[1]
+	if b1.Name != "BenchmarkFig8Utilization" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", b1.Name)
+	}
+	if b1.Metrics["%ofpeak"] != 79.90 || b1.Metrics["B/op"] != 1024 || b1.Metrics["allocs/op"] != 3 {
+		t.Fatalf("b1.Metrics = %v", b1.Metrics)
+	}
+}
+
+func TestRunIgnoresNonBenchLines(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok emuchick 1.2s\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %v", doc.Benchmarks)
+	}
+	if doc.Context != nil {
+		t.Fatalf("context = %v", doc.Context)
+	}
+}
+
+func TestBenchLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX abc 100 ns/op",
+		"NotABench 1 100 ns/op",
+		"BenchmarkX 1 xyz ns/op",
+	} {
+		if _, ok := benchLine(line); ok {
+			t.Errorf("benchLine(%q) accepted malformed input", line)
+		}
+	}
+}

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	emubench [-fig all|fig4,fig6,...] [-format table|csv|chart|all]
-//	         [-trials N] [-quick] [-list]
+//	         [-trials N] [-quick] [-list] [-parallel N]
+//	         [-cpuprofile file] [-memprofile file]
 //
 // Each experiment produces the same series the corresponding paper artifact
 // plots; -format chart renders an ASCII approximation of the figure so the
@@ -17,6 +18,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,6 +43,9 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "shrink workloads for a fast smoke run")
 	list := fs.Bool("list", false, "list experiments and exit")
 	outdir := fs.String("outdir", "", "also write each figure as <outdir>/<figure-id>.json")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent simulations (results are identical at any setting)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +53,28 @@ func run(args []string, out io.Writer) error {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			return err
 		}
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // materialize the final allocation state
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
 	}
 
 	if *list {
@@ -66,7 +94,7 @@ func run(args []string, out io.Writer) error {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	opts := experiments.Options{Trials: *trials, Quick: *quick}
+	opts := experiments.Options{Trials: *trials, Quick: *quick, Parallel: *parallel}
 	for _, id := range ids {
 		e, err := experiments.ByID(id)
 		if err != nil {

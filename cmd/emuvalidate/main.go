@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	emuvalidate [-quick] [-trials N] [-claim id]
+//	emuvalidate [-quick] [-trials N] [-claim id] [-parallel N]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"emuchick/internal/claims"
@@ -35,10 +36,11 @@ func run(args []string, out io.Writer) (bool, error) {
 	quick := fs.Bool("quick", false, "shrink workloads for a fast smoke run")
 	trials := fs.Int("trials", 0, "trials per seeded data point")
 	claimID := fs.String("claim", "", "check a single claim by id")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent simulations (results are identical at any setting)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
-	opts := experiments.Options{Quick: *quick, Trials: *trials}
+	opts := experiments.Options{Quick: *quick, Trials: *trials, Parallel: *parallel}
 
 	list := claims.All()
 	if *claimID != "" {

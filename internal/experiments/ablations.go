@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"strconv"
+
 	"emuchick/internal/cilk"
 	"emuchick/internal/cpukernels"
 	"emuchick/internal/kernels"
@@ -63,29 +65,33 @@ func runAblationMigrationRate(o Options) ([]*metrics.Figure, error) {
 		rates = []float64{9e6, 16e6}
 		trials = 2
 	}
-	fig := &metrics.Figure{
-		ID:     "ablation-migration-rate",
-		Title:  "Pointer chasing, block 1, vs migration-engine rate",
-		XLabel: "engine rate (M migrations/s)",
-		YLabel: "MB/s",
-	}
-	s := &metrics.Series{Name: "block1_512t"}
-	for _, rate := range rates {
-		cfg := machine.HardwareChick()
-		cfg.MigrationsPerSec = rate
-		stats := metrics.Trials(trials, func(trial int) float64 {
+	stats, err := sweep{series: 1, points: len(rates), trials: trials}.run(o,
+		func(_, pi, trial int) (float64, error) {
+			cfg := machine.HardwareChick()
+			cfg.MigrationsPerSec = rates[pi]
 			res, err := kernels.PointerChase(cfg, kernels.ChaseConfig{
 				Elements: elements, BlockSize: 1, Mode: workload.FullBlockShuffle,
 				Seed: uint64(trial)*17 + 3, Threads: threads, Nodelets: 8,
 			})
 			if err != nil {
-				panic(err)
+				return 0, err
 			}
-			return res.MBps()
+			return res.MBps(), nil
 		})
-		s.Add(rate/1e6, stats)
+	if err != nil {
+		return nil, err
 	}
-	fig.Series = []*metrics.Series{s}
+	xs := make([]float64, len(rates))
+	for i, rate := range rates {
+		xs[i] = rate / 1e6
+	}
+	fig := &metrics.Figure{
+		ID:     "ablation-migration-rate",
+		Title:  "Pointer chasing, block 1, vs migration-engine rate",
+		XLabel: "engine rate (M migrations/s)",
+		YLabel: "MB/s",
+		Series: assemble([]string{"block1_512t"}, xs, stats),
+	}
 	return []*metrics.Figure{fig}, nil
 }
 
@@ -102,18 +108,25 @@ func runAblationSpawnLocality(o Options) ([]*metrics.Figure, error) {
 		YLabel: "MB/s",
 		XTicks: map[float64]string{},
 	}
-	s := &metrics.Series{Name: "stream_256t"}
-	for i, strat := range cilk.Strategies {
-		fig.XTicks[float64(i)] = strat.String()
-		res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
-			ElemsPerNodelet: elems, Nodelets: 8, Threads: threads, Strategy: strat,
+	stats, err := sweep{series: 1, points: len(cilk.Strategies)}.run(o,
+		func(_, pi, _ int) (float64, error) {
+			res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
+				ElemsPerNodelet: elems, Nodelets: 8, Threads: threads, Strategy: cilk.Strategies[pi],
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		s.Add(float64(i), single(res.MBps()))
+	if err != nil {
+		return nil, err
 	}
-	fig.Series = []*metrics.Series{s}
+	xs := make([]float64, len(cilk.Strategies))
+	for i, strat := range cilk.Strategies {
+		xs[i] = float64(i)
+		fig.XTicks[float64(i)] = strat.String()
+	}
+	fig.Series = assemble([]string{"stream_256t"}, xs, stats)
 	return []*metrics.Figure{fig}, nil
 }
 
@@ -125,32 +138,38 @@ func runAblationGrain(o Options) ([]*metrics.Figure, error) {
 		emuN, cpuN = 16, 64
 		grains = []int{16, 1024}
 	}
-	emu := &metrics.Series{Name: "emu_2d_n" + itoa(emuN)}
-	for _, g := range grains {
-		res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
-			GridN: emuN, Layout: kernels.SpMV2D, GrainNNZ: g,
+	stats, err := sweep{series: 2, points: len(grains)}.run(o,
+		func(si, pi, _ int) (float64, error) {
+			if si == 0 {
+				res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
+					GridN: emuN, Layout: kernels.SpMV2D, GrainNNZ: grains[pi],
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.MBps(), nil
+			}
+			res, err := cpukernels.SpMV(xeon.HaswellXeon(), cpukernels.SpMVConfig{
+				GridN: cpuN, Variant: cpukernels.SpMVCilkSpawn, Threads: 56, GrainNNZ: grains[pi],
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		emu.Add(float64(g), single(res.MBps()))
+	if err != nil {
+		return nil, err
 	}
-	cpu := &metrics.Series{Name: "haswell_cilk_spawn_n" + itoa(cpuN)}
-	for _, g := range grains {
-		res, err := cpukernels.SpMV(xeon.HaswellXeon(), cpukernels.SpMVConfig{
-			GridN: cpuN, Variant: cpukernels.SpMVCilkSpawn, Threads: 56, GrainNNZ: g,
-		})
-		if err != nil {
-			return nil, err
-		}
-		cpu.Add(float64(g), single(res.MBps()))
+	names := []string{
+		"emu_2d_n" + strconv.Itoa(emuN),
+		"haswell_cilk_spawn_n" + strconv.Itoa(cpuN),
 	}
 	fig := &metrics.Figure{
 		ID:     "ablation-grain",
 		Title:  "SpMV effective bandwidth vs elements per spawn",
 		XLabel: "grain (elements per spawn)",
 		YLabel: "MB/s",
-		Series: []*metrics.Series{emu, cpu},
+		Series: assemble(names, xsOf(grains), stats),
 	}
 	return []*metrics.Figure{fig}, nil
 }
@@ -161,30 +180,25 @@ func runAblationReplication(o Options) ([]*metrics.Figure, error) {
 	if o.Quick {
 		sizes = []int{12, 20}
 	}
-	rep := &metrics.Series{Name: "x_replicated"}
-	str := &metrics.Series{Name: "x_striped"}
-	for _, n := range sizes {
-		res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
-			GridN: n, Layout: kernels.SpMV2D, GrainNNZ: 16,
+	stats, err := sweep{series: 2, points: len(sizes)}.run(o,
+		func(si, pi, _ int) (float64, error) {
+			res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
+				GridN: sizes[pi], Layout: kernels.SpMV2D, GrainNNZ: 16, StripeX: si == 1,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		rep.Add(float64(n), single(res.MBps()))
-		res, err = kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
-			GridN: n, Layout: kernels.SpMV2D, GrainNNZ: 16, StripeX: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		str.Add(float64(n), single(res.MBps()))
+	if err != nil {
+		return nil, err
 	}
 	fig := &metrics.Figure{
 		ID:     "ablation-replication",
 		Title:  "SpMV 2D: replicated vs striped input vector",
 		XLabel: "Laplacian size n",
 		YLabel: "MB/s",
-		Series: []*metrics.Series{rep, str},
+		Series: assemble([]string{"x_replicated", "x_striped"}, xsOf(sizes), stats),
 	}
 	return []*metrics.Figure{fig}, nil
 }
@@ -199,28 +213,32 @@ func runAblationMigrationLatency(o Options) ([]*metrics.Figure, error) {
 		latenciesNs = []int64{800, 3000}
 		trials = 2
 	}
-	fig := &metrics.Figure{
-		ID:     "ablation-migration-latency",
-		Title:  "Pointer chasing, block 1, vs per-migration latency",
-		XLabel: "migration latency (ns)",
-		YLabel: "MB/s",
-	}
-	s := &metrics.Series{Name: "block1_512t"}
-	for _, ns := range latenciesNs {
-		cfg := machine.HardwareChick()
-		cfg.MigrationLatency = machineNs(ns)
-		stats := metrics.Trials(trials, func(trial int) float64 {
+	stats, err := sweep{series: 1, points: len(latenciesNs), trials: trials}.run(o,
+		func(_, pi, trial int) (float64, error) {
+			cfg := machine.HardwareChick()
+			cfg.MigrationLatency = machineNs(latenciesNs[pi])
 			res, err := kernels.PointerChase(cfg, kernels.ChaseConfig{
 				Elements: elements, BlockSize: 1, Mode: workload.FullBlockShuffle,
 				Seed: uint64(trial)*23 + 9, Threads: threads, Nodelets: 8,
 			})
 			if err != nil {
-				panic(err)
+				return 0, err
 			}
-			return res.MBps()
+			return res.MBps(), nil
 		})
-		s.Add(float64(ns), stats)
+	if err != nil {
+		return nil, err
 	}
-	fig.Series = []*metrics.Series{s}
+	xs := make([]float64, len(latenciesNs))
+	for i, ns := range latenciesNs {
+		xs[i] = float64(ns)
+	}
+	fig := &metrics.Figure{
+		ID:     "ablation-migration-latency",
+		Title:  "Pointer chasing, block 1, vs per-migration latency",
+		XLabel: "migration latency (ns)",
+		YLabel: "MB/s",
+		Series: assemble([]string{"block1_512t"}, xs, stats),
+	}
 	return []*metrics.Figure{fig}, nil
 }

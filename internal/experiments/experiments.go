@@ -21,6 +21,11 @@ type Options struct {
 	Trials int
 	// Quick shrinks workload sizes and sweep ranges for CI.
 	Quick bool
+	// Parallel is the worker count used to fan independent
+	// (series × sweep-point × trial) simulations across goroutines;
+	// 0 or less means runtime.GOMAXPROCS(0). Results are identical to a
+	// sequential run regardless of the setting.
+	Parallel int
 }
 
 // Defaults fills unset options.
@@ -92,15 +97,6 @@ func single(v float64) metrics.Stats {
 // seriesName builds labels like "threads=64".
 func seriesName(key string, v int) string {
 	return fmt.Sprintf("%s=%d", key, v)
-}
-
-func itoa(v int) string { return fmt.Sprintf("%d", v) }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // machineNs converts nanoseconds to sim.Time for config tweaks.

@@ -38,24 +38,33 @@ func runExtensionCSX(o Options) ([]*metrics.Figure, error) {
 		{"hw", machine.HardwareChick()},
 		{"fullspeed", machine.FullSpeed(1)},
 	}
+	// Series are ordered (config, format): hw_csr, hw_csx, fullspeed_csr,
+	// fullspeed_csx — format alternates fastest.
+	names := make([]string, 0, len(configs)*2)
 	for _, mc := range configs {
-		csr := &metrics.Series{Name: mc.label + "_csr"}
-		csx := &metrics.Series{Name: mc.label + "_csx"}
-		for _, n := range sizes {
-			r1, err := kernels.SpMV(mc.cfg, kernels.SpMVConfig{
-				GridN: n, Layout: kernels.SpMV2D, GrainNNZ: 16,
-			})
-			if err != nil {
-				return nil, err
-			}
-			csr.Add(float64(n), single(r1.MBps()))
-			r2, err := kernels.SpMVCSX(mc.cfg, kernels.SpMVCSXConfig{GridN: n, GrainNNZ: 16})
-			if err != nil {
-				return nil, err
-			}
-			csx.Add(float64(n), single(r2.MBps()))
-		}
-		fig.Series = append(fig.Series, csr, csx)
+		names = append(names, mc.label+"_csr", mc.label+"_csx")
 	}
+	stats, err := sweep{series: len(names), points: len(sizes)}.run(o,
+		func(si, pi, _ int) (float64, error) {
+			mc := configs[si/2]
+			if si%2 == 0 {
+				res, err := kernels.SpMV(mc.cfg, kernels.SpMVConfig{
+					GridN: sizes[pi], Layout: kernels.SpMV2D, GrainNNZ: 16,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.MBps(), nil
+			}
+			res, err := kernels.SpMVCSX(mc.cfg, kernels.SpMVCSXConfig{GridN: sizes[pi], GrainNNZ: 16})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = assemble(names, xsOf(sizes), stats)
 	return []*metrics.Figure{fig}, nil
 }

@@ -36,88 +36,94 @@ var fig10Platforms = []struct {
 	{"simulator", machine.SimMatched},
 }
 
+func fig10PlatformNames() []string {
+	names := make([]string, len(fig10Platforms))
+	for i, p := range fig10Platforms {
+		names[i] = p.label
+	}
+	return names
+}
+
 func runFig10(o Options) ([]*metrics.Figure, error) {
 	o = o.withDefaults()
 	elems, chaseElems := 512, 65536
 	threads := []int{8, 32, 64, 128, 256, 512}
-	trials := o.Trials
-	if trials > 3 {
-		trials = 3
-	}
+	trials := min(o.Trials, 3)
 	if o.Quick {
 		elems, chaseElems = 96, 8192
 		threads = []int{64, 256}
 		trials = 2
 	}
 
+	streamStats, err := sweep{series: len(fig10Platforms), points: len(threads)}.run(o,
+		func(si, pi, _ int) (float64, error) {
+			res, err := kernels.StreamAdd(fig10Platforms[si].cfg(), kernels.StreamConfig{
+				ElemsPerNodelet: elems, Nodelets: 8, Threads: threads[pi], Strategy: cilk.SerialRemoteSpawn,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	stream := &metrics.Figure{
 		ID:     "fig10-stream",
 		Title:  "STREAM: hardware vs simulator (8 nodelets)",
 		XLabel: "threads",
 		YLabel: "MB/s",
-	}
-	for _, p := range fig10Platforms {
-		s := &metrics.Series{Name: p.label}
-		for _, th := range threads {
-			res, err := kernels.StreamAdd(p.cfg(), kernels.StreamConfig{
-				ElemsPerNodelet: elems, Nodelets: 8, Threads: th, Strategy: cilk.SerialRemoteSpawn,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(th), single(res.MBps()))
-		}
-		stream.Series = append(stream.Series, s)
+		Series: assemble(fig10PlatformNames(), xsOf(threads), streamStats),
 	}
 
+	blocks := chaseBlocks(o.Quick)
+	chaseStats, err := sweep{series: len(fig10Platforms), points: len(blocks), trials: trials}.run(o,
+		func(si, pi, trial int) (float64, error) {
+			res, err := kernels.PointerChase(fig10Platforms[si].cfg(), kernels.ChaseConfig{
+				Elements: chaseElems, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
+				Seed: uint64(trial)*53 + 3, Threads: 512, Nodelets: 8,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	chase := &metrics.Figure{
 		ID:     "fig10-chase",
 		Title:  "Pointer chasing: hardware vs simulator (512 threads, full_block_shuffle)",
 		XLabel: "block size (elements)",
 		YLabel: "MB/s",
-	}
-	for _, p := range fig10Platforms {
-		s := &metrics.Series{Name: p.label}
-		for _, bs := range chaseBlocks(o.Quick) {
-			stats := metrics.Trials(trials, func(trial int) float64 {
-				res, err := kernels.PointerChase(p.cfg(), kernels.ChaseConfig{
-					Elements: chaseElems, BlockSize: bs, Mode: workload.FullBlockShuffle,
-					Seed: uint64(trial)*53 + 3, Threads: 512, Nodelets: 8,
-				})
-				if err != nil {
-					panic(err)
-				}
-				return res.MBps()
-			})
-			s.Add(float64(bs), stats)
-		}
-		chase.Series = append(chase.Series, s)
+		Series: assemble(fig10PlatformNames(), xsOf(blocks), chaseStats),
 	}
 
-	pp := &metrics.Figure{
-		ID:     "fig10-pingpong",
-		Title:  "Ping-pong migration rate: hardware vs simulator",
-		XLabel: "threads",
-		YLabel: "migrations/s (millions)",
-	}
 	ppThreads := []int{1, 2, 4, 8, 16, 32, 64}
 	iters := 300
 	if o.Quick {
 		ppThreads = []int{1, 16, 64}
 		iters = 100
 	}
-	for _, p := range fig10Platforms {
-		s := &metrics.Series{Name: p.label}
-		for _, th := range ppThreads {
-			res, err := kernels.PingPong(p.cfg(), kernels.PingPongConfig{
-				Threads: th, Iterations: iters, NodeletA: 0, NodeletB: 1,
+	ppStats, err := sweep{series: len(fig10Platforms), points: len(ppThreads)}.run(o,
+		func(si, pi, _ int) (float64, error) {
+			res, err := kernels.PingPong(fig10Platforms[si].cfg(), kernels.PingPongConfig{
+				Threads: ppThreads[pi], Iterations: iters, NodeletA: 0, NodeletB: 1,
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			s.Add(float64(th), single(res.MigrationsPerSec/1e6))
-		}
-		pp.Series = append(pp.Series, s)
+			return res.MigrationsPerSec / 1e6, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	pp := &metrics.Figure{
+		ID:     "fig10-pingpong",
+		Title:  "Ping-pong migration rate: hardware vs simulator",
+		XLabel: "threads",
+		YLabel: "migrations/s (millions)",
+		Series: assemble(fig10PlatformNames(), xsOf(ppThreads), ppStats),
 	}
 	return []*metrics.Figure{stream, chase, pp}, nil
 }
@@ -139,30 +145,35 @@ func runMigrationAnchors(o Options) ([]*metrics.Figure, error) {
 			2: "hw 1-thread latency (us)",
 		},
 	}
+	// The three anchor measurements are independent ping-pong simulations.
+	anchors := []struct {
+		cfg     machine.Config
+		threads int
+		value   func(kernels.PingPongResult) float64
+	}{
+		{machine.HardwareChick(), 64, func(r kernels.PingPongResult) float64 { return r.MigrationsPerSec / 1e6 }},
+		{machine.SimMatched(), 64, func(r kernels.PingPongResult) float64 { return r.MigrationsPerSec / 1e6 }},
+		{machine.HardwareChick(), 1, func(r kernels.PingPongResult) float64 { return r.MeanLatency.Seconds() * 1e6 }},
+	}
+	vals := make([]float64, len(anchors))
+	err := parallelFor(o, len(anchors), func(i int) error {
+		res, err := kernels.PingPong(anchors[i].cfg, kernels.PingPongConfig{
+			Threads: anchors[i].threads, Iterations: iters, NodeletA: 0, NodeletB: 1,
+		})
+		if err != nil {
+			return err
+		}
+		vals[i] = anchors[i].value(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	measured := &metrics.Series{Name: "measured"}
 	paperS := &metrics.Series{Name: "paper"}
-
-	hw, err := kernels.PingPong(machine.HardwareChick(), kernels.PingPongConfig{
-		Threads: 64, Iterations: iters, NodeletA: 0, NodeletB: 1,
-	})
-	if err != nil {
-		return nil, err
+	for i, v := range vals {
+		measured.Add(float64(i), single(v))
 	}
-	sm, err := kernels.PingPong(machine.SimMatched(), kernels.PingPongConfig{
-		Threads: 64, Iterations: iters, NodeletA: 0, NodeletB: 1,
-	})
-	if err != nil {
-		return nil, err
-	}
-	one, err := kernels.PingPong(machine.HardwareChick(), kernels.PingPongConfig{
-		Threads: 1, Iterations: iters, NodeletA: 0, NodeletB: 1,
-	})
-	if err != nil {
-		return nil, err
-	}
-	measured.Add(0, single(hw.MigrationsPerSec/1e6))
-	measured.Add(1, single(sm.MigrationsPerSec/1e6))
-	measured.Add(2, single(one.MeanLatency.Seconds()*1e6))
 	paperS.Add(0, single(9))
 	paperS.Add(1, single(16))
 	paperS.Add(2, single(1.5)) // "approximately 1-2 us"

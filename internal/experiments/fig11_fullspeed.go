@@ -25,38 +25,33 @@ func runFig11(o Options) ([]*metrics.Figure, error) {
 	blocks := []int{2, 8, 32, 128, 512, 2048}
 	// The projection sweep is deterministic apart from the shuffle seed;
 	// cap trials to keep the 64-nodelet runs tractable.
-	trials := o.Trials
-	if trials > 3 {
-		trials = 3
-	}
+	trials := min(o.Trials, 3)
 	if o.Quick {
 		elements = 32768
 		threadSets = []int{512, 2048}
 		blocks = []int{8, 128}
 		trials = 2
 	}
+	stats, err := sweep{series: len(threadSets), points: len(blocks), trials: trials}.run(o,
+		func(si, pi, trial int) (float64, error) {
+			res, err := kernels.PointerChase(machine.FullSpeed(8), kernels.ChaseConfig{
+				Elements: elements, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
+				Seed: uint64(trial)*61 + 11, Threads: threadSets[si], Nodelets: 64,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	fig := &metrics.Figure{
 		ID:     "fig11",
 		Title:  "Pointer chasing (Emu simulator, 64 nodelets, full speed)",
 		XLabel: "block size (elements)",
 		YLabel: "MB/s",
-	}
-	for _, th := range threadSets {
-		s := &metrics.Series{Name: seriesName("threads", th)}
-		for _, bs := range blocks {
-			stats := metrics.Trials(trials, func(trial int) float64 {
-				res, err := kernels.PointerChase(machine.FullSpeed(8), kernels.ChaseConfig{
-					Elements: elements, BlockSize: bs, Mode: workload.FullBlockShuffle,
-					Seed: uint64(trial)*61 + 11, Threads: th, Nodelets: 64,
-				})
-				if err != nil {
-					panic(err)
-				}
-				return res.MBps()
-			})
-			s.Add(float64(bs), stats)
-		}
-		fig.Series = append(fig.Series, s)
+		Series: assemble(threadSeriesNames(threadSets), xsOf(blocks), stats),
 	}
 	return []*metrics.Figure{fig}, nil
 }

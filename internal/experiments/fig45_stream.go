@@ -31,30 +31,44 @@ func fig4Threads(quick bool) []int {
 	return []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
 }
 
+// runStreamSweep fans one STREAM simulation per (strategy, threads) cell.
+func runStreamSweep(o Options, strategies []cilk.Strategy, threads []int, elems, nodelets int) ([]*metrics.Series, error) {
+	stats, err := sweep{series: len(strategies), points: len(threads)}.run(o, func(si, pi, _ int) (float64, error) {
+		res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
+			ElemsPerNodelet: elems, Nodelets: nodelets, Threads: threads[pi], Strategy: strategies[si],
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.MBps(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(strategies))
+	for i, strat := range strategies {
+		names[i] = strat.String()
+	}
+	return assemble(names, xsOf(threads), stats), nil
+}
+
 func runFig4(o Options) ([]*metrics.Figure, error) {
 	o = o.withDefaults()
 	elems := 1024
 	if o.Quick {
 		elems = 192
 	}
+	series, err := runStreamSweep(o, []cilk.Strategy{cilk.SerialSpawn, cilk.RecursiveSpawn},
+		fig4Threads(o.Quick), elems, 1)
+	if err != nil {
+		return nil, err
+	}
 	fig := &metrics.Figure{
 		ID:     "fig4",
 		Title:  "STREAM (Emu Chick, 1 nodelet)",
 		XLabel: "threads",
 		YLabel: "MB/s",
-	}
-	for _, strat := range []cilk.Strategy{cilk.SerialSpawn, cilk.RecursiveSpawn} {
-		s := &metrics.Series{Name: strat.String()}
-		for _, th := range fig4Threads(o.Quick) {
-			res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
-				ElemsPerNodelet: elems, Nodelets: 1, Threads: th, Strategy: strat,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(th), single(res.MBps()))
-		}
-		fig.Series = append(fig.Series, s)
+		Series: series,
 	}
 	return []*metrics.Figure{fig}, nil
 }
@@ -72,24 +86,16 @@ func runFig5(o Options) ([]*metrics.Figure, error) {
 	if o.Quick {
 		elems = 96
 	}
+	series, err := runStreamSweep(o, cilk.Strategies, fig5Threads(o.Quick), elems, 8)
+	if err != nil {
+		return nil, err
+	}
 	fig := &metrics.Figure{
 		ID:     "fig5",
 		Title:  "STREAM (Emu Chick, 8 nodelets)",
 		XLabel: "threads",
 		YLabel: "MB/s",
-	}
-	for _, strat := range cilk.Strategies {
-		s := &metrics.Series{Name: strat.String()}
-		for _, th := range fig5Threads(o.Quick) {
-			res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
-				ElemsPerNodelet: elems, Nodelets: 8, Threads: th, Strategy: strat,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(th), single(res.MBps()))
-		}
-		fig.Series = append(fig.Series, s)
+		Series: series,
 	}
 	return []*metrics.Figure{fig}, nil
 }

@@ -35,42 +35,46 @@ func chaseBlocks(quick bool) []int {
 	return []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 }
 
+func threadSeriesNames(threadSets []int) []string {
+	names := make([]string, len(threadSets))
+	for i, th := range threadSets {
+		names[i] = seriesName("threads", th)
+	}
+	return names
+}
+
 func runFig6(o Options) ([]*metrics.Figure, error) {
 	o = o.withDefaults()
 	// The list must be much larger than threads x largest block so that
 	// every nodelet stays populated at the top of the block sweep.
 	elements := 65536
 	threadSets := []int{64, 128, 256, 512}
-	trials := o.Trials
-	if trials > 5 {
-		trials = 5
-	}
+	trials := min(o.Trials, 5)
 	if o.Quick {
 		elements = 8192
 		threadSets = []int{64, 256}
+	}
+	blocks := chaseBlocks(o.Quick)
+	stats, err := sweep{series: len(threadSets), points: len(blocks), trials: trials}.run(o,
+		func(si, pi, trial int) (float64, error) {
+			res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
+				Elements: elements, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
+				Seed: uint64(trial)*1009 + 1, Threads: threadSets[si], Nodelets: 8,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	fig := &metrics.Figure{
 		ID:     "fig6",
 		Title:  "Pointer chasing (Emu Chick, 8 nodelets, full_block_shuffle)",
 		XLabel: "block size (elements)",
 		YLabel: "MB/s",
-	}
-	for _, th := range threadSets {
-		s := &metrics.Series{Name: seriesName("threads", th)}
-		for _, bs := range chaseBlocks(o.Quick) {
-			stats := metrics.Trials(trials, func(trial int) float64 {
-				res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
-					Elements: elements, BlockSize: bs, Mode: workload.FullBlockShuffle,
-					Seed: uint64(trial)*1009 + 1, Threads: th, Nodelets: 8,
-				})
-				if err != nil {
-					panic(err)
-				}
-				return res.MBps()
-			})
-			s.Add(float64(bs), stats)
-		}
-		fig.Series = append(fig.Series, s)
+		Series: assemble(threadSeriesNames(threadSets), xsOf(blocks), stats),
 	}
 	return []*metrics.Figure{fig}, nil
 }
@@ -83,36 +87,32 @@ func runFig7(o Options) ([]*metrics.Figure, error) {
 	// these the costliest runs of the suite.
 	elements := 1 << 21
 	threadSets := []int{1, 8, 32}
-	trials := o.Trials
-	if trials > 2 {
-		trials = 2
-	}
+	trials := min(o.Trials, 2)
 	if o.Quick {
 		elements = 1 << 16
 		threadSets = []int{4, 32}
+	}
+	blocks := chaseBlocks(o.Quick)
+	stats, err := sweep{series: len(threadSets), points: len(blocks), trials: trials}.run(o,
+		func(si, pi, trial int) (float64, error) {
+			res, err := cpukernels.PointerChase(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
+				Elements: elements, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
+				Seed: uint64(trial)*2027 + 1, Threads: threadSets[si],
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	fig := &metrics.Figure{
 		ID:     "fig7",
 		Title:  "Pointer chasing (Sandy Bridge Xeon, full_block_shuffle)",
 		XLabel: "block size (elements)",
 		YLabel: "MB/s",
-	}
-	for _, th := range threadSets {
-		s := &metrics.Series{Name: seriesName("threads", th)}
-		for _, bs := range chaseBlocks(o.Quick) {
-			stats := metrics.Trials(trials, func(trial int) float64 {
-				res, err := cpukernels.PointerChase(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
-					Elements: elements, BlockSize: bs, Mode: workload.FullBlockShuffle,
-					Seed: uint64(trial)*2027 + 1, Threads: th,
-				})
-				if err != nil {
-					panic(err)
-				}
-				return res.MBps()
-			})
-			s.Add(float64(bs), stats)
-		}
-		fig.Series = append(fig.Series, s)
+		Series: assemble(threadSeriesNames(threadSets), xsOf(blocks), stats),
 	}
 	return []*metrics.Figure{fig}, nil
 }

@@ -54,11 +54,17 @@ func measuredStreamPeakXeon(quick bool) (float64, error) {
 
 func runFig8(o Options) ([]*metrics.Figure, error) {
 	o = o.withDefaults()
-	emuPeak, err := measuredStreamPeakEmu(o.Quick)
-	if err != nil {
-		return nil, err
-	}
-	xeonPeak, err := measuredStreamPeakXeon(o.Quick)
+	// The two normalization peaks are independent simulations of their own.
+	var emuPeak, xeonPeak float64
+	err := parallelFor(o, 2, func(i int) error {
+		var err error
+		if i == 0 {
+			emuPeak, err = measuredStreamPeakEmu(o.Quick)
+		} else {
+			xeonPeak, err = measuredStreamPeakXeon(o.Quick)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -67,45 +73,41 @@ func runFig8(o Options) ([]*metrics.Figure, error) {
 	// utilization contrast to appear; trials are capped for the same
 	// cost reason.
 	emuElems, xeonElems := 16384, 1<<21
-	trials := o.Trials
-	if trials > 2 {
-		trials = 2
-	}
+	trials := min(o.Trials, 2)
 	if o.Quick {
 		emuElems, xeonElems = 8192, 1<<16
+	}
+	blocks := chaseBlocks(o.Quick)
+	stats, err := sweep{series: 2, points: len(blocks), trials: trials}.run(o,
+		func(si, pi, trial int) (float64, error) {
+			if si == 0 {
+				res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
+					Elements: emuElems, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
+					Seed: uint64(trial)*31 + 7, Threads: 512, Nodelets: 8,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.BytesPerSec() / emuPeak, nil
+			}
+			res, err := cpukernels.PointerChase(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
+				Elements: xeonElems, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
+				Seed: uint64(trial)*37 + 5, Threads: 32,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.BytesPerSec() / xeonPeak, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	fig := &metrics.Figure{
 		ID:     "fig8",
 		Title:  "Bandwidth utilization of pointer chasing (fraction of measured STREAM peak)",
 		XLabel: "block size (elements)",
 		YLabel: "fraction of peak",
+		Series: assemble([]string{"emu_chick_512t", "sandy_bridge_32t"}, xsOf(blocks), stats),
 	}
-	emu := &metrics.Series{Name: "emu_chick_512t"}
-	xeonS := &metrics.Series{Name: "sandy_bridge_32t"}
-	for _, bs := range chaseBlocks(o.Quick) {
-		emuStats := metrics.Trials(trials, func(trial int) float64 {
-			res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
-				Elements: emuElems, BlockSize: bs, Mode: workload.FullBlockShuffle,
-				Seed: uint64(trial)*31 + 7, Threads: 512, Nodelets: 8,
-			})
-			if err != nil {
-				panic(err)
-			}
-			return res.BytesPerSec() / emuPeak
-		})
-		emu.Add(float64(bs), emuStats)
-		xeonStats := metrics.Trials(trials, func(trial int) float64 {
-			res, err := cpukernels.PointerChase(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
-				Elements: xeonElems, BlockSize: bs, Mode: workload.FullBlockShuffle,
-				Seed: uint64(trial)*37 + 5, Threads: 32,
-			})
-			if err != nil {
-				panic(err)
-			}
-			return res.BytesPerSec() / xeonPeak
-		})
-		xeonS.Add(float64(bs), xeonStats)
-	}
-	fig.Series = []*metrics.Series{emu, xeonS}
 	return []*metrics.Figure{fig}, nil
 }

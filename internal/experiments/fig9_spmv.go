@@ -35,24 +35,31 @@ func fig9aSizes(quick bool) []int {
 
 func runFig9a(o Options) ([]*metrics.Figure, error) {
 	o = o.withDefaults()
+	sizes := fig9aSizes(o.Quick)
+	layouts := kernels.SpMVLayouts
+	stats, err := sweep{series: len(layouts), points: len(sizes)}.run(o,
+		func(si, pi, _ int) (float64, error) {
+			res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
+				GridN: sizes[pi], Layout: layouts[si], GrainNNZ: 16,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(layouts))
+	for i, layout := range layouts {
+		names[i] = layout.String()
+	}
 	fig := &metrics.Figure{
 		ID:     "fig9a",
 		Title:  "SpMV (Emu Chick, 8 nodelets, grain 16)",
 		XLabel: "Laplacian size n",
 		YLabel: "MB/s",
-	}
-	for _, layout := range kernels.SpMVLayouts {
-		s := &metrics.Series{Name: layout.String()}
-		for _, n := range fig9aSizes(o.Quick) {
-			res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
-				GridN: n, Layout: layout, GrainNNZ: 16,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(n), single(res.MBps()))
-		}
-		fig.Series = append(fig.Series, s)
+		Series: assemble(names, xsOf(sizes), stats),
 	}
 	return []*metrics.Figure{fig}, nil
 }
@@ -66,12 +73,6 @@ func fig9bSizes(quick bool) []int {
 
 func runFig9b(o Options) ([]*metrics.Figure, error) {
 	o = o.withDefaults()
-	fig := &metrics.Figure{
-		ID:     "fig9b",
-		Title:  "SpMV (Haswell Xeon E7-4850 v3, 56 threads)",
-		XLabel: "Laplacian size n",
-		YLabel: "MB/s",
-	}
 	type variant struct {
 		name    string
 		variant cpukernels.SpMVVariant
@@ -86,18 +87,30 @@ func runFig9b(o Options) ([]*metrics.Figure, error) {
 	if o.Quick {
 		variants = variants[:3]
 	}
-	for _, v := range variants {
-		s := &metrics.Series{Name: v.name}
-		for _, n := range fig9bSizes(o.Quick) {
+	sizes := fig9bSizes(o.Quick)
+	stats, err := sweep{series: len(variants), points: len(sizes)}.run(o,
+		func(si, pi, _ int) (float64, error) {
 			res, err := cpukernels.SpMV(xeon.HaswellXeon(), cpukernels.SpMVConfig{
-				GridN: n, Variant: v.variant, Threads: 56, GrainNNZ: v.grain,
+				GridN: sizes[pi], Variant: variants[si].variant, Threads: 56, GrainNNZ: variants[si].grain,
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			s.Add(float64(n), single(res.MBps()))
-		}
-		fig.Series = append(fig.Series, s)
+			return res.MBps(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.name
+	}
+	fig := &metrics.Figure{
+		ID:     "fig9b",
+		Title:  "SpMV (Haswell Xeon E7-4850 v3, 56 threads)",
+		XLabel: "Laplacian size n",
+		YLabel: "MB/s",
+		Series: assemble(names, xsOf(sizes), stats),
 	}
 	return []*metrics.Figure{fig}, nil
 }

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"emuchick/internal/metrics"
+)
+
+// The experiment layer parallelizes at the level of independent simulations:
+// every (series × sweep-point × trial) cell of a figure builds its own
+// System, so cells can run on any OS thread in any order. Determinism is
+// preserved by construction — each cell writes its result into a slot
+// chosen by cell index, never by arrival order, so assembled figures are
+// byte-identical to a sequential run.
+
+// parallelism resolves an Options.Parallel value to a worker count.
+func (o Options) parallelism() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across the option's worker
+// count and returns the lowest-indexed error, if any. Workers pull indices
+// from a shared counter; results must be slotted by index inside fn.
+func parallelFor(o Options, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := o.parallelism()
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = guard(fn, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// guard runs fn(i), converting a panicked error back into a returned one so
+// a worker goroutine never takes the process down for a failure the
+// sequential path would have surfaced. Non-error panics propagate unchanged.
+func guard(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(i)
+}
+
+// sweep is the shape shared by nearly every figure runner: a dense
+// series × points × trials matrix of independent simulations, fanned across
+// the worker pool and aggregated into per-point trial statistics in
+// deterministic (series, point, trial) order.
+type sweep struct {
+	series, points, trials int
+}
+
+// assemble builds labelled series from a sweep's slotted results, one
+// series per name, one point per x.
+func assemble(names []string, xs []float64, stats [][]metrics.Stats) []*metrics.Series {
+	out := make([]*metrics.Series, len(names))
+	for si, name := range names {
+		s := &metrics.Series{Name: name}
+		for pi, x := range xs {
+			s.Add(x, stats[si][pi])
+		}
+		out[si] = s
+	}
+	return out
+}
+
+// xsOf widens an integer sweep axis to the float64 x positions of a figure.
+func xsOf(vals []int) []float64 {
+	xs := make([]float64, len(vals))
+	for i, v := range vals {
+		xs[i] = float64(v)
+	}
+	return xs
+}
+
+// run evaluates eval for every cell and returns per-point statistics
+// slotted as out[series][point].
+func (g sweep) run(o Options, eval func(si, pi, trial int) (float64, error)) ([][]metrics.Stats, error) {
+	if g.trials <= 0 {
+		g.trials = 1
+	}
+	vals := make([]float64, g.series*g.points*g.trials)
+	err := parallelFor(o, len(vals), func(i int) error {
+		si := i / (g.points * g.trials)
+		pi := i / g.trials % g.points
+		trial := i % g.trials
+		v, err := eval(si, pi, trial)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]metrics.Stats, g.series)
+	for si := range out {
+		out[si] = make([]metrics.Stats, g.points)
+		for pi := range out[si] {
+			base := (si*g.points + pi) * g.trials
+			out[si][pi] = metrics.Aggregate(vals[base : base+g.trials])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"emuchick/internal/report"
+)
+
+// figureBytes marshals every figure an experiment produces into one JSON
+// blob, the same encoding cmd/emubench archives.
+func figureBytes(t *testing.T, id string, o Options) []byte {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, fig := range figs {
+		if err := report.FigureJSON(&buf, fig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelRunnerByteIdentical is the tentpole's regression gate: the
+// parallel worker pool must produce byte-identical figures to the
+// sequential path, because results are slotted by cell index rather than
+// arrival order.
+func TestParallelRunnerByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig4", "fig6"} {
+		seq := figureBytes(t, id, Options{Quick: true, Trials: 2, Parallel: 1})
+		par := figureBytes(t, id, Options{Quick: true, Trials: 2, Parallel: 8})
+		if !bytes.Equal(seq, par) {
+			t.Errorf("%s: parallel run differs from sequential:\nseq: %s\npar: %s", id, seq, par)
+		}
+	}
+}
+
+func TestParallelForSlotsByIndex(t *testing.T) {
+	const n = 100
+	got := make([]int, n)
+	err := parallelFor(Options{Parallel: 7}, n, func(i int) error {
+		got[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParallelForReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := parallelFor(Options{Parallel: 4}, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("err = %v, want %v", errA, err)
+	}
+}
+
+// Worker goroutines must convert panicked errors (the style the kernel
+// closures use under metrics.Trials) into returned errors rather than
+// crashing the process.
+func TestParallelForRecoversErrorPanics(t *testing.T) {
+	boom := errors.New("boom")
+	err := parallelFor(Options{Parallel: 4}, 8, func(i int) error {
+		if i == 2 {
+			panic(boom)
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want %v", boom, err)
+	}
+}
+
+func TestParallelForRunsEveryCellOnce(t *testing.T) {
+	var count atomic.Int64
+	if err := parallelFor(Options{Parallel: 3}, 57, func(int) error {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 57 {
+		t.Fatalf("ran %d cells, want 57", count.Load())
+	}
+}
+
+func TestSweepAggregatesTrialsInOrder(t *testing.T) {
+	g := sweep{series: 2, points: 3, trials: 4}
+	stats, err := g.run(Options{Parallel: 5}, func(si, pi, trial int) (float64, error) {
+		return float64(si*1000 + pi*10 + trial), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 || len(stats[0]) != 3 {
+		t.Fatalf("shape = %dx%d", len(stats), len(stats[0]))
+	}
+	// Point (1,2): values 1020..1023 -> mean 1021.5, min 1020, max 1023.
+	st := stats[1][2]
+	if st.N != 4 || st.Mean != 1021.5 || st.Min != 1020 || st.Max != 1023 {
+		t.Fatalf("stats[1][2] = %+v", st)
+	}
+}

@@ -26,6 +26,24 @@ func runScalingNodes(o Options) ([]*metrics.Figure, error) {
 		elems = 128
 		threadsPerNodelet = 32
 	}
+	nodeCounts := []int{1, 2, 4, 8}
+	vals := make([]float64, len(nodeCounts))
+	err := parallelFor(o, len(nodeCounts), func(i int) error {
+		cfg := machine.HardwareChickNodes(nodeCounts[i])
+		nodelets := cfg.TotalNodelets()
+		res, err := kernels.StreamAdd(cfg, kernels.StreamConfig{
+			ElemsPerNodelet: elems, Nodelets: nodelets,
+			Threads: threadsPerNodelet * nodelets, Strategy: cilk.RecursiveRemoteSpawn,
+		})
+		if err != nil {
+			return err
+		}
+		vals[i] = res.GBps()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	fig := &metrics.Figure{
 		ID:     "scaling-nodes",
 		Title:  "STREAM (Emu Chick prototype, 1-8 node cards)",
@@ -34,22 +52,9 @@ func runScalingNodes(o Options) ([]*metrics.Figure, error) {
 	}
 	measured := &metrics.Series{Name: "measured"}
 	ideal := &metrics.Series{Name: "linear_from_1_node"}
-	var oneNode float64
-	for _, nodes := range []int{1, 2, 4, 8} {
-		cfg := machine.HardwareChickNodes(nodes)
-		nodelets := cfg.TotalNodelets()
-		res, err := kernels.StreamAdd(cfg, kernels.StreamConfig{
-			ElemsPerNodelet: elems, Nodelets: nodelets,
-			Threads: threadsPerNodelet * nodelets, Strategy: cilk.RecursiveRemoteSpawn,
-		})
-		if err != nil {
-			return nil, err
-		}
-		gb := res.GBps()
-		if nodes == 1 {
-			oneNode = gb
-		}
-		measured.Add(float64(nodes), single(gb))
+	oneNode := vals[0]
+	for i, nodes := range nodeCounts {
+		measured.Add(float64(nodes), single(vals[i]))
 		ideal.Add(float64(nodes), single(oneNode*float64(nodes)))
 	}
 	fig.Series = []*metrics.Series{measured, ideal}

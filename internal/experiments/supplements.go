@@ -46,57 +46,53 @@ func runSupplementShuffleModes(o Options) ([]*metrics.Figure, error) {
 	modes := []workload.ShuffleMode{
 		workload.IntraBlockShuffle, workload.BlockShuffle, workload.FullBlockShuffle,
 	}
+	names := make([]string, len(modes))
+	for i, mode := range modes {
+		names[i] = mode.String()
+	}
 
+	emuStats, err := sweep{series: len(modes), points: len(blocks), trials: trials}.run(o,
+		func(si, pi, trial int) (float64, error) {
+			res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
+				Elements: emuElems, BlockSize: blocks[pi], Mode: modes[si],
+				Seed: uint64(trial)*101 + 13, Threads: 256, Nodelets: 8,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	emu := &metrics.Figure{
 		ID:     "supplement-shuffle-emu",
 		Title:  "Pointer chasing by shuffle mode (Emu Chick, 256 threads)",
 		XLabel: "block size (elements)",
 		YLabel: "MB/s",
-	}
-	for _, mode := range modes {
-		mode := mode
-		s := &metrics.Series{Name: mode.String()}
-		for _, bs := range blocks {
-			bs := bs
-			stats := metrics.Trials(trials, func(trial int) float64 {
-				res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
-					Elements: emuElems, BlockSize: bs, Mode: mode,
-					Seed: uint64(trial)*101 + 13, Threads: 256, Nodelets: 8,
-				})
-				if err != nil {
-					panic(err)
-				}
-				return res.MBps()
-			})
-			s.Add(float64(bs), stats)
-		}
-		emu.Series = append(emu.Series, s)
+		Series: assemble(names, xsOf(blocks), emuStats),
 	}
 
+	cpuStats, err := sweep{series: len(modes), points: len(blocks), trials: trials}.run(o,
+		func(si, pi, trial int) (float64, error) {
+			res, err := cpukernels.PointerChase(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
+				Elements: xeonElems, BlockSize: blocks[pi], Mode: modes[si],
+				Seed: uint64(trial)*103 + 7, Threads: 32,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	cpu := &metrics.Figure{
 		ID:     "supplement-shuffle-xeon",
 		Title:  "Pointer chasing by shuffle mode (Sandy Bridge, 32 threads)",
 		XLabel: "block size (elements)",
 		YLabel: "MB/s",
-	}
-	for _, mode := range modes {
-		mode := mode
-		s := &metrics.Series{Name: mode.String()}
-		for _, bs := range blocks {
-			bs := bs
-			stats := metrics.Trials(trials, func(trial int) float64 {
-				res, err := cpukernels.PointerChase(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
-					Elements: xeonElems, BlockSize: bs, Mode: mode,
-					Seed: uint64(trial)*103 + 7, Threads: 32,
-				})
-				if err != nil {
-					panic(err)
-				}
-				return res.MBps()
-			})
-			s.Add(float64(bs), stats)
-		}
-		cpu.Series = append(cpu.Series, s)
+		Series: assemble(names, xsOf(blocks), cpuStats),
 	}
 	return []*metrics.Figure{emu, cpu}, nil
 }
@@ -117,31 +113,34 @@ func runSupplementVBMetric(o Options) ([]*metrics.Figure, error) {
 		XLabel: "block size (elements)",
 		YLabel: "overhead bytes per useful byte",
 	}
-	emu := &metrics.Series{Name: "emu_migration_traffic"}
-	cpu := &metrics.Series{Name: "xeon_overfetch"}
-	for _, bs := range blocks {
-		res, st, err := kernels.PointerChaseWithStats(machine.HardwareChick(), kernels.ChaseConfig{
-			Elements: emuElems, BlockSize: bs, Mode: workload.FullBlockShuffle,
-			Seed: 17, Threads: 256, Nodelets: 8,
+	stats, err := sweep{series: 2, points: len(blocks)}.run(o,
+		func(si, pi, _ int) (float64, error) {
+			if si == 0 {
+				res, st, err := kernels.PointerChaseWithStats(machine.HardwareChick(), kernels.ChaseConfig{
+					Elements: emuElems, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
+					Seed: 17, Threads: 256, Nodelets: 8,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return float64(st.MigrationBytes) / float64(res.Bytes), nil
+			}
+			cres, cst, err := cpukernels.PointerChaseWithStats(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
+				Elements: xeonElems, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
+				Seed: 19, Threads: 32,
+			})
+			if err != nil {
+				return 0, err
+			}
+			over := float64(cst.DRAMLineBytes+cst.WritebackBytes-cres.Bytes) / float64(cres.Bytes)
+			if over < 0 {
+				over = 0 // cached runs can fetch less than the useful count
+			}
+			return over, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		emu.Add(float64(bs), single(float64(st.MigrationBytes)/float64(res.Bytes)))
-
-		cres, cst, err := cpukernels.PointerChaseWithStats(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
-			Elements: xeonElems, BlockSize: bs, Mode: workload.FullBlockShuffle,
-			Seed: 19, Threads: 32,
-		})
-		if err != nil {
-			return nil, err
-		}
-		over := float64(cst.DRAMLineBytes+cst.WritebackBytes-cres.Bytes) / float64(cres.Bytes)
-		if over < 0 {
-			over = 0 // cached runs can fetch less than the useful count
-		}
-		cpu.Add(float64(bs), single(over))
+	if err != nil {
+		return nil, err
 	}
-	fig.Series = []*metrics.Series{emu, cpu}
+	fig.Series = assemble([]string{"emu_migration_traffic", "xeon_overfetch"}, xsOf(blocks), stats)
 	return []*metrics.Figure{fig}, nil
 }

@@ -41,8 +41,12 @@ func NewSystem(cfg Config) *System {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.NewEngine()
 	n := cfg.TotalNodelets()
+	// Pending events are bounded by resident thread contexts (each runnable
+	// thread has at most one scheduled wake-up) plus a little slack for
+	// spawn/unpark chains; pre-sizing the queue avoids growth reallocations
+	// on the hot path.
+	eng := sim.NewEngineSized(n*cfg.ContextsPerNodelet() + 64)
 	s := &System{
 		Cfg:             cfg,
 		Eng:             eng,

@@ -1,49 +1,84 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// event is a scheduled callback. Events fire in (at, seq) order so that ties
-// resolve in scheduling order and runs are deterministic.
+// event is a scheduled engine action: either a plain callback or the
+// dispatch of a parked Proc. Dispatch targets are kept in a dedicated field
+// rather than a closure so the context-switch hot path (WaitUntil, Unpark,
+// spawn) allocates nothing per event. Events fire in (at, seq) order so that
+// ties resolve in scheduling order and runs are deterministic.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires ahead of b in the engine's (at, seq)
+// total order.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// numLanes bounds how many distinct timestamps can be lane-buffered at
+// once. Machine models rarely have more than a few deadline classes in
+// flight (current tick, plus one or two operation latencies), so four
+// lanes absorb almost all traffic while keeping the push/pop scans tiny.
+const numLanes = 4
+
+// lane is a FIFO of events that all share the timestamp at. head indexes
+// the next entry to fire; the lane is empty (and reusable for another
+// timestamp) when head catches up with the slice.
+type lane struct {
+	at   Time
+	evs  []event
+	head int
 }
+
+func (ln *lane) empty() bool { return ln.head == len(ln.evs) }
 
 // Engine is a sequential discrete-event simulator. It is not safe for
 // concurrent use; all interaction must happen from the goroutine that calls
 // Run, or from a Proc while that Proc holds the control token.
+//
+// The pending-event queue has two parts:
+//
+//   - heap: a typed 4-ary min-heap ordered by (at, seq). A 4-ary layout
+//     halves the tree depth of a binary heap and keeps each sibling scan
+//     inside one or two cache lines, and holding event values directly
+//     (instead of container/heap's interface{} boxing) makes push/pop
+//     allocation-free.
+//   - lanes: a small set of FIFOs, each holding events for one exact
+//     timestamp. Simulated machines schedule in bursts of identical
+//     deadlines — every Go/Unpark/dispatch lands at now, and symmetric
+//     nodelets finish same-cost operations at the same future tick — so
+//     most pushes join a lane in O(1) and never touch the heap. A lane
+//     whose events have all fired is re-keyed to the next new timestamp
+//     that needs one; only pushes that find all lanes busy with other
+//     times fall through to the heap.
+//
+// Each lane is appended in scheduling order and holds a single timestamp,
+// so its FIFO order is exactly the (at, seq) order among its entries; the
+// heap is (at, seq)-ordered by construction. next() takes the smallest
+// (at, seq) front across the heap and every lane — a k-way merge of sorted
+// sequences over a strict total order (seq is unique) — so the dispatch
+// order is bit-identical to a single heap's regardless of which queue an
+// event landed in.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
 
-	// parked is the control-token channel between the engine loop and the
-	// currently running Proc. It is unbuffered: a send is a direct handoff.
-	parked chan struct{}
-	cur    *Proc
+	heap    []event
+	lanes   [numLanes]lane
+	pending int // events scheduled but not yet fired, across heap and lanes
+
+	// done carries the run's outcome from whichever goroutine drains the
+	// queue (or trips a valve) back to the Run caller. Buffered so the
+	// sender never blocks.
+	done chan error
 
 	procs     int    // live (spawned, not finished) procs
 	fired     uint64 // events dispatched so far
@@ -53,7 +88,21 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{parked: make(chan struct{})}
+	return &Engine{}
+}
+
+// NewEngineSized is NewEngine with the event queues pre-sized for roughly
+// hint concurrently pending events (machine models pass their hardware
+// thread-context capacity), avoiding growth reallocations during the run.
+func NewEngineSized(hint int) *Engine {
+	e := NewEngine()
+	if hint > 0 {
+		e.heap = make([]event, 0, hint)
+		for i := range e.lanes {
+			e.lanes[i].evs = make([]event, 0, hint)
+		}
+	}
+	return e
 }
 
 // Now reports the current simulated time.
@@ -65,14 +114,53 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // LiveProcs reports the number of spawned processes that have not finished.
 func (e *Engine) LiveProcs() int { return e.procs }
 
+// Pending reports the number of scheduled events that have not yet fired.
+func (e *Engine) Pending() int { return e.pending }
+
 // Schedule registers fn to run at absolute time t. Scheduling in the past is
 // a bug in the caller and panics.
 func (e *Engine) Schedule(t Time, fn func()) {
+	e.schedule(t, event{fn: fn})
+}
+
+// scheduleProc registers the dispatch of p at absolute time t without
+// allocating a closure.
+func (e *Engine) scheduleProc(t Time, p *Proc) {
+	e.schedule(t, event{proc: p})
+}
+
+func (e *Engine) schedule(t Time, ev event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.pending++
+	ev.at = t
+	ev.seq = e.seq
+	// Join the lane already buffering this timestamp, or claim a drained
+	// one for it; only a miss on both falls through to the heap.
+	free := -1
+	for i := range e.lanes {
+		ln := &e.lanes[i]
+		if ln.empty() {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if ln.at == t {
+			ln.evs = append(ln.evs, ev)
+			return
+		}
+	}
+	if free >= 0 {
+		ln := &e.lanes[free]
+		ln.at = t
+		ln.evs = append(ln.evs[:0], ev)
+		ln.head = 0
+		return
+	}
+	e.pushHeap(ev)
 }
 
 // After registers fn to run d after the current time.
@@ -83,27 +171,162 @@ func (e *Engine) After(d Time, fn func()) {
 	e.Schedule(e.now+d, fn)
 }
 
+// pushHeap inserts ev into the 4-ary min-heap.
+func (e *Engine) pushHeap(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.heap = h
+}
+
+// popHeap removes and returns the minimum event of the 4-ary min-heap.
+func (e *Engine) popHeap() event {
+	// Vacated slots are not cleared: everything an event references (fn
+	// closures, Procs) is reachable for the whole run anyway, and the
+	// engine is dropped as a unit when the run ends.
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	e.heap = h
+	if n > 0 {
+		// Bottom-up sift (Wegener): walk the hole from the root to a leaf
+		// along the min-child path, then drop the detached last element in
+		// and bubble it up. The displaced leaf usually belongs near the
+		// bottom, so this saves the per-level comparison against it that a
+		// classic top-down sift would spend on the way.
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if h[j].before(h[m]) {
+					m = j
+				}
+			}
+			h[i] = h[m]
+			i = m
+		}
+		for i > 0 {
+			p := (i - 1) >> 2
+			if !last.before(h[p]) {
+				break
+			}
+			h[i] = h[p]
+			i = p
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// next removes and returns the globally earliest pending event: the
+// smallest (at, seq) front across the heap and every lane.
+func (e *Engine) next() event {
+	e.pending--
+	best := -1 // lane index holding the current minimum; -1 means the heap
+	var bestEv event
+	have := len(e.heap) > 0
+	if have {
+		bestEv = e.heap[0]
+	}
+	for i := range e.lanes {
+		ln := &e.lanes[i]
+		if ln.empty() {
+			continue
+		}
+		if front := ln.evs[ln.head]; !have || front.before(bestEv) {
+			bestEv = front
+			have = true
+			best = i
+		}
+	}
+	if best < 0 {
+		return e.popHeap()
+	}
+	ln := &e.lanes[best]
+	ln.head++
+	if ln.empty() {
+		ln.evs = ln.evs[:0]
+		ln.head = 0
+	}
+	return bestEv
+}
+
 // Run dispatches events in order until none remain. It returns an error if a
 // safety valve trips or if processes are still live when the event queue
 // drains (a deadlock: some Proc parked forever).
+//
+// The event loop itself is not pinned to this goroutine: it migrates with
+// the control token. When a Proc yields, its goroutine runs the loop until
+// the token moves on — so a proc-to-proc context switch is one direct
+// channel handoff, and a Proc whose own wake-up is the next event continues
+// without any handoff at all.
 func (e *Engine) Run() error {
-	for len(e.events) > 0 {
-		if e.MaxEvents > 0 && e.fired >= e.MaxEvents {
-			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
+	e.done = make(chan error, 1)
+	e.advance(nil)
+	return <-e.done
+}
+
+// advance runs the event loop on the calling goroutine. self is the Proc
+// the caller is running as (nil for the Run goroutine, or a just-finished
+// Proc whose done flag is set). It returns true when the popped event
+// re-dispatches self, in which case the caller simply keeps executing.
+// Otherwise the token was handed to another Proc, or the run ended and its
+// outcome was sent on e.done; either way the caller no longer holds the
+// token and must block on its resume channel (a parked Proc) or return (the
+// Run goroutine, a finished Proc).
+func (e *Engine) advance(self *Proc) bool {
+	for {
+		if e.Pending() == 0 {
+			if e.procs > 0 {
+				e.done <- fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events at t=%v", e.procs, e.now)
+			} else {
+				e.done <- nil
+			}
+			return false
 		}
-		ev := heap.Pop(&e.events).(event)
+		if e.MaxEvents > 0 && e.fired >= e.MaxEvents {
+			e.done <- fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
+			return false
+		}
+		ev := e.next()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
 		if e.MaxTime > 0 && ev.at > e.MaxTime {
-			return fmt.Errorf("sim: exceeded MaxTime=%v", e.MaxTime)
+			e.done <- fmt.Errorf("sim: exceeded MaxTime=%v", e.MaxTime)
+			return false
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		if ev.proc == nil {
+			ev.fn()
+			continue
+		}
+		if ev.proc.done {
+			panic("sim: dispatching finished proc " + ev.proc.name)
+		}
+		if ev.proc == self {
+			return true
+		}
+		ev.proc.resume <- struct{}{}
+		return false
 	}
-	if e.procs > 0 {
-		return fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events at t=%v", e.procs, e.now)
-	}
-	return nil
 }

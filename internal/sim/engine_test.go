@@ -109,6 +109,97 @@ func TestEngineEmptyRun(t *testing.T) {
 	}
 }
 
+// Same-time scheduling from inside an event lands in the FIFO lane while
+// earlier entries for the same timestamp sit in the heap; the pop rule must
+// still deliver everything in global seq order.
+func TestEngineTieBreakAcrossHeapAndLane(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	// Seeded ahead of time: these go through the heap.
+	e.Schedule(100, func() {
+		order = append(order, 0)
+		// Scheduled at now: these take the lane, but the heap still holds
+		// two entries for t=100 with smaller seq. They must fire first.
+		e.Schedule(100, func() { order = append(order, 3) })
+		e.Schedule(100, func() {
+			order = append(order, 4)
+			e.Schedule(100, func() { order = append(order, 5) })
+		})
+	})
+	e.Schedule(100, func() { order = append(order, 1) })
+	e.Schedule(100, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if i >= len(order) || order[i] != i {
+			t.Fatalf("heap/lane tie order = %v, want 0..5", order)
+		}
+	}
+}
+
+// The lane must fully drain before time advances past a tick even when a
+// strictly earlier heap event exists for a later time.
+func TestEngineLaneDrainsBeforeTimeAdvances(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(10, func() {
+		order = append(order, "t10-a")
+		e.Schedule(10, func() { order = append(order, "t10-lane") })
+	})
+	e.Schedule(20, func() { order = append(order, "t20") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"t10-a", "t10-lane", "t20"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// A large interleaved stress mix: random-ish timestamps seeded up front plus
+// same-time chains spawned inside events. Two runs must produce identical
+// traces, and each run must be sorted by (time, seq).
+func TestEngineHeapLaneStressDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		var trace []Time
+		var chain func(depth int)
+		chain = func(depth int) {
+			trace = append(trace, e.Now())
+			if depth > 0 {
+				e.Schedule(e.Now(), func() { chain(depth - 1) })
+			}
+		}
+		for i := 0; i < 200; i++ {
+			d := Time((i * 2654435761) % 37)
+			depth := i % 4
+			e.Schedule(d, func() { chain(depth) })
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("time went backwards at %d: %v after %v", i, a[i], a[i-1])
+		}
+	}
+}
+
 // Determinism: two identical runs must visit identical (time, value) traces.
 func TestEngineDeterminism(t *testing.T) {
 	run := func() []Time {

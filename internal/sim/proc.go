@@ -4,8 +4,9 @@ package sim
 // with the engine through a control token so that exactly one of (engine,
 // some Proc) runs at any moment. While a Proc holds the token it may freely
 // read and mutate engine-owned state (resources, counters, other model
-// structures) without locks; when it performs a blocking operation it hands
-// the token back and is re-dispatched by a scheduled event.
+// structures) without locks; when it performs a blocking operation it runs
+// the engine's event loop itself until the token moves to the next runnable
+// party (see Engine.advance) and is re-dispatched by a scheduled event.
 //
 // This is cooperative coroutine scheduling over goroutines — the idiomatic
 // Go way to express a process-oriented discrete-event simulation while
@@ -30,17 +31,7 @@ func (p *Proc) Now() Time { return p.eng.now }
 // (plus any queued same-time events ahead of it). fn runs to completion in
 // simulation order; when it returns, the process is finished.
 func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
-	p := &Proc{eng: e, resume: make(chan struct{}), name: name}
-	e.procs++
-	go func() {
-		<-p.resume
-		fn(p)
-		p.done = true
-		e.procs--
-		e.parked <- struct{}{}
-	}()
-	e.Schedule(e.now, func() { e.dispatch(p) })
-	return p
+	return e.GoAt(e.now, name, fn)
 }
 
 // GoAt is like Go but delays the first dispatch until absolute time t.
@@ -52,31 +43,26 @@ func (e *Engine) GoAt(t Time, name string, fn func(*Proc)) *Proc {
 		fn(p)
 		p.done = true
 		e.procs--
-		e.parked <- struct{}{}
+		// The finished Proc still holds the control token: keep driving
+		// the event loop until it hands off or the run ends, then let the
+		// goroutine exit. advance never returns true here — dispatching a
+		// finished proc panics inside advance.
+		e.advance(p)
 	}()
-	e.Schedule(t, func() { e.dispatch(p) })
+	e.scheduleProc(t, p)
 	return p
 }
 
-// dispatch hands the control token to p and blocks until p yields it back
-// (by parking, sleeping, or finishing).
-func (e *Engine) dispatch(p *Proc) {
-	if p.done {
-		panic("sim: dispatching finished proc " + p.name)
-	}
-	prev := e.cur
-	e.cur = p
-	p.resume <- struct{}{}
-	<-e.parked
-	e.cur = prev
-}
-
-// yield returns the control token to the engine loop and blocks until this
-// Proc is dispatched again. The caller must already have arranged for a
-// future dispatch (a scheduled event or a registered waiter), otherwise the
-// engine will report a deadlock.
+// yield gives up the control token: the Proc drives the engine loop until
+// the token moves on, then blocks until re-dispatched. If this Proc's own
+// wake-up is the next event, it continues immediately with no handoff. The
+// caller must already have arranged for a future dispatch (a scheduled
+// event or a registered waiter), otherwise the engine will report a
+// deadlock.
 func (p *Proc) yield() {
-	p.eng.parked <- struct{}{}
+	if p.eng.advance(p) {
+		return
+	}
 	<-p.resume
 }
 
@@ -87,7 +73,7 @@ func (p *Proc) WaitUntil(t Time) {
 	if t <= e.now {
 		return
 	}
-	e.Schedule(t, func() { e.dispatch(p) })
+	e.scheduleProc(t, p)
 	p.yield()
 }
 
@@ -108,10 +94,10 @@ func (p *Proc) Park() { p.yield() }
 // same-time events). It must be called exactly once per Park.
 func (p *Proc) Unpark() {
 	e := p.eng
-	e.Schedule(e.now, func() { e.dispatch(p) })
+	e.scheduleProc(e.now, p)
 }
 
 // UnparkAt schedules p to resume at absolute time t.
 func (p *Proc) UnparkAt(t Time) {
-	p.eng.Schedule(t, func() { p.eng.dispatch(p) })
+	p.eng.scheduleProc(t, p)
 }

@@ -41,7 +41,7 @@ func NewSystem(cfg Config) *System {
 	}
 	s := &System{
 		Cfg:           cfg,
-		Eng:           sim.NewEngine(),
+		Eng:           sim.NewEngineSized(cfg.HardwareThreads()*2 + 64),
 		clock:         sim.NewClock(cfg.CoreHz),
 		cores:         make([]*sim.Resource, cfg.Cores),
 		l2:            make([]*cache, cfg.Cores),
