@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-quick bench bench-quick race figures figures-quick scorecard scorecard-quick examples clean
+.PHONY: all build vet test test-quick bench bench-quick race figures figures-quick scorecard scorecard-quick trace-smoke examples clean
 
 all: build vet test race
 
@@ -45,6 +45,12 @@ scorecard:
 
 scorecard-quick:
 	$(GO) run ./cmd/emuvalidate -quick
+
+# Trace one fig6 point at CI scale, then structurally validate the JSONL
+# (emutrace also re-validates the file itself before reporting success).
+trace-smoke:
+	$(GO) run ./cmd/emutrace -fig fig6 -quick -trials 1 -format jsonl -out /tmp/emutrace-smoke.jsonl
+	$(GO) run ./cmd/emutrace -validate /tmp/emutrace-smoke.jsonl
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -87,6 +87,22 @@ func BenchmarkFig6PointerChaseEmu(b *testing.B) {
 	})
 }
 
+// BenchmarkFig6PointerChaseTraced is the observability-cost probe: the
+// same run as BenchmarkFig6PointerChaseEmu with an aggregating observer
+// attached. BenchmarkFig6PointerChaseEmu above is the nil-observer guard —
+// its ns/op is tracked in BENCH_engine.json and must not regress for the
+// emit path to count as free; the delta between the two is what tracing
+// actually costs.
+func BenchmarkFig6PointerChaseTraced(b *testing.B) {
+	agg := NewTraceAggregator(0)
+	reportEmu(b, func() (Result, error) {
+		return RunPointerChase(HardwareChick(), ChaseConfig{
+			Elements: 16384, BlockSize: 64, Mode: FullBlockShuffle,
+			Seed: 1, Threads: 512, Nodelets: 8,
+		}, WithObserver(agg))
+	})
+}
+
 // BenchmarkFig6BlockOneDip is Fig. 6's defining dip: every element
 // migrates.
 func BenchmarkFig6BlockOneDip(b *testing.B) {

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -94,6 +96,11 @@ func run(args []string, out io.Writer) error {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
+	// Ctrl-C cancels cleanly: in-flight simulations notice the context and
+	// the profile/outdir deferrals above still run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := experiments.Options{Trials: *trials, Quick: *quick, Parallel: *parallel}
 	for _, id := range ids {
 		e, err := experiments.ByID(id)
@@ -101,7 +108,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		start := time.Now()
-		figs, err := e.Run(opts)
+		figs, err := e.Run(opts, experiments.WithContext(ctx))
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

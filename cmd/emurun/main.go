@@ -14,10 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"emuchick/internal/cilk"
 	"emuchick/internal/kernels"
@@ -83,6 +85,11 @@ func run(args []string, out io.Writer) error {
 		defer kernels.TraceNextSystem(nil, 0)
 	}
 
+	// Ctrl-C interrupts the simulation instead of killing the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cancel := kernels.WithContext(ctx)
+
 	var res metrics.Result
 	switch *bench {
 	case "stream":
@@ -92,7 +99,7 @@ func run(args []string, out io.Writer) error {
 		}
 		res, err = kernels.StreamAdd(cfg, kernels.StreamConfig{
 			ElemsPerNodelet: *elems, Nodelets: *nodelets, Threads: *threads, Strategy: strat,
-		})
+		}, cancel)
 		if err != nil {
 			return err
 		}
@@ -104,7 +111,7 @@ func run(args []string, out io.Writer) error {
 		res, err = kernels.PointerChase(cfg, kernels.ChaseConfig{
 			Elements: *elems, BlockSize: *block, Mode: m, Seed: *seed,
 			Threads: *threads, Nodelets: *nodelets,
-		})
+		}, cancel)
 		if err != nil {
 			return err
 		}
@@ -120,14 +127,14 @@ func run(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown layout %q", *layout)
 		}
-		res, err = kernels.SpMV(cfg, kernels.SpMVConfig{GridN: *gridN, Layout: l, GrainNNZ: *grain})
+		res, err = kernels.SpMV(cfg, kernels.SpMVConfig{GridN: *gridN, Layout: l, GrainNNZ: *grain}, cancel)
 		if err != nil {
 			return err
 		}
 	case "pingpong":
 		pp, err := kernels.PingPong(cfg, kernels.PingPongConfig{
 			Threads: *threads, Iterations: *iters, NodeletA: 0, NodeletB: 1,
-		})
+		}, cancel)
 		if err != nil {
 			return err
 		}
@@ -140,7 +147,7 @@ func run(args []string, out io.Writer) error {
 	case "gups":
 		res, err = kernels.GUPS(cfg, kernels.GUPSConfig{
 			TableWords: *elems, Updates: *updates, Threads: *threads, Seed: *seed,
-		})
+		}, cancel)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceQuickFig6Chrome(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig6.json")
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "fig6", "-quick", "-trials", "1", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	info, err := validateTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Format != "chrome" {
+		t.Fatalf("format = %q, want chrome", info.Format)
+	}
+	if info.Events == 0 || info.Migrations == 0 {
+		t.Fatalf("trace has no events or migrations: %+v", info)
+	}
+	if info.Counters == 0 {
+		t.Fatalf("trace has no counter samples: %+v", info)
+	}
+	if !strings.Contains(out.String(), "migrations") {
+		t.Fatalf("summary missing migration line:\n%s", out.String())
+	}
+
+	// The written file must pass the standalone validator too.
+	out.Reset()
+	if err := run([]string{"-validate", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "valid chrome trace") {
+		t.Fatalf("validator output: %s", out.String())
+	}
+}
+
+func TestTraceJSONLAndRingLimit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig6.jsonl")
+	var out bytes.Buffer
+	// A tiny ring forces drops; the trace must still validate.
+	if err := run([]string{"-fig", "fig6", "-quick", "-trials", "1",
+		"-format", "jsonl", "-buf", "256", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	info, err := validateTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Format != "jsonl" {
+		t.Fatalf("format = %q, want jsonl", info.Format)
+	}
+	if info.Events == 0 || info.Events > 256 {
+		t.Fatalf("ring cap not honored: %d events", info.Events)
+	}
+	if !strings.Contains(out.String(), "dropped") {
+		t.Fatalf("summary missing drop count:\n%s", out.String())
+	}
+}
+
+func TestListAndBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig6") {
+		t.Fatal("list output missing fig6")
+	}
+	if err := run([]string{"-fig", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-format", "yaml"}, &out); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

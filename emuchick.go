@@ -38,6 +38,7 @@ import (
 	"emuchick/internal/memsys"
 	"emuchick/internal/metrics"
 	"emuchick/internal/sim"
+	"emuchick/internal/trace"
 	"emuchick/internal/workload"
 )
 
@@ -135,24 +136,124 @@ const (
 	SpMV2D    = kernels.SpMV2D
 )
 
+// Observability: the trace package's observer model, re-exported so
+// programs built on the facade can stream and aggregate machine events.
+type (
+	// Observer receives every traced machine event and gauge sample.
+	Observer = trace.Observer
+	// TraceEvent is one machine operation (migration, memory op, spawn...).
+	TraceEvent = trace.Event
+	// TraceSample is one per-nodelet gauge snapshot.
+	TraceSample = trace.Sample
+	// TraceKind classifies a TraceEvent.
+	TraceKind = trace.Kind
+	// ChromeWriter buffers a trace and writes Chrome-trace JSON (Perfetto)
+	// or JSONL.
+	ChromeWriter = trace.ChromeWriter
+	// TraceAggregator reduces an event stream to per-nodelet time series.
+	TraceAggregator = trace.Aggregator
+)
+
+// NewChromeWriter returns a ring-buffered trace sink holding up to capacity
+// events (<= 0 selects the default capacity).
+func NewChromeWriter(capacity int) *ChromeWriter { return trace.NewChromeWriter(capacity) }
+
+// NewTraceAggregator returns an in-memory sink deriving per-nodelet time
+// series with the given bucket width (<= 0 selects the default).
+func NewTraceAggregator(bucket Time) *TraceAggregator { return trace.NewAggregator(bucket) }
+
+// TeeObservers fans events out to several observers (nils are dropped).
+func TeeObservers(obs ...Observer) Observer { return trace.Tee(obs...) }
+
+// RunOption configures a benchmark or experiment run. The same vocabulary
+// serves both: WithObserver, WithContext, WithSampleInterval, and WithTrials
+// apply to the five Run* entry points; WithScale and WithParallel
+// additionally steer Experiment.Run sweeps.
+type RunOption = experiments.Option
+
+// Scale selects full (paper-sized) or quick (CI-sized) workloads.
+type Scale = experiments.Scale
+
+// Workload scales for WithScale.
+const (
+	FullScale  = experiments.FullScale
+	QuickScale = experiments.QuickScale
+)
+
+// Run options, shared between benchmark entry points and experiments.
+var (
+	// WithTrials repeats the measurement n times (experiments: trials per
+	// data point; Run* entry points: reruns of the deterministic kernel,
+	// identical results but n runs' worth of events for an observer).
+	WithTrials = experiments.WithTrials
+	// WithScale selects full or quick workloads (experiments only).
+	WithScale = experiments.WithScale
+	// WithParallel sets the sweep worker count (experiments only).
+	WithParallel = experiments.WithParallel
+	// WithObserver streams machine events and gauge samples to an Observer.
+	WithObserver = experiments.WithObserver
+	// WithSampleInterval overrides the gauge-sampling interval
+	// (0 keeps the machine default, negative disables).
+	WithSampleInterval = experiments.WithSampleInterval
+	// WithContext makes the run cancellable.
+	WithContext = experiments.WithContext
+)
+
+// runKernel resolves facade options for one kernel invocation and runs it
+// Trials times (the simulation is deterministic, so trials produce identical
+// results; the knob exists so an observer can collect repeated-run traces).
+func runKernel[T any](opts []RunOption, invoke func([]kernels.RunOption) (T, error)) (T, error) {
+	o := experiments.ApplyOptions(opts...)
+	ks := o.KernelOptions()
+	trials := o.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	var out T
+	var err error
+	for i := 0; i < trials; i++ {
+		out, err = invoke(ks)
+		if err != nil {
+			break
+		}
+	}
+	return out, err
+}
+
 // RunStream runs the STREAM ADD benchmark on a fresh machine.
-func RunStream(cfg Config, bc StreamConfig) (Result, error) { return kernels.StreamAdd(cfg, bc) }
+func RunStream(cfg Config, bc StreamConfig, opts ...RunOption) (Result, error) {
+	return runKernel(opts, func(ks []kernels.RunOption) (Result, error) {
+		return kernels.StreamAdd(cfg, bc, ks...)
+	})
+}
 
 // RunPointerChase runs the block-shuffled pointer-chasing benchmark.
-func RunPointerChase(cfg Config, bc ChaseConfig) (Result, error) {
-	return kernels.PointerChase(cfg, bc)
+func RunPointerChase(cfg Config, bc ChaseConfig, opts ...RunOption) (Result, error) {
+	return runKernel(opts, func(ks []kernels.RunOption) (Result, error) {
+		return kernels.PointerChase(cfg, bc, ks...)
+	})
 }
 
 // RunSpMV runs CSR SpMV over the synthetic Laplacian.
-func RunSpMV(cfg Config, bc SpMVConfig) (Result, error) { return kernels.SpMV(cfg, bc) }
+func RunSpMV(cfg Config, bc SpMVConfig, opts ...RunOption) (Result, error) {
+	return runKernel(opts, func(ks []kernels.RunOption) (Result, error) {
+		return kernels.SpMV(cfg, bc, ks...)
+	})
+}
 
 // RunPingPong runs the thread-migration microbenchmark.
-func RunPingPong(cfg Config, bc PingPongConfig) (PingPongResult, error) {
-	return kernels.PingPong(cfg, bc)
+func RunPingPong(cfg Config, bc PingPongConfig, opts ...RunOption) (PingPongResult, error) {
+	return runKernel(opts, func(ks []kernels.RunOption) (PingPongResult, error) {
+		return kernels.PingPong(cfg, bc, ks...)
+	})
 }
 
 // RunGUPS runs the RandomAccess-style update kernel.
-func RunGUPS(cfg Config, bc GUPSConfig) (Result, error) { return kernels.GUPS(cfg, bc) }
+func RunGUPS(cfg Config, bc GUPSConfig, opts ...RunOption) (Result, error) {
+	return runKernel(opts, func(ks []kernels.RunOption) (Result, error) {
+		return kernels.GUPS(cfg, bc, ks...)
+	})
+}
 
 // Experiment regenerates one paper artifact (figure or table).
 type Experiment = experiments.Experiment

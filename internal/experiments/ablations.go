@@ -23,35 +23,35 @@ func init() {
 		Paper: "Implied by section IV-D: the 9 vs 16 M migrations/s engine " +
 			"rate is what separates hardware from simulator on " +
 			"migration-bound kernels; sweeping the rate isolates it.",
-		Run: runAblationMigrationRate,
+		Runner: runAblationMigrationRate,
 	})
 	register(&Experiment{
 		ID:    "ablation-spawn-locality",
 		Title: "STREAM bandwidth per spawn strategy at fixed thread count",
 		Paper: "Fig. 5 distilled: remote spawning is what saturates " +
 			"multi-nodelet bandwidth.",
-		Run: runAblationSpawnLocality,
+		Runner: runAblationSpawnLocality,
 	})
 	register(&Experiment{
 		ID:    "ablation-grain",
 		Title: "SpMV bandwidth vs grain size on Emu (2D) and Haswell (cilk_spawn)",
 		Paper: "Section IV-C: 16 elements per spawn is best on the Emu; " +
 			"16384 on the CPU.",
-		Run: runAblationGrain,
+		Runner: runAblationGrain,
 	})
 	register(&Experiment{
 		ID:    "ablation-replication",
 		Title: "SpMV 2D with replicated vs striped input vector",
 		Paper: "Section V-A recommendation #2: replicate commonly used " +
 			"inputs like x; striping x costs a migration per gather.",
-		Run: runAblationReplication,
+		Runner: runAblationReplication,
 	})
 	register(&Experiment{
 		ID:    "ablation-migration-latency",
 		Title: "Block-1 pointer chasing vs per-migration latency",
 		Paper: "Complementary to the rate ablation: with enough threads the " +
 			"dip is set by engine throughput, not by per-migration latency.",
-		Run: runAblationMigrationLatency,
+		Runner: runAblationMigrationLatency,
 	})
 }
 
@@ -72,7 +72,7 @@ func runAblationMigrationRate(o Options) ([]*metrics.Figure, error) {
 			res, err := kernels.PointerChase(cfg, kernels.ChaseConfig{
 				Elements: elements, BlockSize: 1, Mode: workload.FullBlockShuffle,
 				Seed: uint64(trial)*17 + 3, Threads: threads, Nodelets: 8,
-			})
+			}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}
@@ -112,7 +112,7 @@ func runAblationSpawnLocality(o Options) ([]*metrics.Figure, error) {
 		func(_, pi, _ int) (float64, error) {
 			res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
 				ElemsPerNodelet: elems, Nodelets: 8, Threads: threads, Strategy: cilk.Strategies[pi],
-			})
+			}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}
@@ -143,7 +143,7 @@ func runAblationGrain(o Options) ([]*metrics.Figure, error) {
 			if si == 0 {
 				res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
 					GridN: emuN, Layout: kernels.SpMV2D, GrainNNZ: grains[pi],
-				})
+				}, o.KernelOptions()...)
 				if err != nil {
 					return 0, err
 				}
@@ -184,7 +184,7 @@ func runAblationReplication(o Options) ([]*metrics.Figure, error) {
 		func(si, pi, _ int) (float64, error) {
 			res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
 				GridN: sizes[pi], Layout: kernels.SpMV2D, GrainNNZ: 16, StripeX: si == 1,
-			})
+			}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}
@@ -220,7 +220,7 @@ func runAblationMigrationLatency(o Options) ([]*metrics.Figure, error) {
 			res, err := kernels.PointerChase(cfg, kernels.ChaseConfig{
 				Elements: elements, BlockSize: 1, Mode: workload.FullBlockShuffle,
 				Seed: uint64(trial)*23 + 9, Threads: threads, Nodelets: 8,
-			})
+			}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}

@@ -16,7 +16,7 @@ func init() {
 		Paper: "Sandy Bridge reaches close to its nominal 51.2 GB/s; the Emu " +
 			"Chick peaks at ~1.2 GB/s on one node; an initial (unstable) " +
 			"8-node test reached 6.5 GB/s.",
-		Run: runStreamAnchors,
+		Runner: runStreamAnchors,
 	})
 }
 
@@ -48,13 +48,13 @@ func runStreamAnchors(o Options) ([]*metrics.Figure, error) {
 		func() (float64, error) {
 			r, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
 				ElemsPerNodelet: emuElems, Nodelets: 8, Threads: 512, Strategy: cilk.RecursiveRemoteSpawn,
-			})
+			}, o.KernelOptions()...)
 			return r.GBps(), err
 		},
 		func() (float64, error) {
 			r, err := kernels.StreamAdd(machine.HardwareChickNodes(8), kernels.StreamConfig{
 				ElemsPerNodelet: emuElems, Nodelets: 64, Threads: 4096, Strategy: cilk.RecursiveRemoteSpawn,
-			})
+			}, o.KernelOptions()...)
 			return r.GBps(), err
 		},
 	}

@@ -6,14 +6,22 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"emuchick/internal/kernels"
 	"emuchick/internal/metrics"
 	"emuchick/internal/sim"
+	"emuchick/internal/trace"
 )
 
 // Options tunes an experiment run.
+//
+// Deprecated: new call sites should pass functional options (WithTrials,
+// WithScale, WithParallel, WithObserver, WithContext) to Experiment.Run.
+// Options itself implements Option, so a legacy `e.Run(Options{...})` call
+// still compiles and behaves as before.
 type Options struct {
 	// Trials is the number of trials per data point for seeded
 	// workloads; the paper uses ten. Deterministic kernels (STREAM,
@@ -26,6 +34,17 @@ type Options struct {
 	// 0 or less means runtime.GOMAXPROCS(0). Results are identical to a
 	// sequential run regardless of the setting.
 	Parallel int
+	// Observer streams every simulated run's machine events and gauge
+	// samples (see internal/trace). Attaching an observer forces the
+	// experiment sequential so traces from independent simulations do not
+	// interleave; figures and counters are unchanged either way.
+	Observer trace.Observer
+	// SampleInterval overrides the gauge-sampling interval of traced
+	// systems: 0 keeps the machine default, negative disables sampling.
+	SampleInterval sim.Time
+
+	// ctx, when non-nil, cancels in-flight simulations; set via WithContext.
+	ctx context.Context
 }
 
 // Defaults fills unset options.
@@ -40,6 +59,104 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Option configures one Experiment.Run call.
+type Option interface {
+	apply(*Options)
+}
+
+// apply lets a legacy Options struct be passed to Run: the struct replaces
+// every exported field at once (a previously applied context is kept, since
+// a literal cannot carry one).
+func (o Options) apply(dst *Options) {
+	if o.ctx == nil {
+		o.ctx = dst.ctx
+	}
+	*dst = o
+}
+
+// optionFunc adapts a mutation function to the Option interface.
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// WithTrials sets the number of trials per data point.
+func WithTrials(n int) Option {
+	return optionFunc(func(o *Options) { o.Trials = n })
+}
+
+// Scale selects a workload scale for WithScale.
+type Scale int
+
+const (
+	// FullScale runs the paper-sized workloads.
+	FullScale Scale = iota
+	// QuickScale shrinks workload sizes and sweep ranges for CI.
+	QuickScale
+)
+
+// WithScale selects full or quick workloads.
+func WithScale(s Scale) Option {
+	return optionFunc(func(o *Options) { o.Quick = s == QuickScale })
+}
+
+// WithParallel sets the worker count for independent simulations
+// (0 or less means runtime.GOMAXPROCS(0)).
+func WithParallel(n int) Option {
+	return optionFunc(func(o *Options) { o.Parallel = n })
+}
+
+// WithObserver streams every simulated run's events and samples to obs and
+// forces the experiment sequential (traces from concurrent simulations
+// would interleave); results are identical at any parallelism.
+func WithObserver(obs trace.Observer) Option {
+	return optionFunc(func(o *Options) { o.Observer = obs })
+}
+
+// WithSampleInterval overrides the gauge-sampling interval of traced
+// systems (0 keeps the machine default, negative disables).
+func WithSampleInterval(d sim.Time) Option {
+	return optionFunc(func(o *Options) { o.SampleInterval = d })
+}
+
+// WithContext makes the run cancellable: once ctx is done, in-flight
+// simulations abort and Run returns ctx's error.
+func WithContext(ctx context.Context) Option {
+	return optionFunc(func(o *Options) { o.ctx = ctx })
+}
+
+// ApplyOptions folds opts in order into an Options value (later options
+// win), for facades that accept Option lists.
+func ApplyOptions(opts ...Option) Options {
+	var o Options
+	for _, opt := range opts {
+		if opt != nil {
+			opt.apply(&o)
+		}
+	}
+	return o
+}
+
+// KernelOptions converts run-level options into the per-kernel RunOptions an
+// experiment threads into each Emu simulation it builds. It returns nil —
+// allocating nothing — when no option needs forwarding, which is every
+// untraced, uncancelled run.
+func (o Options) KernelOptions() []kernels.RunOption {
+	if o.Observer == nil && o.ctx == nil && o.SampleInterval == 0 {
+		return nil
+	}
+	ks := make([]kernels.RunOption, 0, 3)
+	if o.Observer != nil {
+		ks = append(ks, kernels.WithObserver(o.Observer))
+	}
+	if o.SampleInterval != 0 {
+		ks = append(ks, kernels.WithSampleInterval(o.SampleInterval))
+	}
+	if o.ctx != nil {
+		ks = append(ks, kernels.WithContext(o.ctx))
+	}
+	return ks
+}
+
 // Experiment is one regenerable paper artifact.
 type Experiment struct {
 	ID    string // e.g. "fig5", "stream-anchors"
@@ -47,7 +164,14 @@ type Experiment struct {
 	// Paper summarizes what the paper reports for this artifact — the
 	// shape the reproduction is expected to match.
 	Paper string
-	Run   func(Options) ([]*metrics.Figure, error)
+	// Runner produces the experiment's figures from resolved options.
+	Runner func(Options) ([]*metrics.Figure, error)
+}
+
+// Run executes the experiment with the given options: functional options,
+// or a single legacy Options struct (Options implements Option).
+func (e *Experiment) Run(opts ...Option) ([]*metrics.Figure, error) {
+	return e.Runner(ApplyOptions(opts...))
 }
 
 var registry = map[string]*Experiment{}

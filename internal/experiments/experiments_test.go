@@ -56,7 +56,7 @@ func TestRegistry(t *testing.T) {
 		t.Fatal("unknown id accepted")
 	}
 	for _, e := range All() {
-		if e.Title == "" || e.Paper == "" || e.Run == nil {
+		if e.Title == "" || e.Paper == "" || e.Runner == nil {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}

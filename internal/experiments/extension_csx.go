@@ -15,7 +15,7 @@ func init() {
 			"eXtended (CSX) format'. Compression trades channel words for " +
 			"decode cycles, so it pays only where the channel is the " +
 			"bottleneck.",
-		Run: runExtensionCSX,
+		Runner: runExtensionCSX,
 	})
 }
 
@@ -50,13 +50,13 @@ func runExtensionCSX(o Options) ([]*metrics.Figure, error) {
 			if si%2 == 0 {
 				res, err := kernels.SpMV(mc.cfg, kernels.SpMVConfig{
 					GridN: sizes[pi], Layout: kernels.SpMV2D, GrainNNZ: 16,
-				})
+				}, o.KernelOptions()...)
 				if err != nil {
 					return 0, err
 				}
 				return res.MBps(), nil
 			}
-			res, err := kernels.SpMVCSX(mc.cfg, kernels.SpMVCSXConfig{GridN: sizes[pi], GrainNNZ: 16})
+			res, err := kernels.SpMVCSX(mc.cfg, kernels.SpMVCSXConfig{GridN: sizes[pi], GrainNNZ: 16}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}

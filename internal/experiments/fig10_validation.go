@@ -16,14 +16,14 @@ func init() {
 			"pointer chasing matches in shape but not magnitude because the " +
 			"simulated migration engine does 16 M migrations/s where hardware " +
 			"does 9 M/s (exposed by ping-pong).",
-		Run: runFig10,
+		Runner: runFig10,
 	})
 	register(&Experiment{
 		ID:    "migration-anchors",
 		Title: "Migration-engine scalars from the ping-pong microbenchmark",
 		Paper: "Hardware: ~9 M migrations/s; simulator: ~16 M/s; single-thread " +
 			"migration latency approximately 1-2 us.",
-		Run: runMigrationAnchors,
+		Runner: runMigrationAnchors,
 	})
 }
 
@@ -59,7 +59,7 @@ func runFig10(o Options) ([]*metrics.Figure, error) {
 		func(si, pi, _ int) (float64, error) {
 			res, err := kernels.StreamAdd(fig10Platforms[si].cfg(), kernels.StreamConfig{
 				ElemsPerNodelet: elems, Nodelets: 8, Threads: threads[pi], Strategy: cilk.SerialRemoteSpawn,
-			})
+			}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}
@@ -82,7 +82,7 @@ func runFig10(o Options) ([]*metrics.Figure, error) {
 			res, err := kernels.PointerChase(fig10Platforms[si].cfg(), kernels.ChaseConfig{
 				Elements: chaseElems, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
 				Seed: uint64(trial)*53 + 3, Threads: 512, Nodelets: 8,
-			})
+			}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}
@@ -109,7 +109,7 @@ func runFig10(o Options) ([]*metrics.Figure, error) {
 		func(si, pi, _ int) (float64, error) {
 			res, err := kernels.PingPong(fig10Platforms[si].cfg(), kernels.PingPongConfig{
 				Threads: ppThreads[pi], Iterations: iters, NodeletA: 0, NodeletB: 1,
-			})
+			}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}
@@ -159,7 +159,7 @@ func runMigrationAnchors(o Options) ([]*metrics.Figure, error) {
 	err := parallelFor(o, len(anchors), func(i int) error {
 		res, err := kernels.PingPong(anchors[i].cfg, kernels.PingPongConfig{
 			Threads: anchors[i].threads, Iterations: iters, NodeletA: 0, NodeletB: 1,
-		})
+		}, o.KernelOptions()...)
 		if err != nil {
 			return err
 		}

@@ -14,7 +14,7 @@ func init() {
 		Paper: "At design speed and 64 nodelets the system remains insensitive " +
 			"to block size, and bandwidth scales with thread count into the " +
 			"thousands of threads.",
-		Run: runFig11,
+		Runner: runFig11,
 	})
 }
 
@@ -37,7 +37,7 @@ func runFig11(o Options) ([]*metrics.Figure, error) {
 			res, err := kernels.PointerChase(machine.FullSpeed(8), kernels.ChaseConfig{
 				Elements: elements, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
 				Seed: uint64(trial)*61 + 11, Threads: threadSets[si], Nodelets: 64,
-			})
+			}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}

@@ -13,14 +13,14 @@ func init() {
 		Title: "STREAM bandwidth on a single nodelet vs thread count",
 		Paper: "Bandwidth scales up through ~32 threads then plateaus; " +
 			"serial_spawn and recursive_spawn are nearly identical.",
-		Run: runFig4,
+		Runner: runFig4,
 	})
 	register(&Experiment{
 		ID:    "fig5",
 		Title: "STREAM bandwidth on eight nodelets vs thread count and spawn strategy",
 		Paper: "Remote-spawn strategies are required to reach the node's " +
 			"~1.2 GB/s peak; local-spawn strategies bottleneck on nodelet 0.",
-		Run: runFig5,
+		Runner: runFig5,
 	})
 }
 
@@ -36,7 +36,7 @@ func runStreamSweep(o Options, strategies []cilk.Strategy, threads []int, elems,
 	stats, err := sweep{series: len(strategies), points: len(threads)}.run(o, func(si, pi, _ int) (float64, error) {
 		res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
 			ElemsPerNodelet: elems, Nodelets: nodelets, Threads: threads[pi], Strategy: strategies[si],
-		})
+		}, o.KernelOptions()...)
 		if err != nil {
 			return 0, err
 		}

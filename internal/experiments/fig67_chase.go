@@ -16,7 +16,7 @@ func init() {
 		Paper: "Bandwidth is flat across block sizes (no spatial-locality " +
 			"sensitivity), except a deep dip at block size 1 where every " +
 			"element migrates; performance recovers by block ~4.",
-		Run: runFig6,
+		Runner: runFig6,
 	})
 	register(&Experiment{
 		ID:    "fig7",
@@ -24,7 +24,7 @@ func init() {
 		Paper: "Small blocks waste 3/4 of each cache line; best performance " +
 			"between 256 and 4096 elements (~one 8 KiB DRAM page); declines " +
 			"beyond a page.",
-		Run: runFig7,
+		Runner: runFig7,
 	})
 }
 
@@ -60,7 +60,7 @@ func runFig6(o Options) ([]*metrics.Figure, error) {
 			res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
 				Elements: elements, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
 				Seed: uint64(trial)*1009 + 1, Threads: threadSets[si], Nodelets: 8,
-			})
+			}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}

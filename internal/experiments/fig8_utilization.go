@@ -17,21 +17,21 @@ func init() {
 		Paper: "Normalized to each system's measured STREAM peak, the Emu " +
 			"sustains ~80% across block sizes (50% in the worst cases), " +
 			"while the Xeon stays below ~25% except at multi-KiB blocks.",
-		Run: runFig8,
+		Runner: runFig8,
 	})
 }
 
 // measuredStreamPeakEmu runs the best STREAM configuration and returns its
 // bandwidth in B/s — the normalization denominator the paper uses ("the
 // best result on the STREAM benchmark").
-func measuredStreamPeakEmu(quick bool) (float64, error) {
+func measuredStreamPeakEmu(o Options) (float64, error) {
 	elems := 2048
-	if quick {
+	if o.Quick {
 		elems = 1024
 	}
 	res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
 		ElemsPerNodelet: elems, Nodelets: 8, Threads: 512, Strategy: cilk.RecursiveRemoteSpawn,
-	})
+	}, o.KernelOptions()...)
 	if err != nil {
 		return 0, err
 	}
@@ -59,7 +59,7 @@ func runFig8(o Options) ([]*metrics.Figure, error) {
 	err := parallelFor(o, 2, func(i int) error {
 		var err error
 		if i == 0 {
-			emuPeak, err = measuredStreamPeakEmu(o.Quick)
+			emuPeak, err = measuredStreamPeakEmu(o)
 		} else {
 			xeonPeak, err = measuredStreamPeakXeon(o.Quick)
 		}
@@ -84,7 +84,7 @@ func runFig8(o Options) ([]*metrics.Figure, error) {
 				res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
 					Elements: emuElems, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
 					Seed: uint64(trial)*31 + 7, Threads: 512, Nodelets: 8,
-				})
+				}, o.KernelOptions()...)
 				if err != nil {
 					return 0, err
 				}

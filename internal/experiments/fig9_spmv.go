@@ -15,14 +15,14 @@ func init() {
 		Paper: "local tops out near ~50 MB/s (no parallelism), 1D near " +
 			"~100 MB/s (a migration per element), and 2D scales with n to " +
 			"~250 MB/s at n=100; grain 16 works best.",
-		Run: runFig9a,
+		Runner: runFig9a,
 	})
 	register(&Experiment{
 		ID:    "fig9b",
 		Title: "SpMV effective bandwidth on Haswell Xeon (MKL, cilk_for, cilk_spawn)",
 		Paper: "MKL and cilk_for scale well with matrix size into the GB/s " +
 			"range; cilk_spawn depends strongly on grain size, best at 16384.",
-		Run: runFig9b,
+		Runner: runFig9b,
 	})
 }
 
@@ -41,7 +41,7 @@ func runFig9a(o Options) ([]*metrics.Figure, error) {
 		func(si, pi, _ int) (float64, error) {
 			res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
 				GridN: sizes[pi], Layout: layouts[si], GrainNNZ: 16,
-			})
+			}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}

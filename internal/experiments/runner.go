@@ -15,12 +15,25 @@ import (
 // chosen by cell index, never by arrival order, so assembled figures are
 // byte-identical to a sequential run.
 
-// parallelism resolves an Options.Parallel value to a worker count.
+// parallelism resolves an Options.Parallel value to a worker count. An
+// attached observer forces one worker: concurrent cells would interleave
+// their event streams, and determinism makes the results identical anyway.
 func (o Options) parallelism() int {
+	if o.Observer != nil {
+		return 1
+	}
 	if o.Parallel > 0 {
 		return o.Parallel
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// interrupted reports the cancellation error of the run's context, if any.
+func (o Options) interrupted() error {
+	if o.ctx == nil {
+		return nil
+	}
+	return o.ctx.Err()
 }
 
 // parallelFor runs fn(i) for every i in [0, n) across the option's worker
@@ -37,6 +50,10 @@ func parallelFor(o Options, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := o.interrupted(); err != nil {
+				errs[i] = err
+				break
+			}
 			errs[i] = fn(i)
 		}
 	} else {
@@ -49,6 +66,10 @@ func parallelFor(o Options, n int, fn func(i int) error) error {
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= n {
+						return
+					}
+					if err := o.interrupted(); err != nil {
+						errs[i] = err
 						return
 					}
 					errs[i] = guard(fn, i)

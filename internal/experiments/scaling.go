@@ -14,7 +14,7 @@ func init() {
 		Paper: "Section IV-A: one node sustains ~1.2 GB/s; the single " +
 			"successful 8-node run reached 6.5 GB/s (sub-linear, on " +
 			"unstable firmware); future systems target up to 160 GB/s.",
-		Run: runScalingNodes,
+		Runner: runScalingNodes,
 	})
 }
 
@@ -34,7 +34,7 @@ func runScalingNodes(o Options) ([]*metrics.Figure, error) {
 		res, err := kernels.StreamAdd(cfg, kernels.StreamConfig{
 			ElemsPerNodelet: elems, Nodelets: nodelets,
 			Threads: threadsPerNodelet * nodelets, Strategy: cilk.RecursiveRemoteSpawn,
-		})
+		}, o.KernelOptions()...)
 		if err != nil {
 			return err
 		}

@@ -21,7 +21,7 @@ func init() {
 		Paper: "Section III-E defines intra_block, block, and full shuffles; " +
 			"the Emu's cache-less memory should be insensitive to which one " +
 			"is applied, while the Xeon's prefetcher and row buffers care.",
-		Run: runSupplementShuffleModes,
+		Runner: runSupplementShuffleModes,
 	})
 	register(&Experiment{
 		ID:    "supplement-vb-metric",
@@ -29,7 +29,7 @@ func init() {
 		Paper: "Section V-B: compare 'network traffic (threads migrated " +
 			"measured using context size and time, or B/s)' on the Emu with " +
 			"the cache-line overfetch ('cache misses avoided') on the CPU.",
-		Run: runSupplementVBMetric,
+		Runner: runSupplementVBMetric,
 	})
 }
 
@@ -56,7 +56,7 @@ func runSupplementShuffleModes(o Options) ([]*metrics.Figure, error) {
 			res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
 				Elements: emuElems, BlockSize: blocks[pi], Mode: modes[si],
 				Seed: uint64(trial)*101 + 13, Threads: 256, Nodelets: 8,
-			})
+			}, o.KernelOptions()...)
 			if err != nil {
 				return 0, err
 			}
@@ -119,7 +119,7 @@ func runSupplementVBMetric(o Options) ([]*metrics.Figure, error) {
 				res, st, err := kernels.PointerChaseWithStats(machine.HardwareChick(), kernels.ChaseConfig{
 					Elements: emuElems, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
 					Seed: 17, Threads: 256, Nodelets: 8,
-				})
+				}, o.KernelOptions()...)
 				if err != nil {
 					return 0, err
 				}

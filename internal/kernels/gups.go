@@ -23,11 +23,11 @@ type GUPSConfig struct {
 // GUPS performs random read-modify-write updates over a striped table
 // using posted memory-side atomics (no thread ever migrates), and reports
 // the update bandwidth at 8 bytes per update.
-func GUPS(mcfg machine.Config, cfg GUPSConfig) (metrics.Result, error) {
+func GUPS(mcfg machine.Config, cfg GUPSConfig, opts ...RunOption) (metrics.Result, error) {
 	if cfg.TableWords <= 0 || cfg.Updates <= 0 || cfg.Threads <= 0 {
 		return metrics.Result{}, fmt.Errorf("kernels: invalid GUPS config %+v", cfg)
 	}
-	sys := newSystem(mcfg)
+	sys := newSystem(mcfg, opts...)
 	table := sys.Mem.AllocStriped(cfg.TableWords)
 	stream := workload.GUPSStream(cfg.Updates, cfg.TableWords, workload.NewRNG(cfg.Seed))
 

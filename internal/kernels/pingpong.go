@@ -30,14 +30,14 @@ type PingPongResult struct {
 }
 
 // PingPong runs the microbenchmark on a fresh system built from mcfg.
-func PingPong(mcfg machine.Config, cfg PingPongConfig) (PingPongResult, error) {
+func PingPong(mcfg machine.Config, cfg PingPongConfig, opts ...RunOption) (PingPongResult, error) {
 	if cfg.Threads <= 0 || cfg.Iterations <= 0 {
 		return PingPongResult{}, fmt.Errorf("kernels: invalid ping-pong config %+v", cfg)
 	}
 	if cfg.NodeletA == cfg.NodeletB {
 		return PingPongResult{}, fmt.Errorf("kernels: ping-pong needs two distinct nodelets")
 	}
-	sys := newSystem(mcfg)
+	sys := newSystem(mcfg, opts...)
 	if cfg.NodeletA >= sys.Nodelets() || cfg.NodeletB >= sys.Nodelets() {
 		return PingPongResult{}, fmt.Errorf("kernels: ping-pong nodelets out of range")
 	}

@@ -43,17 +43,17 @@ type ChaseStats struct {
 // per thread, and times all threads walking their chains concurrently.
 // Every element visit is two data-dependent 8-byte loads; entering a block
 // that lives on another nodelet migrates the thread.
-func PointerChase(mcfg machine.Config, cfg ChaseConfig) (metrics.Result, error) {
-	res, _, err := PointerChaseWithStats(mcfg, cfg)
+func PointerChase(mcfg machine.Config, cfg ChaseConfig, opts ...RunOption) (metrics.Result, error) {
+	res, _, err := PointerChaseWithStats(mcfg, cfg, opts...)
 	return res, err
 }
 
 // PointerChaseWithStats is PointerChase plus the run's migration counts.
-func PointerChaseWithStats(mcfg machine.Config, cfg ChaseConfig) (metrics.Result, ChaseStats, error) {
+func PointerChaseWithStats(mcfg machine.Config, cfg ChaseConfig, opts ...RunOption) (metrics.Result, ChaseStats, error) {
 	if cfg.Elements <= 0 || cfg.BlockSize <= 0 || cfg.Threads <= 0 || cfg.Nodelets <= 0 {
 		return metrics.Result{}, ChaseStats{}, fmt.Errorf("kernels: invalid chase config %+v", cfg)
 	}
-	sys := newSystem(mcfg)
+	sys := newSystem(mcfg, opts...)
 	if cfg.Nodelets > sys.Nodelets() {
 		return metrics.Result{}, ChaseStats{}, fmt.Errorf("kernels: chase wants %d nodelets, machine has %d",
 			cfg.Nodelets, sys.Nodelets())

@@ -78,11 +78,11 @@ type SpMVConfig struct {
 // SpMV multiplies the Laplacian by a fixed dyadic-valued vector under the
 // configured layout, verifies y against the reference MulVec, and reports
 // effective bandwidth over the paper's useful-byte count.
-func SpMV(mcfg machine.Config, cfg SpMVConfig) (metrics.Result, error) {
+func SpMV(mcfg machine.Config, cfg SpMVConfig, opts ...RunOption) (metrics.Result, error) {
 	if cfg.GridN <= 0 || cfg.GrainNNZ <= 0 {
 		return metrics.Result{}, fmt.Errorf("kernels: invalid spmv config %+v", cfg)
 	}
-	sys := newSystem(mcfg)
+	sys := newSystem(mcfg, opts...)
 	nodelets := cfg.Nodelets
 	if nodelets == 0 {
 		nodelets = sys.Nodelets()

@@ -34,7 +34,7 @@ type SpMVCSXConfig struct {
 // SpMV, using the 2D row partition with packed delta indices, verifies the
 // result, and reports effective bandwidth over the SAME useful-byte count
 // as the CSR kernels — so its MB/s are directly comparable to Fig. 9a's.
-func SpMVCSX(mcfg machine.Config, cfg SpMVCSXConfig) (metrics.Result, error) {
+func SpMVCSX(mcfg machine.Config, cfg SpMVCSXConfig, opts ...RunOption) (metrics.Result, error) {
 	if cfg.GridN <= 0 || cfg.GrainNNZ <= 0 {
 		return metrics.Result{}, fmt.Errorf("kernels: invalid spmv-csx config %+v", cfg)
 	}
@@ -49,7 +49,7 @@ func SpMVCSX(mcfg machine.Config, cfg SpMVCSXConfig) (metrics.Result, error) {
 	}
 	want := m.MulVec(xv)
 
-	sys := newSystem(mcfg)
+	sys := newSystem(mcfg, opts...)
 	nodelets := sys.Nodelets()
 	part := sparse.PartitionRows(m, nodelets)
 

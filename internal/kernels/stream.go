@@ -113,20 +113,20 @@ type StreamConfig struct {
 
 // StreamAdd runs the STREAM ADD kernel (c[i] = a[i] + b[i] over 8-byte
 // integers, the paper's port); it is Stream with the kernel forced to ADD.
-func StreamAdd(mcfg machine.Config, cfg StreamConfig) (metrics.Result, error) {
+func StreamAdd(mcfg machine.Config, cfg StreamConfig, opts ...RunOption) (metrics.Result, error) {
 	cfg.Kernel = StreamAddKernel
-	return Stream(mcfg, cfg)
+	return Stream(mcfg, cfg, opts...)
 }
 
 // Stream runs the configured STREAM kernel on a fresh system built from
 // mcfg and returns the measured bandwidth result. The measured region
 // spans worker creation through the final join, which is what makes the
 // spawn strategies of Fig. 5 distinguishable.
-func Stream(mcfg machine.Config, cfg StreamConfig) (metrics.Result, error) {
+func Stream(mcfg machine.Config, cfg StreamConfig, opts ...RunOption) (metrics.Result, error) {
 	if cfg.ElemsPerNodelet <= 0 || cfg.Threads <= 0 || cfg.Nodelets <= 0 {
 		return metrics.Result{}, fmt.Errorf("kernels: invalid stream config %+v", cfg)
 	}
-	sys := newSystem(mcfg)
+	sys := newSystem(mcfg, opts...)
 	if cfg.Nodelets > sys.Nodelets() {
 		return metrics.Result{}, fmt.Errorf("kernels: stream wants %d nodelets, machine has %d",
 			cfg.Nodelets, sys.Nodelets())

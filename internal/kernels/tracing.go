@@ -1,9 +1,12 @@
 package kernels
 
 import (
+	"context"
 	"io"
 
 	"emuchick/internal/machine"
+	"emuchick/internal/sim"
+	"emuchick/internal/trace"
 )
 
 // Package-level tracing hook: kernels build their own System per run, so
@@ -23,11 +26,60 @@ func TraceNextSystem(w io.Writer, limit int) {
 	traceLimit = limit
 }
 
-// newSystem builds a machine with the package tracing hook applied.
-func newSystem(cfg machine.Config) *machine.System {
+// RunOption configures the System a kernel builds for one run. Every kernel
+// entry point accepts trailing RunOptions; passing none costs nothing.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	obs       trace.Observer
+	sample    sim.Time
+	sampleSet bool
+	ctx       context.Context
+}
+
+// WithObserver streams the run's machine events and gauge samples to obs.
+// The observer composes with (does not replace) a TraceNextSystem writer.
+func WithObserver(obs trace.Observer) RunOption {
+	return func(c *runConfig) { c.obs = obs }
+}
+
+// WithSampleInterval sets the gauge-sampling interval of the run's system
+// (d <= 0 disables sampling). Without this option the machine default
+// applies.
+func WithSampleInterval(d sim.Time) RunOption {
+	return func(c *runConfig) { c.sample = d; c.sampleSet = true }
+}
+
+// WithContext makes the run cancellable: once ctx is done the simulation
+// aborts promptly and the kernel returns ctx's error.
+func WithContext(ctx context.Context) RunOption {
+	return func(c *runConfig) { c.ctx = ctx }
+}
+
+// newSystem builds a machine with the package tracing hook and the per-run
+// options applied.
+func newSystem(cfg machine.Config, opts ...RunOption) *machine.System {
 	sys := machine.NewSystem(cfg)
 	if traceWriter != nil {
 		sys.TraceTo(traceWriter, traceLimit)
+	}
+	if len(opts) == 0 {
+		return sys
+	}
+	var c runConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&c)
+		}
+	}
+	if c.obs != nil {
+		sys.Attach(trace.Tee(sys.Observer(), c.obs))
+	}
+	if c.sampleSet {
+		sys.SampleEvery(c.sample)
+	}
+	if c.ctx != nil {
+		sys.WatchContext(c.ctx)
 	}
 	return sys
 }

@@ -34,6 +34,14 @@ func newCounters(nodelets int) *Counters {
 // Nodelet returns a copy of the counters for one nodelet.
 func (c *Counters) Nodelet(nl int) NodeletCounters { return c.perNodelet[nl] }
 
+// Snapshot returns a copy of every nodelet's counters, for whole-machine
+// comparisons (the trace-equivalence tests diff traced vs untraced runs).
+func (c *Counters) Snapshot() []NodeletCounters {
+	out := make([]NodeletCounters, len(c.perNodelet))
+	copy(out, c.perNodelet)
+	return out
+}
+
 // Nodelets reports how many nodelets the counter set spans.
 func (c *Counters) Nodelets() int { return len(c.perNodelet) }
 

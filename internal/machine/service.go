@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"emuchick/internal/sim"
+	"emuchick/internal/trace"
 )
 
 // The Emu architecture pairs the Gossamer cores with stationary processors
@@ -40,6 +41,7 @@ func (t *Thread) ServiceCall(cycles int64) sim.Time {
 	_, served := s.stationary[node].Acquire(arrive, s.stationaryClock.Cycles(cycles))
 	s.Counters.perNodelet[t.nodelet].ServiceCalls++
 	finish := served + serviceQueueLatency
+	s.emit(trace.KindService, t.nodelet, -1, 0, start, finish)
 	t.p.WaitUntil(finish)
 	return finish - start
 }

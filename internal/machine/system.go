@@ -5,6 +5,7 @@ import (
 
 	"emuchick/internal/memsys"
 	"emuchick/internal/sim"
+	"emuchick/internal/trace"
 )
 
 // System is one simulated Emu machine: an engine, a global address space,
@@ -18,7 +19,9 @@ type System struct {
 
 	clock           sim.Clock
 	stationaryClock sim.Clock
-	tracer          func(TraceEvent)
+	obs             trace.Observer
+	sampleEvery     sim.Time // gauge sampling interval; 0 disables
+	nextSample      sim.Time // next sampling boundary
 	nodelets        []*nodelet
 	links           []*sim.Resource // per-node fabric egress link
 	migEngines      []*sim.Resource // per-node migration engine
@@ -54,6 +57,8 @@ func NewSystem(cfg Config) *System {
 		Counters:        newCounters(n),
 		clock:           sim.NewClock(cfg.CoreHz),
 		stationaryClock: sim.NewClock(stationaryHz),
+		sampleEvery:     defaultSampleEvery,
+		nextSample:      defaultSampleEvery,
 		nodelets:        make([]*nodelet, n),
 		links:           make([]*sim.Resource, cfg.Nodes),
 		migEngines:      make([]*sim.Resource, cfg.Nodes),
@@ -105,12 +110,18 @@ func (s *System) MeanChannelUtilization(elapsed sim.Time) float64 {
 // every thread has finished. It returns the total simulated time.
 func (s *System) Run(root func(*Thread)) (sim.Time, error) {
 	start := s.Eng.Now()
+	s.emit(trace.KindRunBegin, len(s.nodelets), -1, 0, start, start)
 	s.Counters.perNodelet[0].LocalSpawns++ // the main thread itself
 	s.startThread(0, "main", root, nil)
 	if err := s.Eng.Run(); err != nil {
 		return 0, err
 	}
-	return s.Eng.Now() - start, nil
+	end := s.Eng.Now()
+	if s.obs != nil && s.sampleEvery > 0 {
+		s.takeSamples(end) // closing gauge snapshot at the run's end time
+	}
+	s.emit(trace.KindRunEnd, len(s.nodelets), -1, 0, end, end)
+	return end - start, nil
 }
 
 // startThread creates a thread on the given nodelet. The new thread first
@@ -124,11 +135,13 @@ func (s *System) startThread(nl int, name string, body func(*Thread), parentJoin
 		t.core = home.nextCore
 		home.nextCore = (home.nextCore + 1) % len(home.cores)
 		s.Counters.threadStarted()
+		s.emit(trace.KindThreadStart, nl, -1, 0, p.Now(), p.Now())
 		body(t)
 		// Implicit cilk sync at function end, matching Cilk semantics.
 		t.Sync()
 		s.nodelets[t.nodelet].slots.Release()
 		s.Counters.threadFinished()
+		s.emit(trace.KindThreadEnd, t.nodelet, -1, 0, p.Now(), p.Now())
 		if parentJoin != nil {
 			parentJoin.Done()
 		}

@@ -68,11 +68,12 @@ func (t *Thread) localWordAccess() {
 // address is remote. It returns the stored value.
 func (t *Thread) Load(a memsys.Addr) uint64 {
 	if home := a.Nodelet(); home != t.nodelet {
-		t.MigrateTo(home)
+		t.migrate(home, a) // the read is the migration's trigger address
 	}
 	t.sys.Counters.perNodelet[t.nodelet].LocalReads++
+	issued := t.p.Now()
 	t.localWordAccess()
-	t.sys.emit(TraceLoad, t.nodelet, -1, a)
+	t.sys.emit(TraceLoad, t.nodelet, -1, a, issued, t.p.Now())
 	return t.sys.Mem.Read(a)
 }
 
@@ -91,9 +92,10 @@ func (t *Thread) Store(a memsys.Addr, v uint64) {
 	home := a.Nodelet()
 	if home == t.nodelet {
 		s.Counters.perNodelet[t.nodelet].LocalWrites++
+		issued := t.p.Now()
 		t.localWordAccess()
 		s.Mem.Write(a, v)
-		s.emit(TraceStore, t.nodelet, -1, a)
+		s.emit(TraceStore, t.nodelet, -1, a, issued, t.p.Now())
 		return
 	}
 	// Posted remote store: issue locally, deliver after the network flight,
@@ -104,7 +106,7 @@ func (t *Thread) Store(a memsys.Addr, v uint64) {
 	_, served := s.nodelets[home].channel.Acquire(arrive, s.Cfg.WordAccessTime)
 	s.Counters.perNodelet[home].RemoteStores++
 	s.Mem.Write(a, v)
-	s.emit(TraceRemoteStore, t.nodelet, home, a)
+	s.emit(TraceRemoteStore, t.nodelet, home, a, issued, served)
 	t.p.WaitUntil(t.postedAccept(issued, served))
 }
 
@@ -124,7 +126,6 @@ func (t *Thread) FetchAdd(a memsys.Addr, delta uint64) uint64 {
 	// Read-modify-write occupies the home channel for two word times.
 	_, served := s.nodelets[home].channel.Acquire(arrive, 2*s.Cfg.WordAccessTime)
 	s.Counters.perNodelet[home].Atomics++
-	s.emit(TraceAtomic, t.nodelet, home, a)
 	old := s.Mem.Read(a)
 	s.Mem.Write(a, old+delta)
 	finish := served
@@ -133,6 +134,7 @@ func (t *Thread) FetchAdd(a memsys.Addr, delta uint64) uint64 {
 	} else {
 		finish += s.Cfg.MemLatency
 	}
+	s.emit(TraceAtomic, t.nodelet, home, a, issued, finish)
 	t.p.WaitUntil(finish)
 	return old
 }
@@ -150,7 +152,7 @@ func (t *Thread) RemoteAdd(a memsys.Addr, delta uint64) {
 	}
 	_, served := s.nodelets[home].channel.Acquire(arrive, 2*s.Cfg.WordAccessTime)
 	s.Counters.perNodelet[home].Atomics++
-	s.emit(TraceAtomic, t.nodelet, home, a)
+	s.emit(TraceAtomic, t.nodelet, home, a, issued, served)
 	s.Mem.Write(a, s.Mem.Read(a)+delta)
 	t.p.WaitUntil(t.postedAccept(issued, served))
 }
@@ -186,7 +188,7 @@ func (t *Thread) RemoteAddFloat(a memsys.Addr, delta float64) {
 	}
 	_, served := s.nodelets[home].channel.Acquire(arrive, 2*s.Cfg.WordAccessTime)
 	s.Counters.perNodelet[home].Atomics++
-	s.emit(TraceAtomic, t.nodelet, home, a)
+	s.emit(TraceAtomic, t.nodelet, home, a, issued, served)
 	cur := math.Float64frombits(s.Mem.Read(a))
 	s.Mem.Write(a, math.Float64bits(cur+delta))
 	t.p.WaitUntil(t.postedAccept(issued, served))
@@ -207,6 +209,13 @@ func (t *Thread) networkLatency(target int) sim.Time {
 // across the (possibly inter-node) fabric, and claims a context slot at the
 // destination. Migrating to the current nodelet is a no-op.
 func (t *Thread) MigrateTo(target int) {
+	t.migrate(target, 0)
+}
+
+// migrate is MigrateTo plus the trigger address: the remote word whose read
+// forced the move (zero for an explicit MigrateTo), recorded on the
+// migration's trace event.
+func (t *Thread) migrate(target int, trigger memsys.Addr) {
 	s := t.sys
 	if target == t.nodelet {
 		return
@@ -216,16 +225,17 @@ func (t *Thread) MigrateTo(target int) {
 	}
 	s.Counters.perNodelet[t.nodelet].MigrationsOut++
 	s.Counters.perNodelet[target].MigrationsIn++
-	s.emit(TraceMigrate, t.nodelet, target, 0)
+	depart := t.p.Now()
 	s.nodelets[t.nodelet].slots.Release()
 	engine := s.migEngines[s.Cfg.NodeOf(t.nodelet)]
-	_, sent := engine.Acquire(t.p.Now(), sim.Interval(s.Cfg.MigrationsPerSec))
+	_, sent := engine.Acquire(depart, sim.Interval(s.Cfg.MigrationsPerSec))
 	flight := s.Cfg.MigrationLatency
 	if s.Cfg.NodeOf(target) != s.Cfg.NodeOf(t.nodelet) {
 		link := s.links[s.Cfg.NodeOf(t.nodelet)]
 		_, sent = link.Acquire(sent, sim.TransferTime(s.Cfg.ContextBytes, s.Cfg.FabricBytesPerSec))
 		flight += s.Cfg.InterNodeLatency
 	}
+	s.emit(TraceMigrate, t.nodelet, target, trigger, depart, sent+flight)
 	t.p.WaitUntil(sent + flight)
 	t.nodelet = target
 	to := s.nodelets[target]
@@ -272,7 +282,7 @@ func (t *Thread) spawnOn(nl int, at sim.Time, fn func(*Thread)) {
 	} else {
 		s.Counters.perNodelet[nl].RemoteSpawns++
 	}
-	s.emit(TraceSpawn, t.nodelet, nl, 0)
+	s.emit(TraceSpawn, t.nodelet, nl, 0, t.p.Now(), at)
 	join := t.children
 	s.Eng.Schedule(at, func() {
 		s.startThread(nl, "t", fn, join)

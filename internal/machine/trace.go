@@ -1,65 +1,96 @@
 package machine
 
 import (
-	"fmt"
+	"context"
 	"io"
 
 	"emuchick/internal/memsys"
 	"emuchick/internal/sim"
+	"emuchick/internal/trace"
 )
+
+// The machine layer streams its operations into a trace.Observer: thread
+// spawn/start/end, migrations with their trigger address, memory operation
+// issue/complete, and periodic per-nodelet gauge samples. The contract is
+// zero overhead when detached (emit is a single nil check, no allocation)
+// and zero perturbation when attached: an observer only reads model state,
+// never schedules events or touches a resource, so simulated times and
+// counters are bit-identical either way. Gauge samples therefore piggyback
+// on traced operations — the first operation at or after each interval
+// boundary triggers one Sample per nodelet — instead of being driven by
+// engine events of their own, which could outlive the last thread and move
+// the run's end time.
 
 // TraceKind classifies one traced machine operation.
-type TraceKind int
+//
+// Deprecated: use trace.Kind; TraceKind is the same type.
+type TraceKind = trace.Kind
 
+// Legacy names for the original machine-layer kinds; new code should use
+// the trace package's richer vocabulary directly.
 const (
-	TraceLoad TraceKind = iota
-	TraceStore
-	TraceRemoteStore
-	TraceAtomic
-	TraceMigrate
-	TraceSpawn
+	TraceLoad        = trace.KindLoad
+	TraceStore       = trace.KindStore
+	TraceRemoteStore = trace.KindRemoteStore
+	TraceAtomic      = trace.KindAtomic
+	TraceMigrate     = trace.KindMigrate
+	TraceSpawn       = trace.KindSpawn
 )
 
-// String names the kind.
-func (k TraceKind) String() string {
-	switch k {
-	case TraceLoad:
-		return "load"
-	case TraceStore:
-		return "store"
-	case TraceRemoteStore:
-		return "remote_store"
-	case TraceAtomic:
-		return "atomic"
-	case TraceMigrate:
-		return "migrate"
-	case TraceSpawn:
-		return "spawn"
-	default:
-		return fmt.Sprintf("TraceKind(%d)", int(k))
-	}
-}
-
 // TraceEvent is one machine operation as observed by a tracer.
-type TraceEvent struct {
-	Time    sim.Time
-	Kind    TraceKind
-	Nodelet int         // where the issuing thread resides
-	Target  int         // destination nodelet (migrations, remote ops); -1 otherwise
-	Addr    memsys.Addr // the word involved, when applicable
+//
+// Deprecated: use trace.Event; TraceEvent is the same type.
+type TraceEvent = trace.Event
+
+// defaultSampleEvery is the gauge sampling interval a system starts with;
+// SampleEvery overrides it, and sampling only occurs while an observer is
+// attached.
+const defaultSampleEvery = sim.Microsecond
+
+// Attach installs obs as the system's observer (nil detaches). It must be
+// called before Run; the machine emits events synchronously from the
+// engine's context, so obs needs no locking but must not touch the
+// simulation.
+func (s *System) Attach(obs trace.Observer) { s.obs = obs }
+
+// Observer returns the attached observer, or nil.
+func (s *System) Observer() trace.Observer { return s.obs }
+
+// SampleEvery sets the gauge-sampling interval (d <= 0 disables sampling).
+// Samples are taken at the first traced operation at or after each interval
+// boundary, so they can never perturb the event stream.
+func (s *System) SampleEvery(d sim.Time) {
+	if d <= 0 {
+		s.sampleEvery = 0
+		return
+	}
+	s.sampleEvery = d
+	s.nextSample = d
 }
 
-// String renders the event as one trace line.
-func (e TraceEvent) String() string {
-	if e.Target >= 0 {
-		return fmt.Sprintf("%12v %-12s nl%d -> nl%d %v", e.Time, e.Kind, e.Nodelet, e.Target, e.Addr)
+// WatchContext aborts the run with ctx's error once ctx is cancelled (nil
+// detaches). The engine polls the context every few thousand events, so a
+// SIGINT-driven cancel lands promptly without per-event overhead.
+func (s *System) WatchContext(ctx context.Context) {
+	if ctx == nil {
+		s.Eng.Interrupt = nil
+		return
 	}
-	return fmt.Sprintf("%12v %-12s nl%d %v", e.Time, e.Kind, e.Nodelet, e.Addr)
+	s.Eng.Interrupt = ctx.Err
 }
 
 // Trace installs fn as the system's operation tracer (nil uninstalls).
 // Tracing is for debugging and inspection; it does not affect timing.
-func (s *System) Trace(fn func(TraceEvent)) { s.tracer = fn }
+//
+// Deprecated: fn is adapted into a trace.Observer that ignores gauge
+// samples; new code should Attach an Observer.
+func (s *System) Trace(fn func(TraceEvent)) {
+	if fn == nil {
+		s.Attach(nil)
+		return
+	}
+	s.Attach(trace.FuncObserver{OnEvent: fn})
+}
 
 // TraceTo installs a tracer that writes one line per event to w and stops
 // after limit events (0 = unlimited).
@@ -70,14 +101,51 @@ func (s *System) TraceTo(w io.Writer, limit int) {
 			return
 		}
 		count++
-		fmt.Fprintln(w, e.String())
+		io.WriteString(w, e.String()+"\n")
 	})
 }
 
-// emit sends an event to the tracer if one is installed.
-func (s *System) emit(kind TraceKind, nodelet, target int, addr memsys.Addr) {
-	if s.tracer == nil {
+// emit streams one event to the observer, then takes gauge samples if an
+// interval boundary has passed. The nil check is the entire cost of the
+// detached fast path.
+func (s *System) emit(kind trace.Kind, nodelet, target int, addr memsys.Addr, start, end sim.Time) {
+	obs := s.obs
+	if obs == nil {
 		return
 	}
-	s.tracer(TraceEvent{Time: s.Eng.Now(), Kind: kind, Nodelet: nodelet, Target: target, Addr: addr})
+	obs.Event(trace.Event{Time: start, End: end, Kind: kind, Nodelet: nodelet, Target: target, Addr: addr})
+	if s.sampleEvery > 0 {
+		if now := s.Eng.Now(); now >= s.nextSample {
+			s.takeSamples(now)
+		}
+	}
+}
+
+// takeSamples reads every nodelet's gauges at now and advances the next
+// sampling boundary past now.
+func (s *System) takeSamples(now sim.Time) {
+	for i := range s.nodelets {
+		nl := s.nodelets[i]
+		s.obs.Sample(trace.Sample{
+			Time:             now,
+			Nodelet:          i,
+			ContextsUsed:     nl.slots.InUse(),
+			ContextWaiters:   nl.slots.Waiting(),
+			ChannelBacklog:   backlog(nl.channel, now),
+			MigrationBacklog: backlog(s.migEngines[s.Cfg.NodeOf(i)], now),
+		})
+	}
+	if s.sampleEvery > 0 {
+		steps := (now-s.nextSample)/s.sampleEvery + 1
+		s.nextSample += steps * s.sampleEvery
+	}
+}
+
+// backlog is the service time already booked ahead of a new arrival at r —
+// its queue depth expressed in time.
+func backlog(r *sim.Resource, now sim.Time) sim.Time {
+	if b := r.FreeAt() - now; b > 0 {
+		return b
+	}
+	return 0
 }

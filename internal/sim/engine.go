@@ -84,6 +84,11 @@ type Engine struct {
 	fired     uint64 // events dispatched so far
 	MaxEvents uint64 // safety valve; 0 means no limit
 	MaxTime   Time   // safety valve; 0 means no limit
+
+	// Interrupt, when non-nil, is polled every 1024 dispatched events; a
+	// non-nil return aborts the run with that error. Callers point it at a
+	// context.Context's Err to make runs cancellable without per-event cost.
+	Interrupt func() error
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -305,6 +310,12 @@ func (e *Engine) advance(self *Proc) bool {
 		if e.MaxEvents > 0 && e.fired >= e.MaxEvents {
 			e.done <- fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
 			return false
+		}
+		if e.Interrupt != nil && e.fired&1023 == 0 {
+			if err := e.Interrupt(); err != nil {
+				e.done <- err
+				return false
+			}
 		}
 		ev := e.next()
 		if ev.at < e.now {

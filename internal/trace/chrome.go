@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"emuchick/internal/sim"
+)
+
+// ChromeWriter is the file sink: a fixed-capacity ring buffer of events and
+// samples that renders either as a Chrome-trace JSON array (loadable in
+// Perfetto or chrome://tracing) or as JSONL in the package's native schema.
+//
+// The ring keeps the most recent entries and counts what it dropped, so an
+// arbitrarily long run traces in bounded memory; after the initial fill the
+// observer path performs no allocation. Writing happens after the run via
+// WriteChrome/WriteJSONL — never while the simulation executes.
+type ChromeWriter struct {
+	events   []Event
+	evNext   int // overwrite cursor once the event ring is full
+	evDrop   uint64
+	samples  []Sample
+	smNext   int
+	smDrop   uint64
+	nodelets int // high-water nodelet count, from KindRunBegin events
+	runs     int // KindRunBegin events seen
+}
+
+// DefaultRingCapacity is the event-ring size NewChromeWriter uses for
+// capacity <= 0 (the sample ring is sized at a quarter of it).
+const DefaultRingCapacity = 1 << 18
+
+// NewChromeWriter returns a writer whose ring holds up to capacity events;
+// capacity <= 0 selects DefaultRingCapacity.
+func NewChromeWriter(capacity int) *ChromeWriter {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &ChromeWriter{
+		events:  make([]Event, 0, capacity),
+		samples: make([]Sample, 0, max(capacity/4, 1)),
+	}
+}
+
+// Event implements Observer: O(1), allocation-free once the ring is full.
+func (w *ChromeWriter) Event(e Event) {
+	if e.Kind == KindRunBegin {
+		w.runs++
+		if e.Nodelet > w.nodelets {
+			w.nodelets = e.Nodelet
+		}
+	}
+	if len(w.events) < cap(w.events) {
+		w.events = append(w.events, e)
+		return
+	}
+	w.events[w.evNext] = e
+	w.evNext++
+	if w.evNext == len(w.events) {
+		w.evNext = 0
+	}
+	w.evDrop++
+}
+
+// Sample implements Observer.
+func (w *ChromeWriter) Sample(s Sample) {
+	if len(w.samples) < cap(w.samples) {
+		w.samples = append(w.samples, s)
+		return
+	}
+	w.samples[w.smNext] = s
+	w.smNext++
+	if w.smNext == len(w.samples) {
+		w.smNext = 0
+	}
+	w.smDrop++
+}
+
+// Len reports how many events the ring currently holds.
+func (w *ChromeWriter) Len() int { return len(w.events) }
+
+// Samples reports how many gauge samples the ring currently holds.
+func (w *ChromeWriter) Samples() int { return len(w.samples) }
+
+// Dropped reports how many events the ring overwrote (oldest-first).
+func (w *ChromeWriter) Dropped() uint64 { return w.evDrop }
+
+// Runs reports how many System runs fed the writer.
+func (w *ChromeWriter) Runs() int { return w.runs }
+
+// ordered visits ring entries oldest-first.
+func (w *ChromeWriter) orderedEvents(visit func(Event)) {
+	for i := w.evNext; i < len(w.events); i++ {
+		visit(w.events[i])
+	}
+	for i := 0; i < w.evNext; i++ {
+		visit(w.events[i])
+	}
+}
+
+func (w *ChromeWriter) orderedSamples(visit func(Sample)) {
+	for i := w.smNext; i < len(w.samples); i++ {
+		visit(w.samples[i])
+	}
+	for i := 0; i < w.smNext; i++ {
+		visit(w.samples[i])
+	}
+}
+
+// usec renders simulated time in the microseconds Chrome traces use,
+// keeping sub-microsecond resolution as a decimal fraction.
+func usec(t sim.Time) json.Number {
+	return json.Number(strconv.FormatFloat(float64(t)/float64(sim.Microsecond), 'f', -1, 64))
+}
+
+// chromeEvent is one object of the Chrome trace JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   json.Number    `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders the buffered trace as a Chrome-trace JSON array, one
+// event object per line. Discrete operations become instant events on the
+// issuing nodelet's track (duration and destination in args — instants
+// render cleanly in Perfetto even when hundreds of threadlets overlap on
+// one nodelet), and gauge samples become counter tracks.
+func (w *ChromeWriter) WriteChrome(dst io.Writer) error {
+	bw := bufio.NewWriter(dst)
+	enc := json.NewEncoder(bw) // reused per event; Encode appends "\n"
+	first := true
+	emit := func(ev chromeEvent) {
+		if first {
+			bw.WriteString("[\n")
+			first = false
+		} else {
+			bw.WriteString(",")
+		}
+		enc.Encode(ev)
+	}
+
+	emit(chromeEvent{Name: "process_name", Ph: "M", Ts: "0", Pid: 0,
+		Args: map[string]any{"name": "emuchick"}})
+	for nl := 0; nl < w.nodelets; nl++ {
+		emit(chromeEvent{Name: "thread_name", Ph: "M", Ts: "0", Pid: 0, Tid: nl,
+			Args: map[string]any{"name": fmt.Sprintf("nodelet %d", nl)}})
+	}
+	if w.evDrop > 0 {
+		emit(chromeEvent{Name: "ring_dropped_events", Ph: "M", Ts: "0", Pid: 0,
+			Args: map[string]any{"dropped": w.evDrop}})
+	}
+
+	w.orderedEvents(func(e Event) {
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Cat:  chromeCategory(e.Kind),
+			Ph:   "i",
+			S:    "t",
+			Ts:   usec(e.Time),
+			Pid:  0,
+			Tid:  e.Nodelet,
+		}
+		args := map[string]any{}
+		if d := e.Duration(); d > 0 {
+			args["dur_us"] = float64(d) / float64(sim.Microsecond)
+		}
+		if e.Target >= 0 {
+			args["dst"] = e.Target
+		}
+		if e.Kind.HasAddr() && e.Addr != 0 {
+			args["addr"] = fmt.Sprintf("0x%x", uint64(e.Addr))
+		}
+		if e.Kind == KindRunBegin {
+			ce.Tid = 0
+			args["nodelets"] = e.Nodelet
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		emit(ce)
+	})
+
+	w.orderedSamples(func(s Sample) {
+		emit(chromeEvent{
+			Name: fmt.Sprintf("nl%d contexts", s.Nodelet),
+			Ph:   "C", Ts: usec(s.Time), Pid: 0, Tid: s.Nodelet,
+			Args: map[string]any{"used": s.ContextsUsed, "waiting": s.ContextWaiters},
+		})
+		emit(chromeEvent{
+			Name: fmt.Sprintf("nl%d backlog_us", s.Nodelet),
+			Ph:   "C", Ts: usec(s.Time), Pid: 0, Tid: s.Nodelet,
+			Args: map[string]any{
+				"channel":   float64(s.ChannelBacklog) / float64(sim.Microsecond),
+				"migration": float64(s.MigrationBacklog) / float64(sim.Microsecond),
+			},
+		})
+	})
+
+	if first {
+		bw.WriteString("[\n")
+	}
+	bw.WriteString("]\n")
+	return bw.Flush()
+}
+
+// chromeCategory groups kinds into the filterable categories Perfetto
+// exposes.
+func chromeCategory(k Kind) string {
+	switch k {
+	case KindMigrate:
+		return "migration"
+	case KindSpawn, KindThreadStart, KindThreadEnd:
+		return "threads"
+	case KindLoad, KindStore, KindRemoteStore, KindAtomic:
+		return "memory"
+	default:
+		return "run"
+	}
+}
+
+// jsonlEvent is the native JSONL schema: one object per line, "kind"
+// discriminated. Gauge samples use kind "sample".
+type jsonlEvent struct {
+	T    int64  `json:"t"`             // issue time, ps
+	End  int64  `json:"end,omitempty"` // completion time, ps
+	Kind string `json:"kind"`
+	Nl   int    `json:"nl"`
+	Dst  *int   `json:"dst,omitempty"`
+	Addr string `json:"addr,omitempty"`
+
+	ContextsUsed   *int  `json:"contexts,omitempty"`
+	ContextWaiters *int  `json:"waiting,omitempty"`
+	ChanBacklog    int64 `json:"chan_backlog,omitempty"`
+	MigBacklog     int64 `json:"mig_backlog,omitempty"`
+}
+
+// WriteJSONL renders the buffered trace in the native line-oriented schema:
+// events first (time-ordered), then samples.
+func (w *ChromeWriter) WriteJSONL(dst io.Writer) error {
+	bw := bufio.NewWriter(dst)
+	enc := json.NewEncoder(bw)
+	w.orderedEvents(func(e Event) {
+		je := jsonlEvent{T: int64(e.Time), Kind: e.Kind.String(), Nl: e.Nodelet}
+		if e.End != e.Time {
+			je.End = int64(e.End)
+		}
+		if e.Target >= 0 {
+			dst := e.Target
+			je.Dst = &dst
+		}
+		if e.Kind.HasAddr() && e.Addr != 0 {
+			je.Addr = fmt.Sprintf("0x%x", uint64(e.Addr))
+		}
+		enc.Encode(je)
+	})
+	w.orderedSamples(func(s Sample) {
+		used, waiting := s.ContextsUsed, s.ContextWaiters
+		enc.Encode(jsonlEvent{
+			T: int64(s.Time), Kind: "sample", Nl: s.Nodelet,
+			ContextsUsed: &used, ContextWaiters: &waiting,
+			ChanBacklog: int64(s.ChannelBacklog), MigBacklog: int64(s.MigrationBacklog),
+		})
+	})
+	return bw.Flush()
+}

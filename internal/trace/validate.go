@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TraceInfo summarizes a validated trace file.
+type TraceInfo struct {
+	Format     string // "chrome" or "jsonl"
+	Events     int    // discrete events (chrome: ph "i"; jsonl: non-sample lines)
+	Counters   int    // gauge records (chrome: ph "C"; jsonl: "sample" lines)
+	Metadata   int    // chrome ph "M" records
+	Migrations int    // events whose kind/name is "migrate"
+}
+
+// validKinds is the closed JSONL vocabulary (plus "sample").
+var validKinds = func() map[string]bool {
+	m := map[string]bool{"sample": true}
+	for k := Kind(0); k < numKinds; k++ {
+		m[k.String()] = true
+	}
+	return m
+}()
+
+// ValidateJSONL checks that every line of r is a well-formed native-schema
+// record: valid JSON, a known "kind", a non-negative "nl", and a
+// non-negative timestamp. It returns a summary or the first offending line.
+func ValidateJSONL(r io.Reader) (TraceInfo, error) {
+	info := TraceInfo{Format: "jsonl"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec struct {
+			T    *int64 `json:"t"`
+			Kind string `json:"kind"`
+			Nl   *int   `json:"nl"`
+		}
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return info, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		if rec.T == nil || *rec.T < 0 {
+			return info, fmt.Errorf("trace: line %d: missing or negative timestamp", line)
+		}
+		if !validKinds[rec.Kind] {
+			return info, fmt.Errorf("trace: line %d: unknown kind %q", line, rec.Kind)
+		}
+		if rec.Nl == nil || *rec.Nl < 0 {
+			return info, fmt.Errorf("trace: line %d: missing nodelet", line)
+		}
+		if rec.Kind == "sample" {
+			info.Counters++
+		} else {
+			info.Events++
+			if rec.Kind == "migrate" {
+				info.Migrations++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return info, err
+	}
+	if info.Events == 0 {
+		return info, fmt.Errorf("trace: no events in JSONL trace")
+	}
+	return info, nil
+}
+
+// ValidateChrome checks that r holds a Chrome-trace JSON array whose every
+// event has the required fields for its phase (Perfetto's minimum), and
+// returns a summary.
+func ValidateChrome(r io.Reader) (TraceInfo, error) {
+	info := TraceInfo{Format: "chrome"}
+	var events []struct {
+		Name string      `json:"name"`
+		Ph   string      `json:"ph"`
+		Ts   json.Number `json:"ts"`
+		Pid  *int        `json:"pid"`
+		Tid  *int        `json:"tid"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&events); err != nil {
+		return info, fmt.Errorf("trace: not a JSON array of events: %v", err)
+	}
+	for i, e := range events {
+		if e.Name == "" {
+			return info, fmt.Errorf("trace: event %d: missing name", i)
+		}
+		switch e.Ph {
+		case "M":
+			info.Metadata++
+			continue
+		case "i", "I", "C", "X", "B", "E", "b", "e":
+		default:
+			return info, fmt.Errorf("trace: event %d: unsupported phase %q", i, e.Ph)
+		}
+		if e.Ts == "" {
+			return info, fmt.Errorf("trace: event %d (%s): missing ts", i, e.Name)
+		}
+		if ts, err := e.Ts.Float64(); err != nil || ts < 0 {
+			return info, fmt.Errorf("trace: event %d (%s): bad ts %q", i, e.Name, e.Ts)
+		}
+		if e.Pid == nil || e.Tid == nil {
+			return info, fmt.Errorf("trace: event %d (%s): missing pid/tid", i, e.Name)
+		}
+		if e.Ph == "C" {
+			info.Counters++
+		} else {
+			info.Events++
+			if e.Name == KindMigrate.String() {
+				info.Migrations++
+			}
+		}
+	}
+	if info.Events == 0 {
+		return info, fmt.Errorf("trace: no events in Chrome trace")
+	}
+	return info, nil
+}
