@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-quick bench bench-quick race figures figures-quick scorecard scorecard-quick trace-smoke examples clean
+.PHONY: all build vet test test-quick bench bench-quick race figures figures-quick scorecard scorecard-quick trace-smoke fault-smoke examples clean
 
 all: build vet test race
 
@@ -51,6 +51,16 @@ scorecard-quick:
 trace-smoke:
 	$(GO) run ./cmd/emutrace -fig fig6 -quick -trials 1 -format jsonl -out /tmp/emutrace-smoke.jsonl
 	$(GO) run ./cmd/emutrace -validate /tmp/emutrace-smoke.jsonl
+
+# Exercise the fault layer end to end at CI scale: both graceful-degradation
+# figures, then a faulted run traced to JSONL (fault_stall events included)
+# and structurally validated.
+fault-smoke:
+	$(GO) run ./cmd/emubench -fig degradation-stream -quick -format table
+	$(GO) run ./cmd/emubench -fig degradation-chase -quick -format table
+	$(GO) run ./cmd/emutrace -fig fig6 -quick -trials 1 -format jsonl \
+		-faults 'migstall=10us/100us' -out /tmp/emufault-smoke.jsonl
+	$(GO) run ./cmd/emutrace -validate /tmp/emufault-smoke.jsonl
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -4,7 +4,14 @@
 //
 //	emubench [-fig all|fig4,fig6,...] [-format table|csv|chart|all]
 //	         [-trials N] [-quick] [-list] [-parallel N]
+//	         [-faults spec] [-fault-seed S]
 //	         [-cpuprofile file] [-memprofile file]
+//
+// -faults injects a deterministic fault plan into every simulated machine
+// (see internal/fault for the grammar), e.g.
+//
+//	emubench -fig fig5 -faults 'chan=4@2' -fault-seed 7
+//	emubench -fig degradation-chase -faults 'migstall=10us/100us'
 //
 // Each experiment produces the same series the corresponding paper artifact
 // plots; -format chart renders an ASCII approximation of the figure so the
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"emuchick/internal/experiments"
+	"emuchick/internal/fault"
 	"emuchick/internal/metrics"
 	"emuchick/internal/report"
 )
@@ -46,6 +54,8 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	outdir := fs.String("outdir", "", "also write each figure as <outdir>/<figure-id>.json")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent simulations (results are identical at any setting)")
+	faults := fs.String("faults", "", "fault plan, e.g. 'chan=4@2,migstall=10us/100us' (see internal/fault)")
+	faultSeed := fs.Uint64("fault-seed", 0, "seed for the plan's nodelet choices (0: plan default)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -101,7 +111,14 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := experiments.Options{Trials: *trials, Quick: *quick, Parallel: *parallel}
+	opts := experiments.Options{Trials: *trials, Quick: *quick, Parallel: *parallel, FaultSeed: *faultSeed}
+	if *faults != "" {
+		plan, err := fault.Parse(*faults, *faultSeed)
+		if err != nil {
+			return err
+		}
+		opts.Faults = plan
+	}
 	for _, id := range ids {
 		e, err := experiments.ByID(id)
 		if err != nil {

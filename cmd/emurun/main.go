@@ -11,6 +11,12 @@
 //	emurun -bench spmv        [-n N] [-layout local|1d|2d] [-grain G]
 //	emurun -bench pingpong    [-threads N] [-iters N]
 //	emurun -bench gups        [-elems N] [-updates N] [-threads N]
+//
+// Every benchmark accepts -faults/-fault-seed to run on a deterministically
+// degraded machine (see internal/fault for the grammar):
+//
+//	emurun -bench pingpong -faults 'migstall=10us/100us'
+//	emurun -bench stream -faults 'chan=4@2' -fault-seed 7
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"os/signal"
 
 	"emuchick/internal/cilk"
+	"emuchick/internal/fault"
 	"emuchick/internal/kernels"
 	"emuchick/internal/machine"
 	"emuchick/internal/metrics"
@@ -72,6 +79,8 @@ func run(args []string, out io.Writer) error {
 	iters := fs.Int("iters", 1000, "round trips per thread (pingpong)")
 	updates := fs.Int("updates", 16384, "update count (gups)")
 	trace := fs.Int("trace", 0, "print the first N machine operations of the run")
+	faults := fs.String("faults", "", "fault plan, e.g. 'chan=4@2,migstall=10us/100us' (see internal/fault)")
+	faultSeed := fs.Uint64("fault-seed", 0, "seed for the plan's nodelet choices (0: plan default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,7 +97,14 @@ func run(args []string, out io.Writer) error {
 	// Ctrl-C interrupts the simulation instead of killing the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	cancel := kernels.WithContext(ctx)
+	runOpts := []kernels.RunOption{kernels.WithContext(ctx)}
+	if *faults != "" {
+		plan, err := fault.Parse(*faults, *faultSeed)
+		if err != nil {
+			return err
+		}
+		runOpts = append(runOpts, kernels.WithFaultPlan(plan))
+	}
 
 	var res metrics.Result
 	switch *bench {
@@ -99,7 +115,7 @@ func run(args []string, out io.Writer) error {
 		}
 		res, err = kernels.StreamAdd(cfg, kernels.StreamConfig{
 			ElemsPerNodelet: *elems, Nodelets: *nodelets, Threads: *threads, Strategy: strat,
-		}, cancel)
+		}, runOpts...)
 		if err != nil {
 			return err
 		}
@@ -111,7 +127,7 @@ func run(args []string, out io.Writer) error {
 		res, err = kernels.PointerChase(cfg, kernels.ChaseConfig{
 			Elements: *elems, BlockSize: *block, Mode: m, Seed: *seed,
 			Threads: *threads, Nodelets: *nodelets,
-		}, cancel)
+		}, runOpts...)
 		if err != nil {
 			return err
 		}
@@ -127,14 +143,14 @@ func run(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown layout %q", *layout)
 		}
-		res, err = kernels.SpMV(cfg, kernels.SpMVConfig{GridN: *gridN, Layout: l, GrainNNZ: *grain}, cancel)
+		res, err = kernels.SpMV(cfg, kernels.SpMVConfig{GridN: *gridN, Layout: l, GrainNNZ: *grain}, runOpts...)
 		if err != nil {
 			return err
 		}
 	case "pingpong":
 		pp, err := kernels.PingPong(cfg, kernels.PingPongConfig{
 			Threads: *threads, Iterations: *iters, NodeletA: 0, NodeletB: 1,
-		}, cancel)
+		}, runOpts...)
 		if err != nil {
 			return err
 		}
@@ -147,7 +163,7 @@ func run(args []string, out io.Writer) error {
 	case "gups":
 		res, err = kernels.GUPS(cfg, kernels.GUPSConfig{
 			TableWords: *elems, Updates: *updates, Threads: *threads, Seed: *seed,
-		}, cancel)
+		}, runOpts...)
 		if err != nil {
 			return err
 		}

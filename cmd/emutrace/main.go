@@ -6,7 +6,7 @@
 // Usage:
 //
 //	emutrace [-fig fig6] [-quick] [-trials N] [-format chrome|jsonl]
-//	         [-out file] [-sample dur] [-buf N]
+//	         [-out file] [-sample dur] [-buf N] [-faults spec] [-fault-seed S]
 //	emutrace -validate file
 //	emutrace -list
 //
@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"emuchick/internal/experiments"
+	"emuchick/internal/fault"
 	"emuchick/internal/report"
 	"emuchick/internal/sim"
 	"emuchick/internal/trace"
@@ -51,6 +52,8 @@ func run(args []string, out io.Writer) error {
 	sample := fs.Duration("sample", 0, "gauge-sampling interval in simulated time (0: machine default; negative: disable)")
 	buf := fs.Int("buf", 0, "ring-buffer capacity in events, keeps the most recent (0: default)")
 	validate := fs.String("validate", "", "validate an existing trace file and exit")
+	faults := fs.String("faults", "", "fault plan, e.g. 'migstall=10us/100us' (stall windows appear as fault_stall events)")
+	faultSeed := fs.Uint64("fault-seed", 0, "seed for the plan's nodelet choices (0: plan default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +95,16 @@ func run(args []string, out io.Writer) error {
 		// time.Duration is nanoseconds, sim.Time is picoseconds.
 		opts = append(opts, experiments.WithSampleInterval(sim.Time(sample.Nanoseconds())*sim.Nanosecond))
 	}
+	if *faults != "" {
+		plan, err := fault.Parse(*faults, *faultSeed)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, experiments.WithFaultPlan(plan))
+	}
+	if *faultSeed != 0 {
+		opts = append(opts, experiments.WithFaultSeed(*faultSeed))
+	}
 
 	start := time.Now()
 	figs, err := e.Run(opts...)
@@ -130,8 +143,8 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "experiment   %s — %s (%d figures, %.1fs wall)\n",
 		e.ID, e.Title, len(figs), time.Since(start).Seconds())
-	fmt.Fprintf(out, "trace        %s (%s: %d events, %d counter records, %d dropped)\n",
-		path, info.Format, info.Events, info.Counters, writer.Dropped())
+	fmt.Fprintf(out, "trace        %s (%s: %d events, %d counter records, %d events + %d samples dropped)\n",
+		path, info.Format, info.Events, info.Counters, writer.Dropped(), writer.DroppedSamples())
 	fmt.Fprintf(out, "runs         %d simulated runs observed (clocks restart at zero; buckets accumulate)\n",
 		agg.Runs())
 	fmt.Fprintf(out, "migrations   %d total, peak %.2f M/s over a %v bucket\n",
@@ -174,5 +187,9 @@ func validateFile(out io.Writer, path string) error {
 	}
 	fmt.Fprintf(out, "%s: valid %s trace — %d events (%d migrations), %d counter records, %d metadata records\n",
 		path, info.Format, info.Events, info.Migrations, info.Counters, info.Metadata)
+	if !info.Complete() {
+		fmt.Fprintf(out, "%s: INCOMPLETE — ring dropped %d events and %d samples (rerun with a larger -buf)\n",
+			path, info.DroppedEvents, info.DroppedSamples)
+	}
 	return nil
 }

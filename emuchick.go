@@ -33,6 +33,7 @@ package emuchick
 import (
 	"emuchick/internal/cilk"
 	"emuchick/internal/experiments"
+	"emuchick/internal/fault"
 	"emuchick/internal/kernels"
 	"emuchick/internal/machine"
 	"emuchick/internal/memsys"
@@ -197,7 +198,36 @@ var (
 	WithSampleInterval = experiments.WithSampleInterval
 	// WithContext makes the run cancellable.
 	WithContext = experiments.WithContext
+	// WithFaultPlan injects a deterministic fault plan into every machine
+	// the run builds (nil injects nothing; an empty plan is byte-identical
+	// to an uninjected run).
+	WithFaultPlan = experiments.WithFaultPlan
+	// WithFaultSeed overrides the fault plan's seed (0 keeps it).
+	WithFaultSeed = experiments.WithFaultSeed
 )
+
+// Fault injection: deterministic degraded-machine scenarios (see
+// internal/fault). A plan throttles cores and NCDRAM channels, degrades or
+// cuts fabric links inside time windows, and stalls migration engines; the
+// machine models a retry-with-backoff path whose retries appear in the
+// per-nodelet counters and (as "fault_stall" events) in traces.
+type (
+	// FaultPlan is one declarative fault scenario; the zero value injects
+	// nothing.
+	FaultPlan = fault.Plan
+	// FaultSlowdown throttles one resource class on a nodelet subset.
+	FaultSlowdown = fault.Slowdown
+	// FaultLink degrades or cuts fabric links inside a time window.
+	FaultLink = fault.LinkFault
+	// FaultStall describes periodic migration-engine stall windows.
+	FaultStall = fault.Stall
+)
+
+// ParseFaultPlan builds a plan from the compact CLI grammar the -faults
+// flags use, e.g. "chan=4@2,migstall=10us/100us" (see fault.Parse).
+func ParseFaultPlan(spec string, seed uint64) (*FaultPlan, error) {
+	return fault.Parse(spec, seed)
+}
 
 // runKernel resolves facade options for one kernel invocation and runs it
 // Trials times (the simulation is deterministic, so trials produce identical

@@ -1,0 +1,120 @@
+package emuchick
+
+// The fault layer's central contract, mirrored from the observer model: a
+// nil or empty fault plan is byte-identical to an uninjected run, and any
+// (plan, seed) reproduces bit-identically at every experiment parallelism.
+// These golden tests pin both halves at the figure level — the same bytes
+// cmd/emubench archives.
+
+import (
+	"bytes"
+	"testing"
+
+	"emuchick/internal/experiments"
+	"emuchick/internal/fault"
+	"emuchick/internal/report"
+)
+
+func figuresJSON(t *testing.T, id string, opts ...experiments.Option) []byte {
+	t.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := e.Run(append([]experiments.Option{
+		experiments.Options{Quick: true, Trials: 1},
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, fig := range figs {
+		if err := report.FigureJSON(&buf, fig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestZeroFaultFiguresBitIdentical is the identity half of the contract:
+// injecting nothing — a nil plan, the zero plan, or a seeded-but-empty plan
+// — must leave the figures byte-for-byte unchanged.
+func TestZeroFaultFiguresBitIdentical(t *testing.T) {
+	base := figuresJSON(t, "fig4")
+	cases := []struct {
+		name string
+		plan *FaultPlan
+	}{
+		{"nil", nil},
+		{"zero", &fault.Plan{}},
+		{"seeded-empty", &fault.Plan{Seed: 99}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := figuresJSON(t, "fig4", WithFaultPlan(tc.plan), WithFaultSeed(7))
+			if !bytes.Equal(base, got) {
+				t.Fatalf("%s plan changed the figures:\nbase:    %s\nfaulted: %s", tc.name, base, got)
+			}
+		})
+	}
+}
+
+// TestFaultedFiguresDeterministicAcrossParallel is the reproducibility half:
+// under a fixed (plan, seed), a sequential run and an 8-worker run must
+// produce byte-identical figures — for an explicitly injected plan and for
+// both degradation experiments' built-in plans.
+func TestFaultedFiguresDeterministicAcrossParallel(t *testing.T) {
+	plan, err := ParseFaultPlan("chan=4@2,migstall=10us/100us", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		id   string
+		opts []experiments.Option
+	}{
+		// fig6 migrates on every block-1 element, so this plan visibly
+		// bites — the determinism check is not vacuous.
+		{"injected-plan", "fig6", []experiments.Option{WithFaultPlan(plan)}},
+		{"degradation-stream", "degradation-stream", []experiments.Option{WithFaultSeed(7)}},
+		{"degradation-chase", "degradation-chase", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := figuresJSON(t, tc.id, append(tc.opts, WithParallel(1))...)
+			par := figuresJSON(t, tc.id, append(tc.opts, WithParallel(8))...)
+			if !bytes.Equal(seq, par) {
+				t.Fatalf("faulted %s differs across parallelism:\nseq: %s\npar: %s", tc.id, seq, par)
+			}
+		})
+	}
+	// Guard against the whole table passing vacuously: the injected plan
+	// must actually change fig6 relative to a healthy run.
+	if bytes.Equal(figuresJSON(t, "fig6"), figuresJSON(t, "fig6", WithFaultPlan(plan))) {
+		t.Fatal("injected plan was a no-op on fig6")
+	}
+}
+
+// TestFaultSeedChangesSelection guards the other direction: with a
+// Count-based rule, different seeds must be able to degrade different
+// nodelet subsets (otherwise -fault-seed would be decorative).
+func TestFaultSeedChangesSelection(t *testing.T) {
+	pickOf := func(seed uint64) []float64 {
+		p := &fault.Plan{Seed: seed, Channels: []fault.Slowdown{{Factor: 4, Count: 2}}}
+		r, err := p.Resolve(8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.ChannelScale
+	}
+	base := pickOf(1)
+	for seed := uint64(2); seed < 10; seed++ {
+		got := pickOf(seed)
+		for i := range got {
+			if got[i] != base[i] {
+				return // found a seed with a different selection
+			}
+		}
+	}
+	t.Fatal("seeds 1..9 all degraded the same nodelet pair")
+}

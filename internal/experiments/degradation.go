@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"emuchick/internal/cilk"
+	"emuchick/internal/fault"
+	"emuchick/internal/kernels"
+	"emuchick/internal/machine"
+	"emuchick/internal/metrics"
+	"emuchick/internal/sim"
+	"emuchick/internal/workload"
+)
+
+// Graceful-degradation experiments: the paper characterizes a prototype that
+// itself ran degraded (half-rate clock, 9 M of 16 M migrations/s, one usable
+// node), so the natural follow-up question is how the machine's headline
+// behaviours — peak STREAM bandwidth and the flat pointer-chase profile —
+// decay as individual components fail. Both experiments build their fault
+// plans from internal/fault, so every curve is deterministic per
+// (plan, seed) and the zero-fault point is byte-identical to the healthy
+// figures.
+
+func init() {
+	register(&Experiment{
+		ID:    "degradation-stream",
+		Title: "STREAM peak bandwidth vs number of degraded nodelets",
+		Paper: "Projection (no paper figure): aggregate bandwidth falls " +
+			"roughly linearly as NCDRAM channels are throttled, since STREAM " +
+			"load-balances across nodelets and each degraded channel serves " +
+			"its partition slower; core slowdown on top adds little because " +
+			"STREAM is channel-bound.",
+		Runner: runDegradationStream,
+	})
+	register(&Experiment{
+		ID:    "degradation-chase",
+		Title: "Pointer chasing under fabric-link faults (2 nodes)",
+		Paper: "Projection (no paper figure): Fig. 6's flatness across block " +
+			"sizes survives link degradation (every block size pays the same " +
+			"slower link), while an outage window with migration stalls " +
+			"depresses all block sizes and exercises the retry/backoff path.",
+		Runner: runDegradationChase,
+	})
+}
+
+// degradationPlan is one series of the STREAM degradation sweep: a plan
+// builder parameterized by how many nodelets are degraded.
+type degradationPlan struct {
+	name  string
+	build func(k int, seed uint64) *fault.Plan
+}
+
+func degradedCounts(quick bool) []int {
+	if quick {
+		return []int{0, 2, 4, 8}
+	}
+	return []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+func runDegradationStream(o Options) ([]*metrics.Figure, error) {
+	o = o.withDefaults()
+	// Same workload as fig5's peak point, so the k=0 column reproduces the
+	// healthy machine's peak bandwidth exactly.
+	elems, threads := 512, 256
+	if o.Quick {
+		elems, threads = 96, 64
+	}
+	plans := []degradationPlan{
+		{"chan x2", func(k int, seed uint64) *fault.Plan {
+			return &fault.Plan{Seed: seed,
+				Channels: []fault.Slowdown{{Factor: 2, Count: k}}}
+		}},
+		{"chan x4", func(k int, seed uint64) *fault.Plan {
+			return &fault.Plan{Seed: seed,
+				Channels: []fault.Slowdown{{Factor: 4, Count: k}}}
+		}},
+		{"chan+cores x4", func(k int, seed uint64) *fault.Plan {
+			return &fault.Plan{Seed: seed,
+				Channels: []fault.Slowdown{{Factor: 4, Count: k}},
+				Cores:    []fault.Slowdown{{Factor: 4, Count: k}}}
+		}},
+	}
+	counts := degradedCounts(o.Quick)
+	stats, err := sweep{series: len(plans), points: len(counts)}.run(o, func(si, pi, _ int) (float64, error) {
+		ks := o.KernelOptions()
+		if k := counts[pi]; k > 0 {
+			// k == 0 passes no plan at all, keeping the baseline column on
+			// the exact fault-free code paths.
+			ks = append(ks, kernels.WithFaultPlan(plans[si].build(k, o.FaultSeed)))
+		}
+		res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
+			ElemsPerNodelet: elems, Nodelets: 8, Threads: threads,
+			Strategy: cilk.RecursiveRemoteSpawn,
+		}, ks...)
+		if err != nil {
+			return 0, err
+		}
+		return res.MBps(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(plans))
+	for i, p := range plans {
+		names[i] = p.name
+	}
+	fig := &metrics.Figure{
+		ID:     "degradation-stream",
+		Title:  "STREAM under nodelet degradation (Emu Chick, 8 nodelets)",
+		XLabel: "degraded nodelets",
+		YLabel: "MB/s",
+		Series: assemble(names, xsOf(counts), stats),
+	}
+	return []*metrics.Figure{fig}, nil
+}
+
+// chaseFaultPlans are the series of the pointer-chase degradation figure.
+// The outage series combines a node-0 link outage window with periodic
+// migration-engine stalls, so it exercises the full retry-with-backoff path.
+func chaseFaultPlans() []degradationPlan {
+	return []degradationPlan{
+		{"healthy", func(int, uint64) *fault.Plan { return nil }},
+		{"link x4", func(_ int, seed uint64) *fault.Plan {
+			return &fault.Plan{Seed: seed,
+				Links: []fault.LinkFault{{Factor: 4}}}
+		}},
+		{"outage+stall", func(_ int, seed uint64) *fault.Plan {
+			return &fault.Plan{Seed: seed,
+				Links: []fault.LinkFault{{Factor: 0, Start: 0,
+					End: 500 * sim.Microsecond, Nodes: []int{0}}},
+				Stalls: []fault.Stall{{Duration: 20 * sim.Microsecond,
+					Period: 200 * sim.Microsecond}}}
+		}},
+	}
+}
+
+func runDegradationChase(o Options) ([]*metrics.Figure, error) {
+	o = o.withDefaults()
+	// Two node cards so migrations cross the faulted fabric link; workload
+	// mirrors fig6 at its middle thread count.
+	elements, threads := 65536, 256
+	trials := min(o.Trials, 3)
+	if o.Quick {
+		elements, threads = 8192, 64
+	}
+	blocks := chaseBlocks(o.Quick)
+	plans := chaseFaultPlans()
+	stats, err := sweep{series: len(plans), points: len(blocks), trials: trials}.run(o,
+		func(si, pi, trial int) (float64, error) {
+			ks := o.KernelOptions()
+			if plan := plans[si].build(0, o.FaultSeed); plan != nil {
+				ks = append(ks, kernels.WithFaultPlan(plan))
+			}
+			res, err := kernels.PointerChase(machine.HardwareChickNodes(2), kernels.ChaseConfig{
+				Elements: elements, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
+				Seed: uint64(trial)*1009 + 1, Threads: threads, Nodelets: 16,
+			}, ks...)
+			if err != nil {
+				return 0, err
+			}
+			return res.MBps(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(plans))
+	for i, p := range plans {
+		names[i] = p.name
+	}
+	fig := &metrics.Figure{
+		ID:     "degradation-chase",
+		Title:  "Pointer chasing under link faults (Emu Chick, 2 nodes)",
+		XLabel: "block size (elements)",
+		YLabel: "MB/s",
+		Series: assemble(names, xsOf(blocks), stats),
+	}
+	return []*metrics.Figure{fig}, nil
+}

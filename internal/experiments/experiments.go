@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"emuchick/internal/fault"
 	"emuchick/internal/kernels"
 	"emuchick/internal/metrics"
 	"emuchick/internal/sim"
@@ -42,6 +43,14 @@ type Options struct {
 	// SampleInterval overrides the gauge-sampling interval of traced
 	// systems: 0 keeps the machine default, negative disables sampling.
 	SampleInterval sim.Time
+	// Faults injects a deterministic fault plan into every system the
+	// experiment builds (nil injects nothing; see internal/fault). A nil or
+	// empty plan leaves every figure byte-identical to an uninjected run.
+	Faults *fault.Plan
+	// FaultSeed overrides the plan's seed when non-zero. It also drives
+	// the seeded nodelet choices of the degradation experiments' built-in
+	// plans, so a different seed degrades a different nodelet subset.
+	FaultSeed uint64
 
 	// ctx, when non-nil, cancels in-flight simulations; set via WithContext.
 	ctx context.Context
@@ -124,6 +133,18 @@ func WithContext(ctx context.Context) Option {
 	return optionFunc(func(o *Options) { o.ctx = ctx })
 }
 
+// WithFaultPlan injects the fault plan into every system the experiment
+// builds (nil injects nothing).
+func WithFaultPlan(p *fault.Plan) Option {
+	return optionFunc(func(o *Options) { o.Faults = p })
+}
+
+// WithFaultSeed overrides the fault plan's seed (and seeds the degradation
+// experiments' built-in plans); 0 keeps the plan's own seed.
+func WithFaultSeed(seed uint64) Option {
+	return optionFunc(func(o *Options) { o.FaultSeed = seed })
+}
+
 // ApplyOptions folds opts in order into an Options value (later options
 // win), for facades that accept Option lists.
 func ApplyOptions(opts ...Option) Options {
@@ -141,20 +162,33 @@ func ApplyOptions(opts ...Option) Options {
 // allocating nothing — when no option needs forwarding, which is every
 // untraced, uncancelled run.
 func (o Options) KernelOptions() []kernels.RunOption {
-	if o.Observer == nil && o.ctx == nil && o.SampleInterval == 0 {
+	if o.Observer == nil && o.ctx == nil && o.SampleInterval == 0 && o.Faults == nil {
 		return nil
 	}
-	ks := make([]kernels.RunOption, 0, 3)
+	ks := make([]kernels.RunOption, 0, 4)
 	if o.Observer != nil {
 		ks = append(ks, kernels.WithObserver(o.Observer))
 	}
 	if o.SampleInterval != 0 {
 		ks = append(ks, kernels.WithSampleInterval(o.SampleInterval))
 	}
+	if o.Faults != nil {
+		ks = append(ks, kernels.WithFaultPlan(o.faultPlan()))
+	}
 	if o.ctx != nil {
 		ks = append(ks, kernels.WithContext(o.ctx))
 	}
 	return ks
+}
+
+// faultPlan is the run's fault plan with any FaultSeed override applied.
+func (o Options) faultPlan() *fault.Plan {
+	if o.Faults == nil || o.FaultSeed == 0 || o.Faults.Seed == o.FaultSeed {
+		return o.Faults
+	}
+	p := *o.Faults
+	p.Seed = o.FaultSeed
+	return &p
 }
 
 // Experiment is one regenerable paper artifact.

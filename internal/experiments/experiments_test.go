@@ -36,7 +36,8 @@ func TestRegistry(t *testing.T) {
 	ids := IDs()
 	want := []string{
 		"ablation-grain", "ablation-migration-latency", "ablation-migration-rate",
-		"ablation-replication", "ablation-spawn-locality", "extension-csx",
+		"ablation-replication", "ablation-spawn-locality",
+		"degradation-chase", "degradation-stream", "extension-csx",
 		"fig10", "fig11", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9a", "fig9b", "migration-anchors", "scaling-nodes", "stream-anchors",
 		"supplement-shuffle-modes", "supplement-vb-metric",

@@ -43,6 +43,11 @@ func parallelFor(o Options, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	// A context cancelled before the loop starts runs zero cells: without
+	// this check each worker would evaluate one cell before noticing.
+	if err := o.interrupted(); err != nil {
+		return err
+	}
 	workers := o.parallelism()
 	if workers > n {
 		workers = n

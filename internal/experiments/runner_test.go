@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -104,6 +105,47 @@ func TestParallelForRunsEveryCellOnce(t *testing.T) {
 	}
 	if count.Load() != 57 {
 		t.Fatalf("ran %d cells, want 57", count.Load())
+	}
+}
+
+// Regression: a context cancelled before parallelFor started still let the
+// pool spawn and each worker evaluate one cell before noticing; with a large
+// index space and expensive cells that is real wasted simulation work. A
+// pre-cancelled context must run zero cells, and a mid-run cancel must stop
+// workers at their next pull rather than draining the index space.
+func TestParallelForPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var count atomic.Int64
+	err := parallelFor(Options{Parallel: 4, ctx: ctx}, 1000, func(int) error {
+		count.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if count.Load() != 0 {
+		t.Fatalf("pre-cancelled parallelFor ran %d cells, want 0", count.Load())
+	}
+}
+
+func TestParallelForMidRunCancelStopsPulling(t *testing.T) {
+	const workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int64
+	err := parallelFor(Options{Parallel: workers, ctx: ctx}, 1000, func(int) error {
+		if count.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Each worker may finish the cell it already pulled, but none may pull
+	// again after the cancel: at most cancel-point + one cell per worker.
+	if n := count.Load(); n > 3+workers {
+		t.Fatalf("ran %d cells after a cancel at cell 3 with %d workers", n, workers)
 	}
 }
 

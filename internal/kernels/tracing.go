@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"emuchick/internal/fault"
 	"emuchick/internal/machine"
 	"emuchick/internal/sim"
 	"emuchick/internal/trace"
@@ -35,6 +36,7 @@ type runConfig struct {
 	sample    sim.Time
 	sampleSet bool
 	ctx       context.Context
+	plan      *fault.Plan
 }
 
 // WithObserver streams the run's machine events and gauge samples to obs.
@@ -56,6 +58,14 @@ func WithContext(ctx context.Context) RunOption {
 	return func(c *runConfig) { c.ctx = ctx }
 }
 
+// WithFaultPlan injects a deterministic fault plan into the run's system
+// before the kernel starts (see internal/fault). A nil or empty plan is a
+// no-op and the run stays byte-identical to an uninjected one; later
+// WithFaultPlan options replace earlier ones.
+func WithFaultPlan(p *fault.Plan) RunOption {
+	return func(c *runConfig) { c.plan = p }
+}
+
 // newSystem builds a machine with the package tracing hook and the per-run
 // options applied.
 func newSystem(cfg machine.Config, opts ...RunOption) *machine.System {
@@ -71,6 +81,9 @@ func newSystem(cfg machine.Config, opts ...RunOption) *machine.System {
 		if opt != nil {
 			opt(&c)
 		}
+	}
+	if c.plan != nil {
+		sys.InjectFaults(c.plan)
 	}
 	if c.obs != nil {
 		sys.Attach(trace.Tee(sys.Observer(), c.obs))

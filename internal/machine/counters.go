@@ -25,6 +25,13 @@ type NodeletCounters struct {
 	Atomics       uint64 // memory-side atomic operations served
 	ComputeCycles uint64 // non-memory core cycles charged on this nodelet
 	ServiceCalls  uint64 // OS requests forwarded to the stationary core
+
+	// Fault-injection counters (zero on healthy runs): migrations that hit
+	// at least one stall/outage window, individual backoff retries, and
+	// the total core cycles spent backing off. See internal/fault.
+	StalledMigrations uint64
+	MigrationRetries  uint64
+	BackoffCycles     uint64
 }
 
 func newCounters(nodelets int) *Counters {

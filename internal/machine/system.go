@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"emuchick/internal/fault"
 	"emuchick/internal/memsys"
 	"emuchick/internal/sim"
 	"emuchick/internal/trace"
@@ -19,6 +20,7 @@ type System struct {
 
 	clock           sim.Clock
 	stationaryClock sim.Clock
+	faults          *fault.Resolved // nil on healthy machines (the fast path)
 	obs             trace.Observer
 	sampleEvery     sim.Time // gauge sampling interval; 0 disables
 	nextSample      sim.Time // next sampling boundary
@@ -83,6 +85,37 @@ func NewSystem(cfg Config) *System {
 	}
 	return s
 }
+
+// InjectFaults binds a fault plan to the machine before Run. Core and channel
+// slowdowns are pushed into the affected resources as service-time scales;
+// link windows and migration-engine stalls are consulted on the migrate path.
+// A nil or empty plan is a no-op that leaves the machine on its exact
+// fault-free code paths (the byte-identity contract of package fault).
+// Injecting an invalid plan panics, matching NewSystem's Validate contract.
+func (s *System) InjectFaults(p *fault.Plan) {
+	r, err := p.Resolve(len(s.nodelets), s.Cfg.Nodes)
+	if err != nil {
+		panic(err)
+	}
+	if r == nil {
+		return
+	}
+	s.faults = r
+	for i, nl := range s.nodelets {
+		if f := r.CoreScale[i]; f != 1 {
+			for _, core := range nl.cores {
+				core.SetServiceScale(f)
+			}
+		}
+		if f := r.ChannelScale[i]; f != 1 {
+			nl.channel.SetServiceScale(f)
+		}
+	}
+}
+
+// Faults reports the resolved fault plan bound to this machine (nil when
+// healthy).
+func (s *System) Faults() *fault.Resolved { return s.faults }
 
 // Nodelets reports the total nodelet count.
 func (s *System) Nodelets() int { return len(s.nodelets) }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"emuchick/internal/fault"
 	"emuchick/internal/memsys"
 	"emuchick/internal/sim"
+	"emuchick/internal/trace"
 )
 
 // Thread is one Gossamer threadlet: a lightweight context (the real thing is
@@ -225,14 +227,23 @@ func (t *Thread) migrate(target int, trigger memsys.Addr) {
 	}
 	s.Counters.perNodelet[t.nodelet].MigrationsOut++
 	s.Counters.perNodelet[target].MigrationsIn++
+	node := s.Cfg.NodeOf(t.nodelet)
+	crossing := s.Cfg.NodeOf(target) != node
 	depart := t.p.Now()
+	if s.faults != nil {
+		depart = t.faultBackoff(node, target, crossing, depart)
+	}
 	s.nodelets[t.nodelet].slots.Release()
-	engine := s.migEngines[s.Cfg.NodeOf(t.nodelet)]
+	engine := s.migEngines[node]
 	_, sent := engine.Acquire(depart, sim.Interval(s.Cfg.MigrationsPerSec))
 	flight := s.Cfg.MigrationLatency
-	if s.Cfg.NodeOf(target) != s.Cfg.NodeOf(t.nodelet) {
-		link := s.links[s.Cfg.NodeOf(t.nodelet)]
-		_, sent = link.Acquire(sent, sim.TransferTime(s.Cfg.ContextBytes, s.Cfg.FabricBytesPerSec))
+	if crossing {
+		link := s.links[node]
+		xfer := sim.TransferTime(s.Cfg.ContextBytes, s.Cfg.FabricBytesPerSec)
+		if s.faults != nil {
+			xfer = fault.Scale(xfer, s.faults.LinkScale(node, sent))
+		}
+		_, sent = link.Acquire(sent, xfer)
 		flight += s.Cfg.InterNodeLatency
 	}
 	s.emit(TraceMigrate, t.nodelet, target, trigger, depart, sent+flight)
@@ -242,6 +253,34 @@ func (t *Thread) migrate(target int, trigger memsys.Addr) {
 	to.slots.Acquire(t.p)
 	t.core = to.nextCore
 	to.nextCore = (to.nextCore + 1) % len(to.cores)
+}
+
+// faultBackoff holds the thread at its source nodelet while a fault blocks
+// the migration — a migration-engine stall window, or a fabric-link outage
+// when the move crosses node cards. The thread keeps its context slot and
+// polls with exponential backoff (the real backpressure a stalled engine
+// exerts: the slot stays occupied, starving inbound work), which the
+// StalledMigrations / MigrationRetries / BackoffCycles counters measure. It
+// returns the time the migration finally departs. Windows are validated
+// time-bounded, so the loop always terminates.
+func (t *Thread) faultBackoff(node, target int, crossing bool, depart sim.Time) sim.Time {
+	s := t.sys
+	nc := &s.Counters.perNodelet[t.nodelet]
+	for attempt := 0; ; attempt++ {
+		if _, blocked := s.faults.BlockedUntil(node, crossing, depart); !blocked {
+			return depart
+		}
+		if attempt == 0 {
+			nc.StalledMigrations++
+		}
+		nc.MigrationRetries++
+		cyc := s.faults.BackoffCycles(attempt)
+		nc.BackoffCycles += uint64(cyc)
+		resume := depart + s.clock.Cycles(cyc)
+		s.emit(trace.KindFaultStall, t.nodelet, target, 0, depart, resume)
+		t.p.WaitUntil(resume)
+		depart = resume
+	}
 }
 
 // Spawn creates a child threadlet on the current nodelet (cilk_spawn). The

@@ -112,14 +112,27 @@ func (s *Series) MaxMean() float64 {
 }
 
 // At returns the stats at the given x, or an error if the series has no
-// such point.
+// such point. Matching uses a relative tolerance rather than exact float
+// equality: x positions often arrive through arithmetic (unit conversions,
+// ratios of sweep parameters) whose rounding would otherwise make a
+// nominally present point unfindable.
 func (s *Series) At(x float64) (Stats, error) {
 	for _, p := range s.Points {
-		if p.X == x {
+		if sameX(p.X, x) {
 			return p.Stats, nil
 		}
 	}
 	return Stats{}, fmt.Errorf("metrics: series %q has no point at x=%v", s.Name, x)
+}
+
+// sameX compares x positions with a relative tolerance (absolute near zero).
+func sameX(a, b float64) bool {
+	const tol = 1e-9
+	diff := math.Abs(a - b)
+	if scale := math.Max(math.Abs(a), math.Abs(b)); scale > 1 {
+		return diff <= tol*scale
+	}
+	return diff <= tol
 }
 
 // Figure is a regenerated paper artifact: a set of curves plus axis labels.

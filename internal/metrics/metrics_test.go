@@ -81,6 +81,25 @@ func TestSeries(t *testing.T) {
 	}
 }
 
+// Regression: At used exact float equality, so an x that arrived through
+// arithmetic (0.1+0.2, unit conversions) missed the nominally present point.
+func TestSeriesAtTolerance(t *testing.T) {
+	s := &Series{Name: "emu"}
+	s.Add(0.3, Aggregate([]float64{10}))
+	s.Add(1e9, Aggregate([]float64{20}))
+	if st, err := s.At(0.1 + 0.2); err != nil || st.Mean != 10 {
+		t.Fatalf("At(0.1+0.2) = %+v, %v — computed x missed the 0.3 point", st, err)
+	}
+	// Relative tolerance: 1e9 reached via arithmetic that loses a few ULPs.
+	if st, err := s.At(1e9 * (1 + 1e-12)); err != nil || st.Mean != 20 {
+		t.Fatalf("At(1e9+eps) = %+v, %v", st, err)
+	}
+	// Distinct sweep points stay distinct.
+	if _, err := s.At(0.31); err == nil {
+		t.Fatal("At(0.31) matched the 0.3 point — tolerance too loose")
+	}
+}
+
 func TestFigureFindSeries(t *testing.T) {
 	f := &Figure{ID: "fig5", Series: []*Series{{Name: "a"}, {Name: "b"}}}
 	if f.FindSeries("b") == nil {

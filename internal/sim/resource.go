@@ -16,6 +16,7 @@ import "fmt"
 type Resource struct {
 	name   string
 	freeAt Time
+	scale  float64 // service-time multiplier; 0 or 1 means unthrottled
 
 	busy    Time   // total service time granted
 	ops     uint64 // operations served
@@ -29,12 +30,38 @@ func NewResource(name string) *Resource { return &Resource{name: name} }
 // Name reports the resource's diagnostic name.
 func (r *Resource) Name() string { return r.name }
 
+// SetServiceScale installs a service-time multiplier on the server — the
+// throttle hook the fault-injection layer uses to model degraded hardware
+// (a slowed core clock, a throttled NCDRAM channel). Every subsequent
+// Acquire's service time is multiplied by f and rounded to the nearest
+// picosecond; f == 1 (and the initial 0) restores the exact unthrottled
+// arithmetic, so an unthrottled resource is byte-identical to one that never
+// had the hook touched. f must be >= 1: faults degrade, they never
+// accelerate.
+func (r *Resource) SetServiceScale(f float64) {
+	if f < 1 {
+		panic(fmt.Sprintf("sim: resource %q service scale %v < 1", r.name, f))
+	}
+	r.scale = f
+}
+
+// ServiceScale reports the installed multiplier (1 when unthrottled).
+func (r *Resource) ServiceScale() float64 {
+	if r.scale == 0 {
+		return 1
+	}
+	return r.scale
+}
+
 // Acquire books one operation of the given service time arriving now.
 // It returns the operation's start and completion times and advances the
 // server's free time. svc must be non-negative.
 func (r *Resource) Acquire(now Time, svc Time) (start, done Time) {
 	if svc < 0 {
 		panic(fmt.Sprintf("sim: resource %q negative service time", r.name))
+	}
+	if r.scale != 0 && r.scale != 1 {
+		svc = Time(float64(svc)*r.scale + 0.5)
 	}
 	start = now
 	if r.freeAt > start {

@@ -16,6 +16,30 @@ func TestResourceIdleStartsImmediately(t *testing.T) {
 	}
 }
 
+func TestResourceServiceScale(t *testing.T) {
+	r := NewResource("chan")
+	if r.ServiceScale() != 1 {
+		t.Fatalf("initial scale = %v", r.ServiceScale())
+	}
+	r.SetServiceScale(2.5)
+	start, done := r.Acquire(0, 10)
+	if start != 0 || done != 25 {
+		t.Fatalf("throttled op start=%v done=%v, want 0, 25", start, done)
+	}
+	// Restoring scale 1 restores the exact unthrottled arithmetic.
+	r.SetServiceScale(1)
+	start, done = r.Acquire(25, 10)
+	if start != 25 || done != 35 {
+		t.Fatalf("unthrottled op start=%v done=%v, want 25, 35", start, done)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scale < 1 did not panic")
+		}
+	}()
+	r.SetServiceScale(0.5)
+}
+
 func TestResourceQueues(t *testing.T) {
 	r := NewResource("chan")
 	r.Acquire(0, 10)

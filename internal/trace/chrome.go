@@ -88,6 +88,12 @@ func (w *ChromeWriter) Samples() int { return len(w.samples) }
 // Dropped reports how many events the ring overwrote (oldest-first).
 func (w *ChromeWriter) Dropped() uint64 { return w.evDrop }
 
+// DroppedSamples reports how many gauge samples the sample ring overwrote.
+// The sample ring is a quarter of the event ring, so on long traced runs it
+// overflows first; a trace whose counter tracks silently start mid-run is
+// this number being non-zero.
+func (w *ChromeWriter) DroppedSamples() uint64 { return w.smDrop }
+
 // Runs reports how many System runs fed the writer.
 func (w *ChromeWriter) Runs() int { return w.runs }
 
@@ -157,6 +163,10 @@ func (w *ChromeWriter) WriteChrome(dst io.Writer) error {
 		emit(chromeEvent{Name: "ring_dropped_events", Ph: "M", Ts: "0", Pid: 0,
 			Args: map[string]any{"dropped": w.evDrop}})
 	}
+	if w.smDrop > 0 {
+		emit(chromeEvent{Name: "ring_dropped_samples", Ph: "M", Ts: "0", Pid: 0,
+			Args: map[string]any{"dropped": w.smDrop}})
+	}
 
 	w.orderedEvents(func(e Event) {
 		ce := chromeEvent{
@@ -221,6 +231,8 @@ func chromeCategory(k Kind) string {
 		return "threads"
 	case KindLoad, KindStore, KindRemoteStore, KindAtomic:
 		return "memory"
+	case KindFaultStall:
+		return "fault"
 	default:
 		return "run"
 	}
@@ -240,10 +252,15 @@ type jsonlEvent struct {
 	ContextWaiters *int  `json:"waiting,omitempty"`
 	ChanBacklog    int64 `json:"chan_backlog,omitempty"`
 	MigBacklog     int64 `json:"mig_backlog,omitempty"`
+
+	DroppedEvents  uint64 `json:"dropped_events,omitempty"`
+	DroppedSamples uint64 `json:"dropped_samples,omitempty"`
 }
 
 // WriteJSONL renders the buffered trace in the native line-oriented schema:
-// events first (time-ordered), then samples.
+// events first (time-ordered), then samples, then — only when either ring
+// overwrote anything — one final "drops" record carrying both drop counts,
+// so a truncated trace is distinguishable from a complete one.
 func (w *ChromeWriter) WriteJSONL(dst io.Writer) error {
 	bw := bufio.NewWriter(dst)
 	enc := json.NewEncoder(bw)
@@ -269,5 +286,10 @@ func (w *ChromeWriter) WriteJSONL(dst io.Writer) error {
 			ChanBacklog: int64(s.ChannelBacklog), MigBacklog: int64(s.MigrationBacklog),
 		})
 	})
+	if w.evDrop > 0 || w.smDrop > 0 {
+		enc.Encode(jsonlEvent{
+			Kind: "drops", DroppedEvents: w.evDrop, DroppedSamples: w.smDrop,
+		})
+	}
 	return bw.Flush()
 }

@@ -70,6 +70,12 @@ const (
 	KindAtomic
 	// KindService is an OS call forwarded to a node's stationary core.
 	KindService
+	// KindFaultStall is one backoff wait of a thread whose migration found
+	// the engine stalled or the fabric link down (fault injection): Nodelet
+	// is where the thread is stuck, Target the migration's destination,
+	// Time the retry and End when the thread polls again. Consecutive
+	// stall events for one migration render the stall window in Perfetto.
+	KindFaultStall
 	numKinds
 )
 
@@ -99,6 +105,8 @@ func (k Kind) String() string {
 		return "atomic"
 	case KindService:
 		return "service"
+	case KindFaultStall:
+		return "fault_stall"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -211,6 +211,69 @@ func TestChromeWriterJSONLOutput(t *testing.T) {
 	}
 }
 
+// Regression: sample-ring overwrites were counted (smDrop) but never exposed
+// — Dropped() only reported event drops, so a trace whose counter tracks
+// silently started mid-run looked complete. Both drop counts must now
+// surface through the writer, both formats, and both validators.
+func TestChromeWriterSampleDropsSurfaced(t *testing.T) {
+	w := NewChromeWriter(8) // sample ring: 2 entries
+	w.Event(Event{Kind: KindLoad, Nodelet: 0, Target: -1})
+	for i := 0; i < 5; i++ {
+		w.Sample(Sample{Time: sim.Time(i), Nodelet: 0})
+	}
+	if w.Dropped() != 0 {
+		t.Fatalf("event drops = %d, want 0", w.Dropped())
+	}
+	if w.DroppedSamples() != 3 {
+		t.Fatalf("sample drops = %d, want 3", w.DroppedSamples())
+	}
+
+	var jl strings.Builder
+	if err := w.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	info, err := ValidateJSONL(strings.NewReader(jl.String()))
+	if err != nil {
+		t.Fatalf("JSONL with drops record invalid: %v\n%s", err, jl.String())
+	}
+	if info.DroppedSamples != 3 || info.DroppedEvents != 0 || info.Complete() {
+		t.Fatalf("JSONL drop summary %+v", info)
+	}
+
+	var ch strings.Builder
+	if err := w.WriteChrome(&ch); err != nil {
+		t.Fatal(err)
+	}
+	info, err = ValidateChrome(strings.NewReader(ch.String()))
+	if err != nil {
+		t.Fatalf("chrome trace with drop metadata invalid: %v", err)
+	}
+	if info.DroppedSamples != 3 || info.Complete() {
+		t.Fatalf("chrome drop summary %+v", info)
+	}
+}
+
+// A writer with no drops must keep both formats byte-identical to the
+// pre-drop-record schema: no "drops" line, no ring_dropped_* metadata.
+func TestCompleteTraceCarriesNoDropRecords(t *testing.T) {
+	w := NewChromeWriter(64)
+	w.Event(Event{Kind: KindLoad, Nodelet: 0, Target: -1})
+	var jl, ch strings.Builder
+	if err := w.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChrome(&ch); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(jl.String(), "drops") || strings.Contains(ch.String(), "ring_dropped") {
+		t.Fatal("complete trace carries drop records")
+	}
+	info, err := ValidateJSONL(strings.NewReader(jl.String()))
+	if err != nil || !info.Complete() {
+		t.Fatalf("complete trace reported incomplete: %+v, %v", info, err)
+	}
+}
+
 func TestValidateRejectsGarbage(t *testing.T) {
 	if _, err := ValidateJSONL(strings.NewReader("not json\n")); err == nil {
 		t.Fatal("garbage JSONL accepted")

@@ -13,13 +13,23 @@ type TraceInfo struct {
 	Format     string // "chrome" or "jsonl"
 	Events     int    // discrete events (chrome: ph "i"; jsonl: non-sample lines)
 	Counters   int    // gauge records (chrome: ph "C"; jsonl: "sample" lines)
-	Metadata   int    // chrome ph "M" records
+	Metadata   int    // chrome ph "M" records; jsonl "drops" lines
 	Migrations int    // events whose kind/name is "migrate"
+	// DroppedEvents and DroppedSamples are the writer's ring-overwrite
+	// counts recorded in the trace (chrome: ring_dropped_* metadata; jsonl:
+	// the trailing "drops" record). Zero for a complete trace.
+	DroppedEvents  uint64
+	DroppedSamples uint64
 }
 
-// validKinds is the closed JSONL vocabulary (plus "sample").
+// Complete reports whether the trace recorded every event and sample the
+// run emitted (neither ring overflowed).
+func (i TraceInfo) Complete() bool { return i.DroppedEvents == 0 && i.DroppedSamples == 0 }
+
+// validKinds is the closed JSONL vocabulary (plus the "sample" gauge record
+// and the trailing "drops" accounting record).
 var validKinds = func() map[string]bool {
-	m := map[string]bool{"sample": true}
+	m := map[string]bool{"sample": true, "drops": true}
 	for k := Kind(0); k < numKinds; k++ {
 		m[k.String()] = true
 	}
@@ -41,9 +51,11 @@ func ValidateJSONL(r io.Reader) (TraceInfo, error) {
 			continue
 		}
 		var rec struct {
-			T    *int64 `json:"t"`
-			Kind string `json:"kind"`
-			Nl   *int   `json:"nl"`
+			T              *int64 `json:"t"`
+			Kind           string `json:"kind"`
+			Nl             *int   `json:"nl"`
+			DroppedEvents  uint64 `json:"dropped_events"`
+			DroppedSamples uint64 `json:"dropped_samples"`
 		}
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
 			return info, fmt.Errorf("trace: line %d: %v", line, err)
@@ -53,6 +65,12 @@ func ValidateJSONL(r io.Reader) (TraceInfo, error) {
 		}
 		if !validKinds[rec.Kind] {
 			return info, fmt.Errorf("trace: line %d: unknown kind %q", line, rec.Kind)
+		}
+		if rec.Kind == "drops" {
+			info.Metadata++
+			info.DroppedEvents += rec.DroppedEvents
+			info.DroppedSamples += rec.DroppedSamples
+			continue
 		}
 		if rec.Nl == nil || *rec.Nl < 0 {
 			return info, fmt.Errorf("trace: line %d: missing nodelet", line)
@@ -86,6 +104,9 @@ func ValidateChrome(r io.Reader) (TraceInfo, error) {
 		Ts   json.Number `json:"ts"`
 		Pid  *int        `json:"pid"`
 		Tid  *int        `json:"tid"`
+		Args struct {
+			Dropped uint64 `json:"dropped"`
+		} `json:"args"`
 	}
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&events); err != nil {
@@ -98,6 +119,12 @@ func ValidateChrome(r io.Reader) (TraceInfo, error) {
 		switch e.Ph {
 		case "M":
 			info.Metadata++
+			switch e.Name {
+			case "ring_dropped_events":
+				info.DroppedEvents += e.Args.Dropped
+			case "ring_dropped_samples":
+				info.DroppedSamples += e.Args.Dropped
+			}
 			continue
 		case "i", "I", "C", "X", "B", "E", "b", "e":
 		default:
