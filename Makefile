@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-quick bench bench-quick race figures figures-quick scorecard scorecard-quick trace-smoke fault-smoke examples clean
+.PHONY: all check build vet test test-quick bench bench-quick race figures figures-quick scorecard scorecard-quick trace-smoke fault-smoke soak examples clean
 
 all: build vet test race
+
+# The pre-commit gate: compile, vet, test.
+check: build vet test
 
 build:
 	$(GO) build ./...
@@ -61,6 +64,27 @@ fault-smoke:
 	$(GO) run ./cmd/emutrace -fig fig6 -quick -trials 1 -format jsonl \
 		-faults 'migstall=10us/100us' -out /tmp/emufault-smoke.jsonl
 	$(GO) run ./cmd/emutrace -validate /tmp/emufault-smoke.jsonl
+
+# Kill-and-resume soak: archive an uninterrupted full-size fig6, then start
+# the same sweep checkpointed, SIGINT it mid-run (it takes ~8 s; the kill
+# lands at ~2 s), resume from the log, and byte-compare the archived figure
+# JSON — the crash-safety contract, end to end through the real binary.
+# The JSON is compared rather than stdout because stdout carries wall-clock
+# timings.
+SOAK_DIR := /tmp/emusoak
+soak:
+	rm -rf $(SOAK_DIR) && mkdir -p $(SOAK_DIR)/ckpt
+	$(GO) build -o $(SOAK_DIR)/emubench ./cmd/emubench
+	$(SOAK_DIR)/emubench -fig fig6 -trials 1 -parallel 2 -outdir $(SOAK_DIR)/base > /dev/null
+	-( $(SOAK_DIR)/emubench -fig fig6 -trials 1 -parallel 2 \
+		-checkpoint $(SOAK_DIR)/ckpt/ > /dev/null & \
+	   pid=$$!; sleep 2; kill -INT $$pid; wait $$pid )
+	@test -s $(SOAK_DIR)/ckpt/fig6.ckpt || { echo "soak: no checkpoint written"; exit 1; }
+	@echo "soak: interrupted with $$(grep -c '"type":"cell"' $(SOAK_DIR)/ckpt/fig6.ckpt) of 52 cells checkpointed; resuming"
+	$(SOAK_DIR)/emubench -fig fig6 -trials 1 -parallel 4 \
+		-checkpoint $(SOAK_DIR)/ckpt/ -resume -outdir $(SOAK_DIR)/resumed > /dev/null
+	diff $(SOAK_DIR)/base/fig6.json $(SOAK_DIR)/resumed/fig6.json
+	@echo "soak: resumed figures are byte-identical to the uninterrupted run"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,100 @@
+package emuchick
+
+// The crash-safety contract at the facade level, mirrored from the fault
+// layer's golden tests: a run killed mid-sweep and resumed from its
+// write-ahead checkpoint produces figures byte-identical to an
+// uninterrupted run — at any parallelism, with or without a fault plan —
+// and the checkpoint itself adds nothing to a run that completes normally.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emuchick/internal/experiments"
+)
+
+// TestCheckpointedFiguresBitIdentical is the identity half: attaching a
+// checkpoint to a run that completes must not change its figures, and a
+// second run replaying the complete log must reproduce them exactly.
+func TestCheckpointedFiguresBitIdentical(t *testing.T) {
+	base := figuresJSON(t, "fig4")
+	path := filepath.Join(t.TempDir(), "fig4.ckpt")
+	cold := figuresJSON(t, "fig4", WithCheckpoint(path))
+	if !bytes.Equal(base, cold) {
+		t.Fatalf("checkpointed run changed the figures:\nbase: %s\nckpt: %s", base, cold)
+	}
+	warm := figuresJSON(t, "fig4", WithCheckpoint(path))
+	if !bytes.Equal(base, warm) {
+		t.Fatalf("replayed run changed the figures:\nbase: %s\nwarm: %s", base, warm)
+	}
+}
+
+// TestKilledRunResumesBitIdentical is the crash half: a checkpoint cut off
+// mid-sweep — complete cell records plus a torn final line, exactly what a
+// kill mid-append leaves — must resume into figures byte-identical to an
+// uninterrupted run, at a different parallelism, with and without a fault
+// plan.
+func TestKilledRunResumesBitIdentical(t *testing.T) {
+	plan, err := ParseFaultPlan("chan=4@2,migstall=10us/100us", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		id   string
+		keep int // complete cell records surviving the "kill"
+		opts []experiments.Option
+	}{
+		{"fig4-plain", "fig4", 3, nil},
+		{"fig6-faulted", "fig6", 4, []experiments.Option{WithFaultPlan(plan)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := figuresJSON(t, tc.id, append(tc.opts, WithParallel(8))...)
+			path := filepath.Join(t.TempDir(), tc.id+".ckpt")
+
+			// Write the full log sequentially, then cut it down to the
+			// header, keep cell records, and a torn partial line.
+			figuresJSON(t, tc.id, append(tc.opts, WithCheckpoint(path), WithParallel(1))...)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := bytes.SplitAfter(data, []byte("\n"))
+			if len(lines) < tc.keep+2 {
+				t.Fatalf("log too short to cut: %d lines", len(lines))
+			}
+			cut := append(bytes.Join(lines[:tc.keep+1], nil), lines[tc.keep+1][:len(lines[tc.keep+1])/2]...)
+			if err := os.WriteFile(path, cut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Resume at parallel 8; the figures must match the baseline.
+			got := figuresJSON(t, tc.id, append(tc.opts, WithCheckpoint(path), WithParallel(8))...)
+			if !bytes.Equal(base, got) {
+				t.Fatalf("resumed %s differs from uninterrupted run:\nbase: %s\ngot:  %s", tc.id, base, got)
+			}
+		})
+	}
+}
+
+// TestCheckpointRefusesForeignLog pins the fingerprint contract end to end:
+// a log written under one workload shape cannot be consumed by another.
+func TestCheckpointRefusesForeignLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig4.ckpt")
+	figuresJSON(t, "fig4", WithCheckpoint(path))
+	e, err := experiments.ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(experiments.Options{Quick: true, Trials: 3}, WithCheckpoint(path))
+	if err == nil {
+		t.Fatal("resume under a different trial count was accepted")
+	}
+	if !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("unexpected refusal: %v", err)
+	}
+}

@@ -5,7 +5,15 @@
 //	emubench [-fig all|fig4,fig6,...] [-format table|csv|chart|all]
 //	         [-trials N] [-quick] [-list] [-parallel N]
 //	         [-faults spec] [-fault-seed S]
+//	         [-checkpoint path [-resume]] [-cell-timeout D] [-retries N]
 //	         [-cpuprofile file] [-memprofile file]
+//
+// -checkpoint appends every completed sweep cell to a write-ahead log as it
+// finishes; a run killed mid-sweep (SIGINT included) can be rerun with
+// -resume to replay finished cells and produce figures byte-identical to an
+// uninterrupted run. -cell-timeout arms a per-cell watchdog: a stuck
+// simulation is killed, retried -retries times, then recorded as a failure
+// and left as a hole in a figure marked incomplete.
 //
 // -faults injects a deterministic fault plan into every simulated machine
 // (see internal/fault for the grammar), e.g.
@@ -56,6 +64,10 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent simulations (results are identical at any setting)")
 	faults := fs.String("faults", "", "fault plan, e.g. 'chan=4@2,migstall=10us/100us' (see internal/fault)")
 	faultSeed := fs.Uint64("fault-seed", 0, "seed for the plan's nodelet choices (0: plan default)")
+	checkpoint := fs.String("checkpoint", "", "write-ahead log of completed sweep cells (a directory path keeps one log per figure); killed runs resume with -resume")
+	resume := fs.Bool("resume", false, "allow resuming from an existing non-empty checkpoint")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell watchdog: kill any single simulation after this wall-clock time (0 disables)")
+	retries := fs.Int("retries", 1, "extra attempts for a watchdog-killed cell before it is recorded as failed")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -111,7 +123,10 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := experiments.Options{Trials: *trials, Quick: *quick, Parallel: *parallel, FaultSeed: *faultSeed}
+	opts := experiments.Options{
+		Trials: *trials, Quick: *quick, Parallel: *parallel, FaultSeed: *faultSeed,
+		Checkpoint: *checkpoint, CellTimeout: *cellTimeout, Retries: *retries,
+	}
 	if *faults != "" {
 		plan, err := fault.Parse(*faults, *faultSeed)
 		if err != nil {
@@ -119,10 +134,16 @@ func run(args []string, out io.Writer) error {
 		}
 		opts.Faults = plan
 	}
+	var incomplete []string
 	for _, id := range ids {
 		e, err := experiments.ByID(id)
 		if err != nil {
 			return err
+		}
+		if *checkpoint != "" && !*resume {
+			if err := refuseStaleCheckpoint(experiments.CheckpointPath(*checkpoint, id)); err != nil {
+				return err
+			}
 		}
 		start := time.Now()
 		figs, err := e.Run(opts, experiments.WithContext(ctx))
@@ -140,10 +161,30 @@ func run(args []string, out io.Writer) error {
 					return err
 				}
 			}
+			if fig.Incomplete {
+				incomplete = append(incomplete, fig.ID)
+			}
 			fmt.Fprintln(out)
 		}
 	}
+	if len(incomplete) > 0 {
+		fmt.Fprintf(out, "WARNING: incomplete figures (failed cells left NaN holes): %s\n",
+			strings.Join(incomplete, ", "))
+		if *checkpoint != "" {
+			fmt.Fprintln(out, "         per-cell failure records (parked procs, engine state) are in the checkpoint log")
+		}
+	}
 	return nil
+}
+
+// refuseStaleCheckpoint guards against silently reusing an old log: a
+// non-empty checkpoint file is only consumed under an explicit -resume.
+func refuseStaleCheckpoint(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		return nil
+	}
+	return fmt.Errorf("checkpoint %s already holds records; pass -resume to continue that run or delete the file", path)
 }
 
 // writeFigureJSON archives one figure under dir as <id>.json.

@@ -17,21 +17,32 @@
 //
 //	emurun -bench pingpong -faults 'migstall=10us/100us'
 //	emurun -bench stream -faults 'chan=4@2' -fault-seed 7
+//
+// -cell-timeout arms a watchdog that kills a stuck simulation after the
+// given wall-clock time and retries it -retries times; a run that dies in
+// the engine (deadlock, event budget, watchdog) prints the structured
+// post-mortem — engine time, fired events, every parked process with its
+// park site. -checkpoint records the finished measurement in a write-ahead
+// log; rerunning with -resume replays it without re-simulating.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"time"
 
 	"emuchick/internal/cilk"
+	"emuchick/internal/experiments"
 	"emuchick/internal/fault"
 	"emuchick/internal/kernels"
 	"emuchick/internal/machine"
 	"emuchick/internal/metrics"
+	"emuchick/internal/sim"
 	"emuchick/internal/workload"
 )
 
@@ -81,6 +92,10 @@ func run(args []string, out io.Writer) error {
 	trace := fs.Int("trace", 0, "print the first N machine operations of the run")
 	faults := fs.String("faults", "", "fault plan, e.g. 'chan=4@2,migstall=10us/100us' (see internal/fault)")
 	faultSeed := fs.Uint64("fault-seed", 0, "seed for the plan's nodelet choices (0: plan default)")
+	checkpoint := fs.String("checkpoint", "", "write-ahead log of the finished measurement; rerun with -resume to replay it")
+	resume := fs.Bool("resume", false, "allow replaying an existing non-empty checkpoint")
+	cellTimeout := fs.Duration("cell-timeout", 0, "watchdog: kill the simulation after this wall-clock time (0 disables)")
+	retries := fs.Int("retries", 1, "extra attempts after a watchdog kill before giving up")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,30 +121,49 @@ func run(args []string, out io.Writer) error {
 		runOpts = append(runOpts, kernels.WithFaultPlan(plan))
 	}
 
-	var res metrics.Result
+	// reportResult renders the standard bandwidth block from the measurement
+	// vector [bytes, elapsed-ns]; pingpong installs its own pair below.
+	reportResult := func(vals []float64) {
+		res := metrics.Result{Bytes: int64(vals[0]), Elapsed: sim.Time(vals[1])}
+		fmt.Fprintf(out, "machine    %s\n", cfg.Name)
+		fmt.Fprintf(out, "bytes      %d\n", res.Bytes)
+		fmt.Fprintf(out, "elapsed    %v\n", res.Elapsed)
+		fmt.Fprintf(out, "bandwidth  %.2f MB/s (%.4f GB/s)\n", res.MBps(), res.GBps())
+		fmt.Fprintf(out, "peak       %.1f%% of machine word-traffic peak\n",
+			100*res.BytesPerSec()/cfg.PeakMemoryBytesPerSec())
+	}
+	asResult := func(res metrics.Result, err error) ([]float64, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []float64{float64(res.Bytes), float64(res.Elapsed)}, nil
+	}
+
+	// do runs the benchmark once under the given options and returns its
+	// measurement vector; report renders a vector (fresh or replayed).
+	var do func(ro []kernels.RunOption) ([]float64, error)
+	report := reportResult
 	switch *bench {
 	case "stream":
 		strat, err := cilk.ParseStrategy(*strategy)
 		if err != nil {
 			return err
 		}
-		res, err = kernels.StreamAdd(cfg, kernels.StreamConfig{
-			ElemsPerNodelet: *elems, Nodelets: *nodelets, Threads: *threads, Strategy: strat,
-		}, runOpts...)
-		if err != nil {
-			return err
+		do = func(ro []kernels.RunOption) ([]float64, error) {
+			return asResult(kernels.StreamAdd(cfg, kernels.StreamConfig{
+				ElemsPerNodelet: *elems, Nodelets: *nodelets, Threads: *threads, Strategy: strat,
+			}, ro...))
 		}
 	case "chase":
 		m, err := workload.ParseShuffleMode(*mode)
 		if err != nil {
 			return err
 		}
-		res, err = kernels.PointerChase(cfg, kernels.ChaseConfig{
-			Elements: *elems, BlockSize: *block, Mode: m, Seed: *seed,
-			Threads: *threads, Nodelets: *nodelets,
-		}, runOpts...)
-		if err != nil {
-			return err
+		do = func(ro []kernels.RunOption) ([]float64, error) {
+			return asResult(kernels.PointerChase(cfg, kernels.ChaseConfig{
+				Elements: *elems, BlockSize: *block, Mode: m, Seed: *seed,
+				Threads: *threads, Nodelets: *nodelets,
+			}, ro...))
 		}
 	case "spmv":
 		var l kernels.SpMVLayout
@@ -143,39 +177,152 @@ func run(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown layout %q", *layout)
 		}
-		res, err = kernels.SpMV(cfg, kernels.SpMVConfig{GridN: *gridN, Layout: l, GrainNNZ: *grain}, runOpts...)
-		if err != nil {
-			return err
+		do = func(ro []kernels.RunOption) ([]float64, error) {
+			return asResult(kernels.SpMV(cfg, kernels.SpMVConfig{GridN: *gridN, Layout: l, GrainNNZ: *grain}, ro...))
 		}
 	case "pingpong":
-		pp, err := kernels.PingPong(cfg, kernels.PingPongConfig{
-			Threads: *threads, Iterations: *iters, NodeletA: 0, NodeletB: 1,
-		}, runOpts...)
-		if err != nil {
-			return err
+		do = func(ro []kernels.RunOption) ([]float64, error) {
+			pp, err := kernels.PingPong(cfg, kernels.PingPongConfig{
+				Threads: *threads, Iterations: *iters, NodeletA: 0, NodeletB: 1,
+			}, ro...)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{float64(pp.Migrations), float64(pp.Elapsed), pp.MigrationsPerSec, float64(pp.MeanLatency)}, nil
 		}
-		fmt.Fprintf(out, "machine        %s\n", cfg.Name)
-		fmt.Fprintf(out, "migrations     %d\n", pp.Migrations)
-		fmt.Fprintf(out, "elapsed        %v\n", pp.Elapsed)
-		fmt.Fprintf(out, "rate           %.2f M migrations/s\n", pp.MigrationsPerSec/1e6)
-		fmt.Fprintf(out, "mean latency   %v per migration per thread\n", pp.MeanLatency)
-		return nil
+		report = func(vals []float64) {
+			fmt.Fprintf(out, "machine        %s\n", cfg.Name)
+			fmt.Fprintf(out, "migrations     %d\n", int64(vals[0]))
+			fmt.Fprintf(out, "elapsed        %v\n", sim.Time(vals[1]))
+			fmt.Fprintf(out, "rate           %.2f M migrations/s\n", vals[2]/1e6)
+			fmt.Fprintf(out, "mean latency   %v per migration per thread\n", sim.Time(vals[3]))
+		}
 	case "gups":
-		res, err = kernels.GUPS(cfg, kernels.GUPSConfig{
-			TableWords: *elems, Updates: *updates, Threads: *threads, Seed: *seed,
-		}, runOpts...)
-		if err != nil {
-			return err
+		do = func(ro []kernels.RunOption) ([]float64, error) {
+			return asResult(kernels.GUPS(cfg, kernels.GUPSConfig{
+				TableWords: *elems, Updates: *updates, Threads: *threads, Seed: *seed,
+			}, ro...))
 		}
 	default:
 		return fmt.Errorf("unknown benchmark %q", *bench)
 	}
 
-	fmt.Fprintf(out, "machine    %s\n", cfg.Name)
-	fmt.Fprintf(out, "bytes      %d\n", res.Bytes)
-	fmt.Fprintf(out, "elapsed    %v\n", res.Elapsed)
-	fmt.Fprintf(out, "bandwidth  %.2f MB/s (%.4f GB/s)\n", res.MBps(), res.GBps())
-	fmt.Fprintf(out, "peak       %.1f%% of machine word-traffic peak\n",
-		100*res.BytesPerSec()/cfg.PeakMemoryBytesPerSec())
+	// The checkpoint addresses the measurement vector as cells of sweep 0,
+	// fingerprinted by every workload-shaping flag so -resume refuses to
+	// replay a measurement taken with different parameters.
+	var ck *experiments.Checkpoint
+	if *checkpoint != "" {
+		if !*resume {
+			if fi, err := os.Stat(*checkpoint); err == nil && fi.Size() > 0 {
+				return fmt.Errorf("checkpoint %s already holds records; pass -resume to replay it or delete the file", *checkpoint)
+			}
+		}
+		fp := fmt.Sprintf("machine=%s;nodes=%d;nodelets=%d;threads=%d;elems=%d;strategy=%s;block=%d;mode=%s;seed=%d;n=%d;layout=%s;grain=%d;iters=%d;updates=%d;faults=%s;fault-seed=%d",
+			*mach, *nodes, *nodelets, *threads, *elems, *strategy, *block, *mode, *seed, *gridN, *layout, *grain, *iters, *updates, *faults, *faultSeed)
+		var err error
+		ck, err = experiments.OpenCheckpoint(*checkpoint, "emurun/"+*bench, fp)
+		if err != nil {
+			return err
+		}
+		defer ck.Close()
+		if vals, ok := replay(ck); ok {
+			fmt.Fprintf(out, "(replayed from checkpoint %s)\n", *checkpoint)
+			report(vals)
+			return nil
+		}
+	}
+
+	vals, attempts, err := runWithWatchdog(ctx, out, *cellTimeout, *retries, runOpts, do)
+	if err != nil {
+		if ck != nil {
+			cf := experiments.NewCellFailure(attempts, err)
+			if rerr := ck.RecordFailure(cf); rerr != nil {
+				return rerr
+			}
+		}
+		renderPostMortem(out, err)
+		return err
+	}
+	if ck != nil {
+		for i, v := range vals {
+			if err := ck.Record(0, i, v); err != nil {
+				return err
+			}
+		}
+	}
+	report(vals)
 	return nil
+}
+
+// replay reassembles the measurement vector from a checkpoint that recorded
+// the whole run (cells 0..n-1 of sweep 0, contiguous).
+func replay(ck *experiments.Checkpoint) ([]float64, bool) {
+	var vals []float64
+	for i := 0; ; i++ {
+		v, ok := ck.Lookup(0, i)
+		if !ok {
+			return vals, i > 0
+		}
+		vals = append(vals, v)
+	}
+}
+
+// runWithWatchdog executes do, arming a per-attempt deadline when
+// cellTimeout is set and retrying watchdog kills up to retries extra times.
+// It reports the number of attempts spent alongside the outcome.
+func runWithWatchdog(ctx context.Context, out io.Writer, cellTimeout time.Duration, retries int,
+	base []kernels.RunOption, do func([]kernels.RunOption) ([]float64, error)) ([]float64, int, error) {
+	attempts := 1
+	if cellTimeout > 0 {
+		attempts += retries
+	}
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		ro := base
+		cancel := context.CancelFunc(func() {})
+		if cellTimeout > 0 {
+			actx, c := context.WithTimeout(ctx, cellTimeout)
+			// A later WithContext replaces the base one for this attempt.
+			ro = append(append([]kernels.RunOption{}, base...), kernels.WithContext(actx))
+			cancel = c
+		}
+		vals, err := do(ro)
+		cancel()
+		if err == nil {
+			return vals, a, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, a, err // outer cancellation (SIGINT): no retry
+		}
+		if errors.Is(err, context.DeadlineExceeded) && a < attempts {
+			fmt.Fprintf(out, "watchdog: attempt %d/%d killed after %v; retrying\n", a, attempts, cellTimeout)
+			continue
+		}
+		return nil, a, err
+	}
+	return nil, attempts, lastErr
+}
+
+// renderPostMortem prints the structured dump of a sim.RunError — engine
+// time, fired events, and each parked process with its park site — so a
+// hung or deadlocked run is diagnosable without rerunning it.
+func renderPostMortem(out io.Writer, err error) {
+	var re *sim.RunError
+	if !errors.As(err, &re) {
+		return
+	}
+	fmt.Fprintf(out, "post-mortem: %v at t=%v after %d events\n", re.Kind, re.Now, re.Fired)
+	const maxListed = 16
+	for i, p := range re.Parked {
+		if i == maxListed {
+			fmt.Fprintf(out, "  ... %d more parked process(es)\n", len(re.Parked)-i)
+			break
+		}
+		if p.HasWake {
+			fmt.Fprintf(out, "  parked %-24s at %-16s since t=%v (wake t=%v)\n", p.Name, p.Site, p.ParkedAt, p.WakeAt)
+		} else {
+			fmt.Fprintf(out, "  parked %-24s at %-16s since t=%v (no pending wake)\n", p.Name, p.Site, p.ParkedAt)
+		}
+	}
 }

@@ -6,13 +6,23 @@
 // Usage:
 //
 //	emuvalidate [-quick] [-trials N] [-claim id] [-parallel N]
+//	            [-deadline D] [-checkpoint dir [-resume]]
+//	            [-cell-timeout D] [-retries N]
+//
+// -deadline bounds the whole scorecard: once it passes, no further claims
+// are launched — the remaining ones print as SKIP and the run exits
+// non-zero, instead of running open-ended. -checkpoint (a directory path
+// keeps one log per experiment) makes the claims' sweeps resumable, and
+// -cell-timeout arms the per-cell watchdog, exactly as in emubench.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -37,10 +47,30 @@ func run(args []string, out io.Writer) (bool, error) {
 	trials := fs.Int("trials", 0, "trials per seeded data point")
 	claimID := fs.String("claim", "", "check a single claim by id")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent simulations (results are identical at any setting)")
+	deadline := fs.Duration("deadline", 0, "stop launching new claims after this much wall-clock time; remaining claims are marked SKIP and the exit code is non-zero (0 disables)")
+	checkpoint := fs.String("checkpoint", "", "write-ahead log of completed sweep cells (a directory path keeps one log per experiment); killed runs resume with -resume")
+	resume := fs.Bool("resume", false, "allow resuming from existing non-empty checkpoints")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell watchdog: kill any single simulation after this wall-clock time (0 disables)")
+	retries := fs.Int("retries", 1, "extra attempts for a watchdog-killed cell before it is recorded as failed")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
-	opts := experiments.Options{Quick: *quick, Trials: *trials, Parallel: *parallel}
+	if *checkpoint != "" && !*resume {
+		if err := refuseStaleCheckpoints(*checkpoint); err != nil {
+			return false, err
+		}
+	}
+	// Ctrl-C aborts in-flight simulations; with -checkpoint the logs stay
+	// valid and a -resume run replays every finished cell.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := experiments.ApplyOptions(
+		experiments.Options{
+			Quick: *quick, Trials: *trials, Parallel: *parallel,
+			Checkpoint: *checkpoint, CellTimeout: *cellTimeout, Retries: *retries,
+		},
+		experiments.WithContext(ctx),
+	)
 
 	list := claims.All()
 	if *claimID != "" {
@@ -52,12 +82,21 @@ func run(args []string, out io.Writer) (bool, error) {
 	}
 
 	allPass := true
+	skipped := 0
+	started := time.Now()
 	fmt.Fprintf(out, "Reproduction scorecard (%d claims", len(list))
 	if *quick {
 		fmt.Fprint(out, ", quick scale")
 	}
 	fmt.Fprintln(out, "):")
 	for _, c := range list {
+		if *deadline > 0 && time.Since(started) > *deadline {
+			skipped++
+			fmt.Fprintf(out, "\n[SKIP] %-18s (%s)\n", c.ID, c.Section)
+			fmt.Fprintf(out, "  paper:    %s\n", c.Statement)
+			fmt.Fprintf(out, "  measured: not run — %v deadline passed after %.1fs\n", *deadline, time.Since(started).Seconds())
+			continue
+		}
 		start := time.Now()
 		v, err := c.Check(opts)
 		if err != nil {
@@ -73,10 +112,40 @@ func run(args []string, out io.Writer) (bool, error) {
 		fmt.Fprintf(out, "  measured: %s\n", v.Detail)
 	}
 	fmt.Fprintln(out)
-	if allPass {
+	switch {
+	case skipped > 0:
+		fmt.Fprintf(out, "Deadline exceeded: %d claim(s) SKIPPED.\n", skipped)
+		return false, nil
+	case allPass:
 		fmt.Fprintln(out, "All claims reproduced.")
-	} else {
+	default:
 		fmt.Fprintln(out, "Some claims FAILED.")
 	}
 	return allPass, nil
+}
+
+// refuseStaleCheckpoints guards a non-resume run against silently consuming
+// an earlier run's logs: with a directory argument every per-experiment log
+// inside it counts, with a file argument the file itself does.
+func refuseStaleCheckpoints(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil // nothing there yet
+	}
+	if !fi.IsDir() {
+		if fi.Size() > 0 {
+			return fmt.Errorf("checkpoint %s already holds records; pass -resume to continue that run or delete the file", path)
+		}
+		return nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if info, err := ent.Info(); err == nil && !ent.IsDir() && info.Size() > 0 {
+			return fmt.Errorf("checkpoint directory %s already holds records (%s); pass -resume to continue that run or delete them", path, ent.Name())
+		}
+	}
+	return nil
 }

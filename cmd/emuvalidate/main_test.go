@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -30,5 +32,44 @@ func TestBadArgs(t *testing.T) {
 	}
 	if _, err := run([]string{"-bogus"}, &b); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestDeadlineSkipsRemainingClaims: a deadline that has already passed when
+// the scorecard starts must skip every claim, mark them SKIP, and report a
+// non-zero ("not ok") result rather than running open-ended.
+func TestDeadlineSkipsRemainingClaims(t *testing.T) {
+	var b strings.Builder
+	ok, err := run([]string{"-quick", "-trials", "1", "-deadline", "1ns"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("deadline-skipped scorecard reported success")
+	}
+	out := b.String()
+	if !strings.Contains(out, "[SKIP]") {
+		t.Fatalf("no SKIP lines in output:\n%s", out)
+	}
+	if strings.Contains(out, "[PASS]") || strings.Contains(out, "[FAIL]") {
+		t.Fatalf("claims ran despite an expired deadline:\n%s", out)
+	}
+	if !strings.Contains(out, "Deadline exceeded") {
+		t.Fatalf("missing deadline summary:\n%s", out)
+	}
+}
+
+// TestStaleCheckpointRefusedWithoutResume: pointing -checkpoint at a
+// directory holding earlier records without -resume must be refused.
+func TestStaleCheckpointRefusedWithoutResume(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fig4.ckpt"), []byte(`{"type":"header"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if _, err := run([]string{"-quick", "-checkpoint", dir}, &b); err == nil {
+		t.Fatal("stale checkpoint directory accepted without -resume")
+	} else if !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("refusal does not mention -resume: %v", err)
 	}
 }

@@ -204,6 +204,19 @@ var (
 	WithFaultPlan = experiments.WithFaultPlan
 	// WithFaultSeed overrides the fault plan's seed (0 keeps it).
 	WithFaultSeed = experiments.WithFaultSeed
+	// WithCheckpoint appends every completed sweep cell to a write-ahead
+	// log at the given path and resumes from compatible records already in
+	// it; figures after a kill-and-resume are byte-identical to an
+	// uninterrupted run (experiments only).
+	WithCheckpoint = experiments.WithCheckpoint
+	// WithCellTimeout arms the per-cell watchdog: a cell simulation is
+	// killed after this wall-clock time (plus a deterministic event-budget
+	// backstop), retried, and finally recorded as a failure — leaving a NaN
+	// hole in a figure marked Incomplete (experiments only).
+	WithCellTimeout = experiments.WithCellTimeout
+	// WithRetries sets how many extra attempts a watchdog-killed cell gets
+	// before it is recorded as failed (experiments only).
+	WithRetries = experiments.WithRetries
 )
 
 // Fault injection: deterministic degraded-machine scenarios (see

@@ -66,7 +66,7 @@ func runAblationMigrationRate(o Options) ([]*metrics.Figure, error) {
 		trials = 2
 	}
 	stats, err := sweep{series: 1, points: len(rates), trials: trials}.run(o,
-		func(_, pi, trial int) (float64, error) {
+		func(o Options, _, pi, trial int) (float64, error) {
 			cfg := machine.HardwareChick()
 			cfg.MigrationsPerSec = rates[pi]
 			res, err := kernels.PointerChase(cfg, kernels.ChaseConfig{
@@ -109,7 +109,7 @@ func runAblationSpawnLocality(o Options) ([]*metrics.Figure, error) {
 		XTicks: map[float64]string{},
 	}
 	stats, err := sweep{series: 1, points: len(cilk.Strategies)}.run(o,
-		func(_, pi, _ int) (float64, error) {
+		func(o Options, _, pi, _ int) (float64, error) {
 			res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
 				ElemsPerNodelet: elems, Nodelets: 8, Threads: threads, Strategy: cilk.Strategies[pi],
 			}, o.KernelOptions()...)
@@ -139,7 +139,7 @@ func runAblationGrain(o Options) ([]*metrics.Figure, error) {
 		grains = []int{16, 1024}
 	}
 	stats, err := sweep{series: 2, points: len(grains)}.run(o,
-		func(si, pi, _ int) (float64, error) {
+		func(o Options, si, pi, _ int) (float64, error) {
 			if si == 0 {
 				res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
 					GridN: emuN, Layout: kernels.SpMV2D, GrainNNZ: grains[pi],
@@ -181,7 +181,7 @@ func runAblationReplication(o Options) ([]*metrics.Figure, error) {
 		sizes = []int{12, 20}
 	}
 	stats, err := sweep{series: 2, points: len(sizes)}.run(o,
-		func(si, pi, _ int) (float64, error) {
+		func(o Options, si, pi, _ int) (float64, error) {
 			res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
 				GridN: sizes[pi], Layout: kernels.SpMV2D, GrainNNZ: 16, StripeX: si == 1,
 			}, o.KernelOptions()...)
@@ -214,7 +214,7 @@ func runAblationMigrationLatency(o Options) ([]*metrics.Figure, error) {
 		trials = 2
 	}
 	stats, err := sweep{series: 1, points: len(latenciesNs), trials: trials}.run(o,
-		func(_, pi, trial int) (float64, error) {
+		func(o Options, _, pi, trial int) (float64, error) {
 			cfg := machine.HardwareChick()
 			cfg.MigrationLatency = machineNs(latenciesNs[pi])
 			res, err := kernels.PointerChase(cfg, kernels.ChaseConfig{

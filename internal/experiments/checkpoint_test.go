@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"emuchick/internal/fault"
+	"emuchick/internal/metrics"
+	"emuchick/internal/report"
+	"emuchick/internal/sim"
+)
+
+// figuresToJSON marshals a figure set the same way figureBytes does, for
+// comparing runs that need custom option plumbing.
+func figuresToJSON(t *testing.T, figs []*metrics.Figure) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, fig := range figs {
+		if err := report.FigureJSON(&buf, fig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// runFigureBytes runs an experiment with functional options and returns the
+// FigureJSON bytes of every figure it produced.
+func runFigureBytes(t *testing.T, id string, opts ...Option) []byte {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := e.Run(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return figuresToJSON(t, figs)
+}
+
+// ckptFigureBytes is runFigureBytes with a checkpoint attached.
+func ckptFigureBytes(t *testing.T, id, path string, extra ...Option) []byte {
+	t.Helper()
+	opts := append([]Option{Options{Quick: true, Trials: 1}, WithCheckpoint(path)}, extra...)
+	return runFigureBytes(t, id, opts...)
+}
+
+// TestCheckpointCompleteRunIsByteIdentical pins the identity half of the
+// contract: a checkpointed run writing a cold log, and a second run replaying
+// the now complete log, must both match an uncheckpointed run byte for byte.
+func TestCheckpointCompleteRunIsByteIdentical(t *testing.T) {
+	base := figureBytes(t, "fig4", Options{Quick: true, Trials: 1})
+	path := filepath.Join(t.TempDir(), "fig4.ckpt")
+	cold := ckptFigureBytes(t, "fig4", path)
+	if !bytes.Equal(base, cold) {
+		t.Fatalf("checkpointed run differs from plain run:\nbase: %s\nckpt: %s", base, cold)
+	}
+	warm := ckptFigureBytes(t, "fig4", path)
+	if !bytes.Equal(base, warm) {
+		t.Fatalf("replayed run differs from plain run:\nbase: %s\nwarm: %s", base, warm)
+	}
+}
+
+// TestCheckpointResumeByteIdentical is the acceptance gate: a run cancelled
+// after an arbitrary number of recorded cells and resumed from its
+// checkpoint — at a different parallelism, with and without a fault plan —
+// produces byte-identical figures to an uninterrupted run.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	plan, err := fault.Parse("chan=4@2,migstall=10us/100us", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut points are chosen so the interrupted run cannot finish before the
+	// cancellation is observed: a worker checks the context before every new
+	// cell, so at most cutAt+interP cells complete, and every quick sweep
+	// here has at least 8 cells.
+	cases := []struct {
+		name    string
+		id      string
+		cutAt   int
+		interP  int // parallelism of the interrupted run
+		resumeP int // parallelism of the resumed run
+		extra   []Option
+	}{
+		{"fig4-seq-to-par", "fig4", 3, 1, 8, nil},
+		{"fig4-par-to-seq", "fig4", 2, 2, 1, nil},
+		{"fig6-faulted", "fig6", 3, 2, 3, []Option{WithFaultPlan(plan)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := runFigureBytes(t, tc.id,
+				append([]Option{Options{Quick: true, Trials: 1}, WithParallel(tc.resumeP)}, tc.extra...)...)
+			path := filepath.Join(t.TempDir(), tc.id+".ckpt")
+
+			// Interrupted run: cancel the context once cutAt cells are in the
+			// log — a deterministic stand-in for a kill at an arbitrary point.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			hook := optionFunc(func(o *Options) {
+				o.ckptHook = func(recorded int) {
+					if recorded >= tc.cutAt {
+						cancel()
+					}
+				}
+			})
+			e, err := ByID(tc.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = e.Run(append([]Option{
+				Options{Quick: true, Trials: 1},
+				WithParallel(tc.interP), WithCheckpoint(path), WithContext(ctx), hook,
+			}, tc.extra...)...)
+			if err == nil {
+				t.Fatal("interrupted run reported success")
+			}
+			fi, err := os.Stat(path)
+			if err != nil || fi.Size() == 0 {
+				t.Fatalf("interrupted run left no checkpoint: %v", err)
+			}
+
+			// Resume at a different parallelism; figures must match the
+			// uninterrupted baseline exactly.
+			got := ckptFigureBytes(t, tc.id, path,
+				append([]Option{WithParallel(tc.resumeP)}, tc.extra...)...)
+			if !bytes.Equal(base, got) {
+				t.Fatalf("resumed figures differ from uninterrupted run:\nbase: %s\ngot:  %s", base, got)
+			}
+		})
+	}
+}
+
+// TestCheckpointFingerprintMismatchRefused: a log written under different
+// workload-shaping options must be refused, not silently mixed in.
+func TestCheckpointFingerprintMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig4.ckpt")
+	ckptFigureBytes(t, "fig4", path) // quick, trials=1
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(Options{Quick: true, Trials: 2}, WithCheckpoint(path)); err == nil {
+		t.Fatal("resume with a different trial count was accepted")
+	} else if !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("unexpected refusal message: %v", err)
+	}
+	// A different experiment against the same file must also be refused.
+	e6, err := ByID("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e6.Run(Options{Quick: true, Trials: 1}, WithCheckpoint(path)); err == nil {
+		t.Fatal("resume under a different experiment was accepted")
+	}
+}
+
+// TestCheckpointTornTailTolerated: a kill mid-append leaves a partial final
+// line; resume must drop it and recover every complete record.
+func TestCheckpointTornTailTolerated(t *testing.T) {
+	base := figureBytes(t, "fig4", Options{Quick: true, Trials: 1})
+	path := filepath.Join(t.TempDir(), "fig4.ckpt")
+	ckptFigureBytes(t, "fig4", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the header and three full cell records, then splice in a torn
+	// line as a kill mid-write would.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 5 {
+		t.Fatalf("checkpoint too small to truncate: %d lines", len(lines))
+	}
+	torn := append(bytes.Join(lines[:4], nil), []byte(`{"type":"cell","TORNMARKER`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := ckptFigureBytes(t, "fig4", path)
+	if !bytes.Equal(base, got) {
+		t.Fatalf("resume from torn checkpoint differs:\nbase: %s\ngot:  %s", base, got)
+	}
+	// The torn line must be gone from the repaired log.
+	repaired, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(repaired, []byte("TORNMARKER")) {
+		t.Fatal("torn partial line still present after resume")
+	}
+}
+
+// TestCheckpointMidFileCorruptionRefused: garbage anywhere but the tail is
+// not a crash artifact and must fail loudly instead of being skipped.
+func TestCheckpointMidFileCorruptionRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig4.ckpt")
+	ckptFigureBytes(t, "fig4", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	lines[1] = []byte("{garbage\n")
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(Options{Quick: true, Trials: 1}, WithCheckpoint(path)); err == nil {
+		t.Fatal("mid-file corruption was accepted")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// deadlockExperiment builds an unregistered experiment whose sweep deadlocks
+// on exactly one cell, so the failure path can be exercised hermetically.
+func deadlockExperiment() *Experiment {
+	return &Experiment{
+		ID:    "test-deadlock",
+		Title: "synthetic deadlock",
+		Runner: func(o Options) ([]*metrics.Figure, error) {
+			stats, err := sweep{series: 1, points: 3}.run(o, func(o Options, _, pi, _ int) (float64, error) {
+				if pi == 1 {
+					eng := sim.NewEngine()
+					sem := sim.NewSemaphore(eng, "slots", 1)
+					eng.Go("holder", func(p *sim.Proc) {
+						sem.Acquire(p)
+						p.Park() // never unparked
+					})
+					eng.Go("blocked", func(p *sim.Proc) {
+						p.Delay(5)
+						sem.Acquire(p)
+					})
+					if err := eng.Run(); err != nil {
+						return 0, err
+					}
+					return 0, nil
+				}
+				return float64(10 * (pi + 1)), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			fig := &metrics.Figure{ID: "test-deadlock", Title: "synthetic", XLabel: "x", YLabel: "y"}
+			fig.Series = assemble([]string{"only"}, xsOf([]int{1, 2, 3}), stats)
+			return []*metrics.Figure{fig}, nil
+		},
+	}
+}
+
+// TestDeadlockedCellRecordsFailureAndCompletes is the second acceptance
+// gate: a cell whose simulation deadlocks must surface the sim.RunError in
+// the checkpoint failure record — naming the parked procs — while the sweep
+// completes the remaining cells and marks the figure Incomplete.
+func TestDeadlockedCellRecordsFailureAndCompletes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deadlock.ckpt")
+	e := deadlockExperiment()
+	figs, err := e.Run(Options{Quick: true, Trials: 1}, WithCheckpoint(path))
+	if err != nil {
+		t.Fatalf("sweep aborted instead of completing around the dead cell: %v", err)
+	}
+	if len(figs) != 1 || !figs[0].Incomplete {
+		t.Fatalf("figure not marked Incomplete: %+v", figs[0])
+	}
+	pts := figs[0].Series[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	if pts[0].Stats.Mean != 10 || pts[2].Stats.Mean != 30 {
+		t.Fatalf("healthy cells wrong: %+v", pts)
+	}
+	if !math.IsNaN(pts[1].Stats.Mean) || pts[1].Stats.N != 0 || pts[1].Stats.Failed != 1 {
+		t.Fatalf("dead cell is not a NaN hole: %+v", pts[1].Stats)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"type":"fail"`, `"kind":"deadlock"`, "holder", "blocked", `"site":"slots"`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("checkpoint failure record missing %q:\n%s", frag, data)
+		}
+	}
+
+	// Resume re-runs the failed cell (same deadlock) but replays the healthy
+	// ones; the assembled figure is unchanged.
+	figs2, err := e.Run(Options{Quick: true, Trials: 1}, WithCheckpoint(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(figuresToJSON(t, figs), figuresToJSON(t, figs2)) {
+		t.Fatal("resumed incomplete figure differs")
+	}
+}
+
+// TestWatchdogKillsStuckCellAfterRetries: a cell that exceeds the wall-clock
+// deadline on every attempt is retried the configured number of times, then
+// recorded as failed (kind "interrupted") without aborting the sweep.
+func TestWatchdogKillsStuckCellAfterRetries(t *testing.T) {
+	attempts := 0
+	e := &Experiment{
+		ID:    "test-watchdog",
+		Title: "synthetic hang",
+		Runner: func(o Options) ([]*metrics.Figure, error) {
+			stats, err := sweep{series: 1, points: 2}.run(o, func(o Options, _, pi, _ int) (float64, error) {
+				if pi == 1 {
+					attempts++
+					// An endlessly self-rescheduling proc: only the watchdog's
+					// deadline (via Interrupt) ends this engine.
+					eng := sim.NewEngine()
+					eng.Interrupt = o.ctx.Err
+					eng.Go("spinner", func(p *sim.Proc) {
+						for {
+							p.Delay(1)
+						}
+					})
+					if err := eng.Run(); err != nil {
+						return 0, err
+					}
+					return 0, nil
+				}
+				return 42, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			fig := &metrics.Figure{ID: "test-watchdog", Title: "synthetic", XLabel: "x", YLabel: "y"}
+			fig.Series = assemble([]string{"only"}, xsOf([]int{1, 2}), stats)
+			return []*metrics.Figure{fig}, nil
+		},
+	}
+	path := filepath.Join(t.TempDir(), "watchdog.ckpt")
+	figs, err := e.Run(Options{Quick: true, Trials: 1, Parallel: 1,
+		CellTimeout: 50 * time.Millisecond, Retries: 2, Checkpoint: path})
+	if err != nil {
+		t.Fatalf("watchdog failure aborted the sweep: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("stuck cell ran %d attempts, want 3 (1 + 2 retries)", attempts)
+	}
+	if !figs[0].Incomplete {
+		t.Fatal("figure not marked Incomplete after watchdog kill")
+	}
+	if !math.IsNaN(figs[0].Series[0].Points[1].Stats.Mean) {
+		t.Fatalf("killed cell not a hole: %+v", figs[0].Series[0].Points[1].Stats)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"type":"fail"`, `"kind":"interrupted"`, `"attempts":3`, "spinner"} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("failure record missing %q:\n%s", frag, data)
+		}
+	}
+}
+
+// TestWatchdogThreadsBudgetIntoKernelOptions pins the deterministic half of
+// the watchdog: arming CellTimeout also sets the scale-derived event budget,
+// and KernelOptions forwards both into each cell's simulation.
+func TestWatchdogThreadsBudgetIntoKernelOptions(t *testing.T) {
+	var o Options
+	o.CellTimeout = time.Second
+	ao, cancel := o.withWatchdog()
+	defer cancel()
+	if ao.maxEvents != eventBudget(false) {
+		t.Fatalf("maxEvents = %d, want %d", ao.maxEvents, eventBudget(false))
+	}
+	if ao.ctx == nil {
+		t.Fatal("watchdog did not install a deadline context")
+	}
+	if ks := ao.KernelOptions(); len(ks) != 2 {
+		t.Fatalf("KernelOptions forwarded %d options, want 2 (context + budget)", len(ks))
+	}
+	o.Quick = true
+	aq, cancel2 := o.withWatchdog()
+	defer cancel2()
+	if aq.maxEvents != eventBudget(true) {
+		t.Fatalf("quick maxEvents = %d, want %d", aq.maxEvents, eventBudget(true))
+	}
+}

@@ -79,7 +79,7 @@ func runDegradationStream(o Options) ([]*metrics.Figure, error) {
 		}},
 	}
 	counts := degradedCounts(o.Quick)
-	stats, err := sweep{series: len(plans), points: len(counts)}.run(o, func(si, pi, _ int) (float64, error) {
+	stats, err := sweep{series: len(plans), points: len(counts)}.run(o, func(o Options, si, pi, _ int) (float64, error) {
 		ks := o.KernelOptions()
 		if k := counts[pi]; k > 0 {
 			// k == 0 passes no plan at all, keeping the baseline column on
@@ -144,7 +144,7 @@ func runDegradationChase(o Options) ([]*metrics.Figure, error) {
 	blocks := chaseBlocks(o.Quick)
 	plans := chaseFaultPlans()
 	stats, err := sweep{series: len(plans), points: len(blocks), trials: trials}.run(o,
-		func(si, pi, trial int) (float64, error) {
+		func(o Options, si, pi, trial int) (float64, error) {
 			ks := o.KernelOptions()
 			if plan := plans[si].build(0, o.FaultSeed); plan != nil {
 				ks = append(ks, kernels.WithFaultPlan(plan))

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"emuchick/internal/fault"
 	"emuchick/internal/kernels"
@@ -51,9 +52,31 @@ type Options struct {
 	// the seeded nodelet choices of the degradation experiments' built-in
 	// plans, so a different seed degrades a different nodelet subset.
 	FaultSeed uint64
+	// Checkpoint, when non-empty, is the path of a write-ahead log: every
+	// completed sweep cell is appended as it finishes, and a log left by an
+	// interrupted run is resumed — completed cells are replayed instead of
+	// re-simulated, with figures byte-identical to an uninterrupted run.
+	Checkpoint string
+	// CellTimeout arms the per-cell watchdog: a cell's simulation is killed
+	// after this much wall-clock time (and, as a deterministic backstop, a
+	// scale-derived engine event budget). Killed cells are retried up to
+	// Retries times, then recorded as failures and left as NaN holes in the
+	// figure, which is marked Incomplete. 0 disables the watchdog.
+	CellTimeout time.Duration
+	// Retries is how many extra attempts a watchdog-killed cell gets before
+	// it is recorded as failed. Only meaningful with CellTimeout set.
+	Retries int
 
 	// ctx, when non-nil, cancels in-flight simulations; set via WithContext.
 	ctx context.Context
+	// ckpt is the open write-ahead log for this run, resolved from
+	// Checkpoint by Experiment.Run.
+	ckpt *Checkpoint
+	// maxEvents caps each cell's engine at n dispatched events; set by the
+	// watchdog (withWatchdog) as the deterministic half of the deadline.
+	maxEvents uint64
+	// ckptHook, when non-nil, observes every Record call (test hook).
+	ckptHook func(recorded int)
 }
 
 // Defaults fills unset options.
@@ -74,11 +97,21 @@ type Option interface {
 }
 
 // apply lets a legacy Options struct be passed to Run: the struct replaces
-// every exported field at once (a previously applied context is kept, since
-// a literal cannot carry one).
+// every exported field at once (previously applied unexported state — the
+// context, an open checkpoint, the test hook — is kept, since a literal
+// cannot carry it).
 func (o Options) apply(dst *Options) {
 	if o.ctx == nil {
 		o.ctx = dst.ctx
+	}
+	if o.ckpt == nil {
+		o.ckpt = dst.ckpt
+	}
+	if o.ckptHook == nil {
+		o.ckptHook = dst.ckptHook
+	}
+	if o.maxEvents == 0 {
+		o.maxEvents = dst.maxEvents
 	}
 	*dst = o
 }
@@ -145,6 +178,24 @@ func WithFaultSeed(seed uint64) Option {
 	return optionFunc(func(o *Options) { o.FaultSeed = seed })
 }
 
+// WithCheckpoint writes a write-ahead log of completed sweep cells to path
+// and resumes from it if the file already holds compatible records; see
+// Options.Checkpoint.
+func WithCheckpoint(path string) Option {
+	return optionFunc(func(o *Options) { o.Checkpoint = path })
+}
+
+// WithCellTimeout arms the per-cell watchdog; see Options.CellTimeout.
+func WithCellTimeout(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.CellTimeout = d })
+}
+
+// WithRetries sets how many extra attempts a watchdog-killed cell gets; see
+// Options.Retries.
+func WithRetries(n int) Option {
+	return optionFunc(func(o *Options) { o.Retries = n })
+}
+
 // ApplyOptions folds opts in order into an Options value (later options
 // win), for facades that accept Option lists.
 func ApplyOptions(opts ...Option) Options {
@@ -162,10 +213,10 @@ func ApplyOptions(opts ...Option) Options {
 // allocating nothing — when no option needs forwarding, which is every
 // untraced, uncancelled run.
 func (o Options) KernelOptions() []kernels.RunOption {
-	if o.Observer == nil && o.ctx == nil && o.SampleInterval == 0 && o.Faults == nil {
+	if o.Observer == nil && o.ctx == nil && o.SampleInterval == 0 && o.Faults == nil && o.maxEvents == 0 {
 		return nil
 	}
-	ks := make([]kernels.RunOption, 0, 4)
+	ks := make([]kernels.RunOption, 0, 5)
 	if o.Observer != nil {
 		ks = append(ks, kernels.WithObserver(o.Observer))
 	}
@@ -177,6 +228,9 @@ func (o Options) KernelOptions() []kernels.RunOption {
 	}
 	if o.ctx != nil {
 		ks = append(ks, kernels.WithContext(o.ctx))
+	}
+	if o.maxEvents > 0 {
+		ks = append(ks, kernels.WithMaxEvents(o.maxEvents))
 	}
 	return ks
 }
@@ -203,9 +257,35 @@ type Experiment struct {
 }
 
 // Run executes the experiment with the given options: functional options,
-// or a single legacy Options struct (Options implements Option).
+// or a single legacy Options struct (Options implements Option). With a
+// checkpoint path set, the write-ahead log is opened (resuming any
+// compatible records already in it) before the runner starts and closed
+// when it returns — interrupting the run at any point leaves a valid log.
 func (e *Experiment) Run(opts ...Option) ([]*metrics.Figure, error) {
-	return e.Runner(ApplyOptions(opts...))
+	o := ApplyOptions(opts...)
+	if o.Checkpoint == "" {
+		return e.runner(o)
+	}
+	// The fingerprint covers resolved options (runners fill defaults the
+	// same way), so `-quick` and `-quick -trials 3` fingerprint alike.
+	ck, err := OpenCheckpoint(CheckpointPath(o.Checkpoint, e.ID), e.ID, optionsFingerprint(e.ID, o.withDefaults()))
+	if err != nil {
+		return nil, err
+	}
+	defer ck.Close()
+	ck.onRecord = o.ckptHook
+	o.ckpt = ck
+	return e.runner(o)
+}
+
+// runner wraps the raw Runner so every entry path (checkpointed or not)
+// marks figures assembled around failed cells as Incomplete.
+func (e *Experiment) runner(o Options) ([]*metrics.Figure, error) {
+	figs, err := e.Runner(o)
+	for _, fig := range figs {
+		fig.MarkIncomplete()
+	}
+	return figs, err
 }
 
 var registry = map[string]*Experiment{}

@@ -45,7 +45,7 @@ func runExtensionCSX(o Options) ([]*metrics.Figure, error) {
 		names = append(names, mc.label+"_csr", mc.label+"_csx")
 	}
 	stats, err := sweep{series: len(names), points: len(sizes)}.run(o,
-		func(si, pi, _ int) (float64, error) {
+		func(o Options, si, pi, _ int) (float64, error) {
 			mc := configs[si/2]
 			if si%2 == 0 {
 				res, err := kernels.SpMV(mc.cfg, kernels.SpMVConfig{

@@ -56,7 +56,7 @@ func runFig10(o Options) ([]*metrics.Figure, error) {
 	}
 
 	streamStats, err := sweep{series: len(fig10Platforms), points: len(threads)}.run(o,
-		func(si, pi, _ int) (float64, error) {
+		func(o Options, si, pi, _ int) (float64, error) {
 			res, err := kernels.StreamAdd(fig10Platforms[si].cfg(), kernels.StreamConfig{
 				ElemsPerNodelet: elems, Nodelets: 8, Threads: threads[pi], Strategy: cilk.SerialRemoteSpawn,
 			}, o.KernelOptions()...)
@@ -78,7 +78,7 @@ func runFig10(o Options) ([]*metrics.Figure, error) {
 
 	blocks := chaseBlocks(o.Quick)
 	chaseStats, err := sweep{series: len(fig10Platforms), points: len(blocks), trials: trials}.run(o,
-		func(si, pi, trial int) (float64, error) {
+		func(o Options, si, pi, trial int) (float64, error) {
 			res, err := kernels.PointerChase(fig10Platforms[si].cfg(), kernels.ChaseConfig{
 				Elements: chaseElems, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
 				Seed: uint64(trial)*53 + 3, Threads: 512, Nodelets: 8,
@@ -106,7 +106,7 @@ func runFig10(o Options) ([]*metrics.Figure, error) {
 		iters = 100
 	}
 	ppStats, err := sweep{series: len(fig10Platforms), points: len(ppThreads)}.run(o,
-		func(si, pi, _ int) (float64, error) {
+		func(o Options, si, pi, _ int) (float64, error) {
 			res, err := kernels.PingPong(fig10Platforms[si].cfg(), kernels.PingPongConfig{
 				Threads: ppThreads[pi], Iterations: iters, NodeletA: 0, NodeletB: 1,
 			}, o.KernelOptions()...)

@@ -33,7 +33,7 @@ func runFig11(o Options) ([]*metrics.Figure, error) {
 		trials = 2
 	}
 	stats, err := sweep{series: len(threadSets), points: len(blocks), trials: trials}.run(o,
-		func(si, pi, trial int) (float64, error) {
+		func(o Options, si, pi, trial int) (float64, error) {
 			res, err := kernels.PointerChase(machine.FullSpeed(8), kernels.ChaseConfig{
 				Elements: elements, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
 				Seed: uint64(trial)*61 + 11, Threads: threadSets[si], Nodelets: 64,

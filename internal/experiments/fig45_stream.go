@@ -33,7 +33,7 @@ func fig4Threads(quick bool) []int {
 
 // runStreamSweep fans one STREAM simulation per (strategy, threads) cell.
 func runStreamSweep(o Options, strategies []cilk.Strategy, threads []int, elems, nodelets int) ([]*metrics.Series, error) {
-	stats, err := sweep{series: len(strategies), points: len(threads)}.run(o, func(si, pi, _ int) (float64, error) {
+	stats, err := sweep{series: len(strategies), points: len(threads)}.run(o, func(o Options, si, pi, _ int) (float64, error) {
 		res, err := kernels.StreamAdd(machine.HardwareChick(), kernels.StreamConfig{
 			ElemsPerNodelet: elems, Nodelets: nodelets, Threads: threads[pi], Strategy: strategies[si],
 		}, o.KernelOptions()...)

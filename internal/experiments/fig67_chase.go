@@ -56,7 +56,7 @@ func runFig6(o Options) ([]*metrics.Figure, error) {
 	}
 	blocks := chaseBlocks(o.Quick)
 	stats, err := sweep{series: len(threadSets), points: len(blocks), trials: trials}.run(o,
-		func(si, pi, trial int) (float64, error) {
+		func(o Options, si, pi, trial int) (float64, error) {
 			res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
 				Elements: elements, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
 				Seed: uint64(trial)*1009 + 1, Threads: threadSets[si], Nodelets: 8,
@@ -94,7 +94,7 @@ func runFig7(o Options) ([]*metrics.Figure, error) {
 	}
 	blocks := chaseBlocks(o.Quick)
 	stats, err := sweep{series: len(threadSets), points: len(blocks), trials: trials}.run(o,
-		func(si, pi, trial int) (float64, error) {
+		func(o Options, si, pi, trial int) (float64, error) {
 			res, err := cpukernels.PointerChase(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
 				Elements: elements, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,
 				Seed: uint64(trial)*2027 + 1, Threads: threadSets[si],

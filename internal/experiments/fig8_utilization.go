@@ -79,7 +79,7 @@ func runFig8(o Options) ([]*metrics.Figure, error) {
 	}
 	blocks := chaseBlocks(o.Quick)
 	stats, err := sweep{series: 2, points: len(blocks), trials: trials}.run(o,
-		func(si, pi, trial int) (float64, error) {
+		func(o Options, si, pi, trial int) (float64, error) {
 			if si == 0 {
 				res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
 					Elements: emuElems, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,

@@ -38,7 +38,7 @@ func runFig9a(o Options) ([]*metrics.Figure, error) {
 	sizes := fig9aSizes(o.Quick)
 	layouts := kernels.SpMVLayouts
 	stats, err := sweep{series: len(layouts), points: len(sizes)}.run(o,
-		func(si, pi, _ int) (float64, error) {
+		func(o Options, si, pi, _ int) (float64, error) {
 			res, err := kernels.SpMV(machine.HardwareChick(), kernels.SpMVConfig{
 				GridN: sizes[pi], Layout: layouts[si], GrainNNZ: 16,
 			}, o.KernelOptions()...)
@@ -89,7 +89,7 @@ func runFig9b(o Options) ([]*metrics.Figure, error) {
 	}
 	sizes := fig9bSizes(o.Quick)
 	stats, err := sweep{series: len(variants), points: len(sizes)}.run(o,
-		func(si, pi, _ int) (float64, error) {
+		func(o Options, si, pi, _ int) (float64, error) {
 			res, err := cpukernels.SpMV(xeon.HaswellXeon(), cpukernels.SpMVConfig{
 				GridN: sizes[pi], Variant: variants[si].variant, Threads: 56, GrainNNZ: variants[si].grain,
 			})

@@ -1,11 +1,17 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"emuchick/internal/metrics"
+	"emuchick/internal/sim"
 )
 
 // The experiment layer parallelizes at the level of independent simulations:
@@ -59,7 +65,7 @@ func parallelFor(o Options, n int, fn func(i int) error) error {
 				errs[i] = err
 				break
 			}
-			errs[i] = fn(i)
+			errs[i] = guard(fn, i)
 		}
 	} else {
 		var next atomic.Int64
@@ -91,17 +97,36 @@ func parallelFor(o Options, n int, fn func(i int) error) error {
 	return nil
 }
 
-// guard runs fn(i), converting a panicked error back into a returned one so
-// a worker goroutine never takes the process down for a failure the
-// sequential path would have surfaced. Non-error panics propagate unchanged.
+// CellPanicError is a panic recovered from one sweep cell, converted into an
+// ordinary error so a worker goroutine never takes the whole process down.
+// It carries the flat cell index and the stack captured at the panic site.
+type CellPanicError struct {
+	Cell  int
+	Value any
+	Stack []byte
+}
+
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("experiments: cell %d panicked: %v\n%s", e.Cell, e.Value, e.Stack)
+}
+
+// Unwrap exposes a panicked error value to errors.Is/As chains; non-error
+// panic values unwrap to nothing.
+func (e *CellPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// guard runs fn(i), converting any recovered panic — error or not — into a
+// returned *CellPanicError. Before this existed for every value, a non-error
+// panic re-raised on a worker goroutine and killed the process with no
+// indication of which cell died.
 func guard(fn func(i int) error, i int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if e, ok := r.(error); ok {
-				err = e
-				return
-			}
-			panic(r)
+			err = &CellPanicError{Cell: i, Value: r, Stack: debug.Stack()}
 		}
 	}()
 	return fn(i)
@@ -138,22 +163,129 @@ func xsOf(vals []int) []float64 {
 	return xs
 }
 
+// eventBudget is the watchdog's deterministic backstop: a cap on dispatched
+// engine events per cell, sized an order of magnitude above what the largest
+// healthy cell of each scale fires. Wall clocks vary with machine load; the
+// event count of a runaway simulation does not.
+func eventBudget(quick bool) uint64 {
+	if quick {
+		return 1 << 26
+	}
+	return 1 << 30
+}
+
+// withWatchdog derives the per-attempt Options for one cell: with the
+// watchdog armed, the cell gets its own deadline context (layered on the
+// run's context, so outer cancellation still wins) and the scale-derived
+// event budget. The caller must invoke the returned cancel when the attempt
+// finishes.
+func (o Options) withWatchdog() (Options, context.CancelFunc) {
+	if o.CellTimeout <= 0 {
+		return o, func() {}
+	}
+	parent := o.ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(parent, o.CellTimeout)
+	o.ctx = ctx
+	if o.maxEvents == 0 {
+		o.maxEvents = eventBudget(o.Quick)
+	}
+	return o, cancel
+}
+
+// runCell evaluates one cell under the watchdog and retry policy. It
+// returns exactly one of:
+//   - (v, nil, nil): the cell produced a result;
+//   - (_, failure, nil): the cell failed terminally (deterministic engine
+//     death, or watchdog kills through every retry) — the sweep records the
+//     failure and continues with a NaN hole;
+//   - (_, nil, err): the run must abort (outer cancellation, or an error the
+//     policy does not own).
+func runCell(o Options, eval func(Options, int, int, int) (float64, error), si, pi, trial int) (float64, *CellFailure, error) {
+	attempts := 1
+	if o.CellTimeout > 0 {
+		attempts += o.Retries
+	}
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		ao, cancel := o.withWatchdog()
+		v, err := eval(ao, si, pi, trial)
+		cancel()
+		if err == nil {
+			return v, nil, nil
+		}
+		lastErr = err
+		// The run's own context ending (SIGINT, outer deadline) aborts the
+		// sweep; the checkpoint already holds every finished cell.
+		if pe := o.interrupted(); pe != nil {
+			return 0, nil, pe
+		}
+		var re *sim.RunError
+		if errors.As(err, &re) {
+			switch re.Kind {
+			case sim.FailDeadlock, sim.FailMaxEvents, sim.FailMaxTime:
+				// Deterministic deaths: a retry replays the same simulation
+				// to the same end, so record the post-mortem immediately.
+				return 0, NewCellFailure(a, err), nil
+			}
+		}
+		if o.CellTimeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+			continue // watchdog kill: the cell gets another attempt
+		}
+		return 0, nil, err
+	}
+	return 0, NewCellFailure(attempts, lastErr), nil
+}
+
 // run evaluates eval for every cell and returns per-point statistics
-// slotted as out[series][point].
-func (g sweep) run(o Options, eval func(si, pi, trial int) (float64, error)) ([][]metrics.Stats, error) {
+// slotted as out[series][point]. eval receives the per-attempt Options it
+// must thread into the simulation it builds (KernelOptions carries the
+// watchdog's deadline context and event budget).
+//
+// With a checkpoint open, completed cells are replayed from the log instead
+// of re-simulated and fresh results are appended as they finish; terminal
+// cell failures become NaN holes (surfacing as Stats.Failed counts and an
+// Incomplete figure) rather than aborting the sweep.
+func (g sweep) run(o Options, eval func(o Options, si, pi, trial int) (float64, error)) ([][]metrics.Stats, error) {
 	if g.trials <= 0 {
 		g.trials = 1
+	}
+	sweepIdx := 0
+	if o.ckpt != nil {
+		sweepIdx = o.ckpt.nextSweep()
 	}
 	vals := make([]float64, g.series*g.points*g.trials)
 	err := parallelFor(o, len(vals), func(i int) error {
 		si := i / (g.points * g.trials)
 		pi := i / g.trials % g.points
 		trial := i % g.trials
-		v, err := eval(si, pi, trial)
+		if o.ckpt != nil {
+			if v, ok := o.ckpt.Lookup(sweepIdx, i); ok {
+				vals[i] = v
+				return nil
+			}
+		}
+		v, fail, err := runCell(o, eval, si, pi, trial)
 		if err != nil {
 			return err
 		}
+		if fail != nil {
+			fail.Sweep, fail.Cell = sweepIdx, i
+			fail.Series, fail.Point, fail.Trial = si, pi, trial
+			if o.ckpt != nil {
+				if err := o.ckpt.RecordFailure(fail); err != nil {
+					return err
+				}
+			}
+			vals[i] = math.NaN()
+			return nil
+		}
 		vals[i] = v
+		if o.ckpt != nil {
+			return o.ckpt.Record(sweepIdx, i, v)
+		}
 		return nil
 	})
 	if err != nil {

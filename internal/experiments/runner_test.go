@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -80,8 +81,9 @@ func TestParallelForReturnsLowestIndexedError(t *testing.T) {
 }
 
 // Worker goroutines must convert panicked errors (the style the kernel
-// closures use under metrics.Trials) into returned errors rather than
-// crashing the process.
+// closures use under metrics.Trials) into returned CellPanicErrors rather
+// than crashing the process; the original error stays reachable via
+// errors.Is through the wrapper.
 func TestParallelForRecoversErrorPanics(t *testing.T) {
 	boom := errors.New("boom")
 	err := parallelFor(Options{Parallel: 4}, 8, func(i int) error {
@@ -90,8 +92,44 @@ func TestParallelForRecoversErrorPanics(t *testing.T) {
 		}
 		return nil
 	})
-	if err != boom {
-		t.Fatalf("err = %v, want %v", boom, err)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	var pe *CellPanicError
+	if !errors.As(err, &pe) || pe.Cell != 2 {
+		t.Fatalf("err = %#v, want CellPanicError for cell 2", err)
+	}
+}
+
+// A non-error panic value used to re-raise on the worker goroutine and kill
+// the whole process; it must come back as a CellPanicError naming the cell
+// and carrying the stack captured at the panic site.
+func TestParallelForRecoversNonErrorPanics(t *testing.T) {
+	err := parallelFor(Options{Parallel: 4}, 8, func(i int) error {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *CellPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *CellPanicError", err, err)
+	}
+	if pe.Cell != 2 || pe.Value != any("kaboom") {
+		t.Fatalf("got cell %d value %v, want cell 2 value kaboom", pe.Cell, pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic record missing stack or value: %v", err)
+	}
+	// The sequential path must be guarded the same way.
+	err = parallelFor(Options{Parallel: 1}, 3, func(i int) error {
+		if i == 1 {
+			panic("seq-kaboom")
+		}
+		return nil
+	})
+	if !errors.As(err, &pe) || pe.Cell != 1 {
+		t.Fatalf("sequential guard: err = %v, want CellPanicError for cell 1", err)
 	}
 }
 
@@ -151,7 +189,7 @@ func TestParallelForMidRunCancelStopsPulling(t *testing.T) {
 
 func TestSweepAggregatesTrialsInOrder(t *testing.T) {
 	g := sweep{series: 2, points: 3, trials: 4}
-	stats, err := g.run(Options{Parallel: 5}, func(si, pi, trial int) (float64, error) {
+	stats, err := g.run(Options{Parallel: 5}, func(o Options, si, pi, trial int) (float64, error) {
 		return float64(si*1000 + pi*10 + trial), nil
 	})
 	if err != nil {

@@ -52,7 +52,7 @@ func runSupplementShuffleModes(o Options) ([]*metrics.Figure, error) {
 	}
 
 	emuStats, err := sweep{series: len(modes), points: len(blocks), trials: trials}.run(o,
-		func(si, pi, trial int) (float64, error) {
+		func(o Options, si, pi, trial int) (float64, error) {
 			res, err := kernels.PointerChase(machine.HardwareChick(), kernels.ChaseConfig{
 				Elements: emuElems, BlockSize: blocks[pi], Mode: modes[si],
 				Seed: uint64(trial)*101 + 13, Threads: 256, Nodelets: 8,
@@ -74,7 +74,7 @@ func runSupplementShuffleModes(o Options) ([]*metrics.Figure, error) {
 	}
 
 	cpuStats, err := sweep{series: len(modes), points: len(blocks), trials: trials}.run(o,
-		func(si, pi, trial int) (float64, error) {
+		func(o Options, si, pi, trial int) (float64, error) {
 			res, err := cpukernels.PointerChase(xeon.SandyBridgeXeon(), cpukernels.ChaseConfig{
 				Elements: xeonElems, BlockSize: blocks[pi], Mode: modes[si],
 				Seed: uint64(trial)*103 + 7, Threads: 32,
@@ -114,7 +114,7 @@ func runSupplementVBMetric(o Options) ([]*metrics.Figure, error) {
 		YLabel: "overhead bytes per useful byte",
 	}
 	stats, err := sweep{series: 2, points: len(blocks)}.run(o,
-		func(si, pi, _ int) (float64, error) {
+		func(o Options, si, pi, _ int) (float64, error) {
 			if si == 0 {
 				res, st, err := kernels.PointerChaseWithStats(machine.HardwareChick(), kernels.ChaseConfig{
 					Elements: emuElems, BlockSize: blocks[pi], Mode: workload.FullBlockShuffle,

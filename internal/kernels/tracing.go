@@ -37,6 +37,7 @@ type runConfig struct {
 	sampleSet bool
 	ctx       context.Context
 	plan      *fault.Plan
+	maxEvents uint64
 }
 
 // WithObserver streams the run's machine events and gauge samples to obs.
@@ -66,6 +67,14 @@ func WithFaultPlan(p *fault.Plan) RunOption {
 	return func(c *runConfig) { c.plan = p }
 }
 
+// WithMaxEvents caps the run at n dispatched engine events: past the budget
+// the simulation aborts with a sim.RunError instead of running open-ended.
+// 0 keeps the engine unlimited. The experiment watchdog uses this as the
+// deterministic half of its deadline (wall clocks vary; event counts don't).
+func WithMaxEvents(n uint64) RunOption {
+	return func(c *runConfig) { c.maxEvents = n }
+}
+
 // newSystem builds a machine with the package tracing hook and the per-run
 // options applied.
 func newSystem(cfg machine.Config, opts ...RunOption) *machine.System {
@@ -93,6 +102,9 @@ func newSystem(cfg machine.Config, opts ...RunOption) *machine.System {
 	}
 	if c.ctx != nil {
 		sys.WatchContext(c.ctx)
+	}
+	if c.maxEvents > 0 {
+		sys.Eng.MaxEvents = c.maxEvents
 	}
 	return sys
 }

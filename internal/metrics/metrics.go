@@ -33,37 +33,57 @@ func (r Result) MBps() float64 { return r.BytesPerSec() / 1e6 }
 // GBps reports bandwidth in decimal gigabytes per second.
 func (r Result) GBps() float64 { return r.BytesPerSec() / 1e9 }
 
-// Stats summarizes a set of trial measurements.
+// Stats summarizes a set of trial measurements. Failed counts trials that
+// produced no value (a NaN hole left by a watchdog-killed or deadlocked
+// simulation); N counts only the trials that did.
 type Stats struct {
 	N                      int
 	Mean, Min, Max, StdDev float64
+	Failed                 int
 }
 
 // Aggregate reduces trial values to summary statistics. An empty input
-// yields a zero Stats.
+// yields a zero Stats. NaN entries are failed trials: they are counted in
+// Failed and excluded from the moments, and a point whose every trial
+// failed carries NaN moments (rendered as a hole, never as a zero that
+// could be mistaken for a measurement).
 func Aggregate(values []float64) Stats {
 	if len(values) == 0 {
 		return Stats{}
 	}
-	s := Stats{N: len(values), Min: values[0], Max: values[0]}
+	var s Stats
 	var sum float64
 	for _, v := range values {
-		sum += v
-		if v < s.Min {
+		if math.IsNaN(v) {
+			s.Failed++
+			continue
+		}
+		if s.N == 0 || v < s.Min {
 			s.Min = v
 		}
-		if v > s.Max {
+		if s.N == 0 || v > s.Max {
 			s.Max = v
 		}
+		s.N++
+		sum += v
 	}
-	s.Mean = sum / float64(len(values))
+	if s.N == 0 {
+		if s.Failed > 0 {
+			s.Mean, s.Min, s.Max, s.StdDev = math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		}
+		return s
+	}
+	s.Mean = sum / float64(s.N)
 	var ss float64
 	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
 		d := v - s.Mean
 		ss += d * d
 	}
-	if len(values) > 1 {
-		s.StdDev = math.Sqrt(ss / float64(len(values)-1))
+	if s.N > 1 {
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
 	}
 	return s
 }
@@ -145,6 +165,24 @@ type Figure struct {
 	// XTicks optionally names x positions for categorical "figures"
 	// (the scalar-anchor tables); nil for ordinary numeric sweeps.
 	XTicks map[float64]string
+	// Incomplete marks a figure assembled around failed cells: at least one
+	// point lost trials to a watchdog kill or a simulation death, so holes
+	// (NaN moments, Failed counts) stand in for measurements.
+	Incomplete bool
+}
+
+// MarkIncomplete sets Incomplete if any point of any series recorded failed
+// trials, and reports the result.
+func (f *Figure) MarkIncomplete() bool {
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Stats.Failed > 0 {
+				f.Incomplete = true
+				return true
+			}
+		}
+	}
+	return f.Incomplete
 }
 
 // FindSeries returns the named series, or nil.

@@ -3,17 +3,19 @@ package report
 import (
 	"encoding/json"
 	"io"
+	"math"
 
 	"emuchick/internal/metrics"
 )
 
 // jsonFigure is the stable on-disk schema for a regenerated figure.
 type jsonFigure struct {
-	ID     string       `json:"id"`
-	Title  string       `json:"title"`
-	XLabel string       `json:"x_label"`
-	YLabel string       `json:"y_label"`
-	Series []jsonSeries `json:"series"`
+	ID         string       `json:"id"`
+	Title      string       `json:"title"`
+	XLabel     string       `json:"x_label"`
+	YLabel     string       `json:"y_label"`
+	Incomplete bool         `json:"incomplete,omitempty"`
+	Series     []jsonSeries `json:"series"`
 }
 
 type jsonSeries struct {
@@ -29,23 +31,29 @@ type jsonPoint struct {
 	Max    float64 `json:"max"`
 	StdDev float64 `json:"stddev"`
 	Trials int     `json:"trials"`
+	// Failed counts trials that produced no value (watchdog-killed or dead
+	// simulations). A point with Trials == 0 and Failed > 0 is a hole: its
+	// moments are written as 0 (JSON has no NaN) and restored to NaN on
+	// parse, with Failed preserving the distinction from a real zero.
+	Failed int `json:"failed,omitempty"`
 }
 
 // FigureJSON writes the figure as indented JSON, the machine-readable
 // companion to FigureCSV for archiving runs in EXPERIMENTS.md workflows.
 func FigureJSON(w io.Writer, f *metrics.Figure) error {
-	out := jsonFigure{ID: f.ID, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+	out := jsonFigure{ID: f.ID, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel, Incomplete: f.Incomplete}
 	for _, s := range f.Series {
 		js := jsonSeries{Name: s.Name}
 		for _, p := range s.Points {
 			js.Points = append(js.Points, jsonPoint{
 				X:      p.X,
 				XLabel: f.XTicks[p.X],
-				Mean:   p.Stats.Mean,
-				Min:    p.Stats.Min,
-				Max:    p.Stats.Max,
-				StdDev: p.Stats.StdDev,
+				Mean:   finiteOrZero(p.Stats.Mean),
+				Min:    finiteOrZero(p.Stats.Min),
+				Max:    finiteOrZero(p.Stats.Max),
+				StdDev: finiteOrZero(p.Stats.StdDev),
 				Trials: p.Stats.N,
+				Failed: p.Stats.Failed,
 			})
 		}
 		out.Series = append(out.Series, js)
@@ -55,22 +63,32 @@ func FigureJSON(w io.Writer, f *metrics.Figure) error {
 	return enc.Encode(out)
 }
 
+// finiteOrZero maps the NaN moments of an all-failed point to 0 for JSON
+// (which cannot represent NaN); Failed > 0 with Trials == 0 marks the hole.
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
 // ParseFigureJSON reads a figure previously written by FigureJSON.
 func ParseFigureJSON(r io.Reader) (*metrics.Figure, error) {
 	var in jsonFigure
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, err
 	}
-	f := &metrics.Figure{ID: in.ID, Title: in.Title, XLabel: in.XLabel, YLabel: in.YLabel}
+	f := &metrics.Figure{ID: in.ID, Title: in.Title, XLabel: in.XLabel, YLabel: in.YLabel, Incomplete: in.Incomplete}
 	for _, js := range in.Series {
 		s := &metrics.Series{Name: js.Name}
 		for _, p := range js.Points {
-			s.Points = append(s.Points, metrics.Point{
-				X: p.X,
-				Stats: metrics.Stats{
-					N: p.Trials, Mean: p.Mean, Min: p.Min, Max: p.Max, StdDev: p.StdDev,
-				},
-			})
+			st := metrics.Stats{
+				N: p.Trials, Mean: p.Mean, Min: p.Min, Max: p.Max, StdDev: p.StdDev, Failed: p.Failed,
+			}
+			if st.N == 0 && st.Failed > 0 {
+				st.Mean, st.Min, st.Max, st.StdDev = math.NaN(), math.NaN(), math.NaN(), math.NaN()
+			}
+			s.Points = append(s.Points, metrics.Point{X: p.X, Stats: st})
 			if p.XLabel != "" {
 				if f.XTicks == nil {
 					f.XTicks = map[float64]string{}

@@ -89,15 +89,24 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// FigureCSV renders a figure as CSV with one row per (series, point).
+// FigureCSV renders a figure as CSV with one row per (series, point). An
+// all-failed point renders empty moment cells (not zeros), with the failed
+// column carrying the lost-trial count.
 func FigureCSV(w io.Writer, f *metrics.Figure) error {
-	if _, err := fmt.Fprintf(w, "figure,series,x,mean,min,max,stddev,trials\n"); err != nil {
+	if _, err := fmt.Fprintf(w, "figure,series,x,mean,min,max,stddev,trials,failed\n"); err != nil {
 		return err
+	}
+	csvNum := func(v float64) string {
+		if math.IsNaN(v) {
+			return ""
+		}
+		return fmt.Sprintf("%g", v)
 	}
 	for _, s := range f.Series {
 		for _, p := range s.Points {
-			_, err := fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g,%d\n",
-				f.ID, s.Name, p.X, p.Stats.Mean, p.Stats.Min, p.Stats.Max, p.Stats.StdDev, p.Stats.N)
+			_, err := fmt.Fprintf(w, "%s,%s,%g,%s,%s,%s,%s,%d,%d\n",
+				f.ID, s.Name, p.X, csvNum(p.Stats.Mean), csvNum(p.Stats.Min),
+				csvNum(p.Stats.Max), csvNum(p.Stats.StdDev), p.Stats.N, p.Stats.Failed)
 			if err != nil {
 				return err
 			}
@@ -131,10 +140,14 @@ func FigureTable(f *metrics.Figure) *Table {
 		}
 		row := []string{label}
 		for _, s := range f.Series {
-			if st, err := s.At(x); err == nil {
-				row = append(row, fmt.Sprintf("%.2f", st.Mean))
-			} else {
+			st, err := s.At(x)
+			switch {
+			case err != nil:
 				row = append(row, "-")
+			case st.N == 0 && st.Failed > 0:
+				row = append(row, "FAIL")
+			default:
+				row = append(row, fmt.Sprintf("%.2f", st.Mean))
 			}
 		}
 		t.AddRow(row...)
@@ -163,6 +176,9 @@ func AsciiChart(f *metrics.Figure, width, height int) string {
 	var ymax float64
 	for _, s := range f.Series {
 		for _, p := range s.Points {
+			if math.IsNaN(p.Stats.Mean) {
+				continue // all-failed hole: no position on the chart
+			}
 			xs = append(xs, p.X)
 			if p.Stats.Mean > ymax {
 				ymax = p.Stats.Mean
@@ -209,6 +225,9 @@ func AsciiChart(f *metrics.Figure, width, height int) string {
 	for si, s := range f.Series {
 		mark := marks[si%len(marks)]
 		for _, p := range s.Points {
+			if math.IsNaN(p.Stats.Mean) {
+				continue
+			}
 			row := height - 1 - int(p.Stats.Mean/ymax*float64(height-1)+0.5)
 			if row < 0 {
 				row = 0
@@ -220,7 +239,11 @@ func AsciiChart(f *metrics.Figure, width, height int) string {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s (y: %s, max %.4g)\n", f.ID, f.Title, f.YLabel, ymax)
+	fmt.Fprintf(&b, "%s — %s (y: %s, max %.4g)", f.ID, f.Title, f.YLabel, ymax)
+	if f.Incomplete {
+		b.WriteString(" [INCOMPLETE]")
+	}
+	b.WriteByte('\n')
 	for _, row := range grid {
 		b.WriteString("| ")
 		b.Write(row)

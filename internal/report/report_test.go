@@ -56,7 +56,7 @@ func TestFigureCSV(t *testing.T) {
 	if len(lines) != 1+5 {
 		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
 	}
-	if lines[0] != "figure,series,x,mean,min,max,stddev,trials" {
+	if lines[0] != "figure,series,x,mean,min,max,stddev,trials,failed" {
 		t.Fatalf("header %q", lines[0])
 	}
 	if !strings.HasPrefix(lines[1], "figX,emu,1,10,") {

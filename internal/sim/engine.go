@@ -80,8 +80,9 @@ type Engine struct {
 	// sender never blocks.
 	done chan error
 
-	procs     int    // live (spawned, not finished) procs
-	fired     uint64 // events dispatched so far
+	procs     int     // live (spawned, not finished) procs
+	all       []*Proc // every spawned Proc, in spawn order, for failure dumps
+	fired     uint64  // events dispatched so far
 	MaxEvents uint64 // safety valve; 0 means no limit
 	MaxTime   Time   // safety valve; 0 means no limit
 
@@ -129,8 +130,12 @@ func (e *Engine) Schedule(t Time, fn func()) {
 }
 
 // scheduleProc registers the dispatch of p at absolute time t without
-// allocating a closure.
+// allocating a closure. The wake-up time is mirrored onto the Proc so a
+// failure dump can distinguish "parked with a pending wake" from "parked
+// forever".
 func (e *Engine) scheduleProc(t Time, p *Proc) {
+	p.wakeAt = t
+	p.hasWake = true
 	e.schedule(t, event{proc: p})
 }
 
@@ -301,19 +306,19 @@ func (e *Engine) advance(self *Proc) bool {
 	for {
 		if e.Pending() == 0 {
 			if e.procs > 0 {
-				e.done <- fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events at t=%v", e.procs, e.now)
+				e.done <- e.failure(FailDeadlock, nil)
 			} else {
 				e.done <- nil
 			}
 			return false
 		}
 		if e.MaxEvents > 0 && e.fired >= e.MaxEvents {
-			e.done <- fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
+			e.done <- e.failure(FailMaxEvents, nil)
 			return false
 		}
 		if e.Interrupt != nil && e.fired&1023 == 0 {
 			if err := e.Interrupt(); err != nil {
-				e.done <- err
+				e.done <- e.failure(FailInterrupted, err)
 				return false
 			}
 		}
@@ -322,7 +327,7 @@ func (e *Engine) advance(self *Proc) bool {
 			panic("sim: time went backwards")
 		}
 		if e.MaxTime > 0 && ev.at > e.MaxTime {
-			e.done <- fmt.Errorf("sim: exceeded MaxTime=%v", e.MaxTime)
+			e.done <- e.failure(FailMaxTime, nil)
 			return false
 		}
 		e.now = ev.at
@@ -334,6 +339,7 @@ func (e *Engine) advance(self *Proc) bool {
 		if ev.proc.done {
 			panic("sim: dispatching finished proc " + ev.proc.name)
 		}
+		ev.proc.hasWake = false
 		if ev.proc == self {
 			return true
 		}

@@ -16,6 +16,13 @@ type Proc struct {
 	resume chan struct{}
 	name   string
 	done   bool
+
+	// Failure-dump bookkeeping, maintained on the park/wake paths with plain
+	// field stores (no allocation, no formatting) so the hot path stays free.
+	site     string // where the Proc last parked: "start", "wait", "join", a semaphore name, ...
+	parkedAt Time   // when the Proc last gave up the control token
+	wakeAt   Time   // pending dispatch time; valid only while hasWake
+	hasWake  bool
 }
 
 // Name reports the name the Proc was spawned with.
@@ -36,8 +43,9 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 
 // GoAt is like Go but delays the first dispatch until absolute time t.
 func (e *Engine) GoAt(t Time, name string, fn func(*Proc)) *Proc {
-	p := &Proc{eng: e, resume: make(chan struct{}), name: name}
+	p := &Proc{eng: e, resume: make(chan struct{}), name: name, site: "start", parkedAt: e.now}
 	e.procs++
+	e.register(p)
 	go func() {
 		<-p.resume
 		fn(p)
@@ -60,6 +68,7 @@ func (e *Engine) GoAt(t Time, name string, fn func(*Proc)) *Proc {
 // event or a registered waiter), otherwise the engine will report a
 // deadlock.
 func (p *Proc) yield() {
+	p.parkedAt = p.eng.now
 	if p.eng.advance(p) {
 		return
 	}
@@ -73,6 +82,7 @@ func (p *Proc) WaitUntil(t Time) {
 	if t <= e.now {
 		return
 	}
+	p.site = "wait"
 	e.scheduleProc(t, p)
 	p.yield()
 }
@@ -88,7 +98,16 @@ func (p *Proc) Delay(d Time) {
 // Park suspends the Proc indefinitely; it resumes when another party calls
 // Unpark. The caller must have registered itself somewhere an Unpark will
 // come from before calling Park.
-func (p *Proc) Park() { p.yield() }
+func (p *Proc) Park() { p.ParkReason("park") }
+
+// ParkReason is Park with a site label recorded for failure dumps, so a
+// deadlock report can say what each proc was blocked on. Synchronization
+// primitives pass their own label ("join", the semaphore's name); callers of
+// plain Park get the generic "park".
+func (p *Proc) ParkReason(site string) {
+	p.site = site
+	p.yield()
+}
 
 // Unpark schedules p to resume at the current time (after already-queued
 // same-time events). It must be called exactly once per Park.

@@ -30,7 +30,7 @@ func (s *Semaphore) Acquire(p *Proc) {
 		return
 	}
 	s.waiters = append(s.waiters, p)
-	p.Park()
+	p.ParkReason(s.name)
 	// The releaser transferred its slot to us and woke us; the count was
 	// already adjusted in Release.
 }
@@ -130,5 +130,5 @@ func (j *Join) Wait(p *Proc) {
 		panic("sim: join already has a waiter")
 	}
 	j.waiter = p
-	p.Park()
+	p.ParkReason("join")
 }
