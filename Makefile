@@ -2,18 +2,23 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-quick bench bench-quick race figures figures-quick scorecard scorecard-quick trace-smoke fault-smoke soak examples clean
+.PHONY: all check build vet lint test test-quick bench bench-quick race figures figures-quick scorecard scorecard-quick trace-smoke fault-smoke soak examples clean
 
-all: build vet test race
+all: build vet lint test race
 
-# The pre-commit gate: compile, vet, test.
-check: build vet test
+# The pre-commit gate: compile, vet, lint, test.
+check: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own analyzer suite (cmd/emulint): determinism, park-site,
+# hot-path allocation, fingerprint, and observer-guard contracts.
+lint:
+	$(GO) run ./cmd/emulint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,61 @@
+// Command emulint is the repo's contract multichecker: five analyzers that
+// turn the reproduction's determinism, hot-path, park-site, fingerprint,
+// and observer-guard promises into compile-time checks (see DESIGN.md
+// section 12).
+//
+// Usage:
+//
+//	emulint [-tests] [-list] [packages]
+//
+// Packages default to ./... and accept the go tool's pattern syntax. The
+// exit status is 0 when every package is clean, 1 when there are findings,
+// and 2 on an operational error. A finding is suppressed, one line and one
+// analyzer at a time, with //lint:allow <analyzer> <reason>.
+//
+// emulint runs standalone (it loads and type-checks packages from source
+// itself); the container this repo builds in has no module proxy, so the
+// go vet -vettool unitchecker protocol — which requires decoding compiler
+// export data via x/tools — is intentionally not implemented.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emuchick/internal/analysis"
+	"emuchick/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut *os.File) int {
+	fs := flag.NewFlagSet("emulint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	tests := fs.Bool("tests", false, "also analyze each package's in-package _test.go files")
+	list := fs.Bool("list", false, "list the suite's analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range suite.Analyzers() {
+			fmt.Fprintf(out, "%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	diags, err := suite.Lint(analysis.LoadConfig{Tests: *tests}, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(errOut, "emulint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "emulint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -7,13 +7,16 @@
 //
 //	emuvalidate [-quick] [-trials N] [-claim id] [-parallel N]
 //	            [-deadline D] [-checkpoint dir [-resume]]
-//	            [-cell-timeout D] [-retries N]
+//	            [-cell-timeout D] [-retries N] [-lint]
 //
 // -deadline bounds the whole scorecard: once it passes, no further claims
 // are launched — the remaining ones print as SKIP and the run exits
 // non-zero, instead of running open-ended. -checkpoint (a directory path
 // keeps one log per experiment) makes the claims' sweeps resumable, and
 // -cell-timeout arms the per-cell watchdog, exactly as in emubench.
+// -lint appends a scorecard row that runs the cmd/emulint analyzer suite
+// over the whole module and passes only when it is clean; -claim lint runs
+// just that row.
 package main
 
 import (
@@ -52,6 +55,7 @@ func run(args []string, out io.Writer) (bool, error) {
 	resume := fs.Bool("resume", false, "allow resuming from existing non-empty checkpoints")
 	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell watchdog: kill any single simulation after this wall-clock time (0 disables)")
 	retries := fs.Int("retries", 1, "extra attempts for a watchdog-killed cell before it is recorded as failed")
+	lint := fs.Bool("lint", false, "append the emulint static-analysis claim (the analyzer suite must find nothing)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
@@ -73,8 +77,14 @@ func run(args []string, out io.Writer) (bool, error) {
 	)
 
 	list := claims.All()
+	if *lint {
+		list = append(list, claims.Lint())
+	}
 	if *claimID != "" {
 		c, err := claims.ByID(*claimID)
+		if *claimID == claims.Lint().ID {
+			c, err = claims.Lint(), nil
+		}
 		if err != nil {
 			return false, err
 		}

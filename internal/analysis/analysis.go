@@ -1,0 +1,141 @@
+// Package analysis is a self-contained reimplementation of the core
+// golang.org/x/tools/go/analysis surface, built only on the standard
+// library's go/ast, go/types, and go/importer. The container this repo is
+// developed in has no module proxy access, so the real x/tools framework
+// cannot be vendored; the subset here — Analyzer, Pass, diagnostics, a
+// package loader, and an analysistest-style harness — is API-compatible in
+// spirit, and an analyzer written against it ports to x/tools by renaming
+// imports.
+//
+// The suite built on top of it (see the subpackages and cmd/emulint)
+// converts the repo's central determinism promises from test-time checks
+// into compile-time guarantees:
+//
+//   - nodeterminism: no wall-clock reads, no ambiently-seeded rand, no
+//     unordered map iteration in result-producing packages.
+//   - parksite: every sim blocking point carries a park-site label, so
+//     deadlock post-mortems never dump anonymous procs.
+//   - hotpathalloc: functions annotated //emu:hotpath contain no
+//     allocating constructs.
+//   - fingerprint: every experiments.Options field is explicitly
+//     classified into or out of the checkpoint fingerprint.
+//   - observerguard: machine-layer trace emits sit behind the
+//     nil-observer guard.
+//
+// Findings are suppressed, one site at a time, with a reasoned marker
+// comment: //lint:allow <analyzer> <reason>.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. The zero scope (nil Packages) means
+// the analyzer applies to every package the driver loads.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// comments. It must be a single lowercase word.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Packages, when non-nil, scopes the analyzer: the driver only runs it
+	// on packages whose import path satisfies the predicate. analysistest
+	// bypasses the scope and always runs the analyzer under test.
+	Packages func(path string) bool
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if the type checker did not record
+// one.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// Diagnostic is one finding, located in file:line:column form so drivers
+// can print it without holding the FileSet.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// RunAnalyzers applies every in-scope analyzer to every package and returns
+// the surviving findings: diagnostics on a line carrying (or immediately
+// following) a matching //lint:allow comment are dropped, and malformed
+// allow comments are themselves reported under the pseudo-analyzer
+// "lintcomment". Diagnostics come back sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	allows := allowIndex{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			allows.collect(pkg.Fset, f, &diags)
+		}
+		for _, a := range analyzers {
+			if a.Packages != nil && !a.Packages(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if allows.allowed(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}

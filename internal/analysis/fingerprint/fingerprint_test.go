@@ -1,0 +1,24 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"emuchick/internal/analysis/analysistest"
+)
+
+// TestAnalyzer runs the check against a miniature options struct with its
+// own classification table; the testdata deliberately contains one
+// unclassified field, one stale table entry, one unread In field, and one
+// Out field flowing into the fingerprint.
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/fingerprint", NewAnalyzer(Config{
+		Struct: "Options",
+		Func:   "optionsFingerprint",
+		Fields: map[string]Class{
+			"Trials":   In,
+			"Seed":     In,
+			"Parallel": Out,
+			"Stale":    Out,
+		},
+	}))
+}

@@ -1,0 +1,259 @@
+// Package hotpathalloc enforces the allocation-free contract on functions
+// annotated //emu:hotpath — the engine's event-queue operations, the
+// proc park/wake paths, and the machine layer's nil-observer emit path.
+// The repo's headline "zero-overhead when detached" claim is exactly the
+// claim that these functions allocate nothing in steady state.
+//
+// Annotation grammar: a doc-comment line of the form
+//
+//	//emu:hotpath [note]
+//
+// marks the function; everything after the marker is a free-form note.
+//
+// Inside an annotated function the analyzer flags:
+//
+//   - calls into fmt or errors (formatting allocates);
+//   - make, new, and function literals (closures may escape);
+//   - composite literals of slice or map type (struct literals passed by
+//     value stay legal);
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - append that is not a self-append (x = append(x, ...) reuses x's
+//     storage in steady state; anything else is a fresh allocation per
+//     growth);
+//   - implicit boxing of a non-pointer value into an interface.
+//
+// Arguments of panic are exempt: a panicking hot path is already dead, so
+// the diagnostic message may allocate freely.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"emuchick/internal/analysis"
+)
+
+// Marker is the annotation that opts a function into the check.
+const Marker = "//emu:hotpath"
+
+// Analyzer is the hotpathalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbids allocating constructs (fmt, make/new, closures, non-self " +
+		"append, slice/map literals, string building, interface boxing) in " +
+		"functions annotated //emu:hotpath",
+	Run: run,
+}
+
+// Annotated reports whether the function declaration carries the marker.
+func Annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == Marker || strings.HasPrefix(c.Text, Marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !Annotated(fd) {
+				continue
+			}
+			check(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checker carries per-body state: appends already validated (or flagged)
+// at their enclosing assignment, which checkCall must not double-report.
+type checker struct {
+	pass          *analysis.Pass
+	appendHandled map[*ast.CallExpr]bool
+}
+
+// check walks one annotated body, skipping panic arguments.
+func check(pass *analysis.Pass, body ast.Node) {
+	c := &checker{pass: pass, appendHandled: map[*ast.CallExpr]bool{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "panic") {
+				return false // cold by construction
+			}
+			c.checkCall(n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path: function literal may escape and allocate")
+			return false
+		case *ast.CompositeLit:
+			checkComposite(pass, n)
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isString(pass.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "hot path: string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		}
+		return true
+	})
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// pointerLike types carry their payload in the interface data word, so
+// converting one to an interface does not allocate.
+func pointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	pass := c.pass
+	// Conversions: string<->[]byte/[]rune copy and allocate.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		to := tv.Type
+		if len(call.Args) == 1 {
+			from := pass.TypeOf(call.Args[0])
+			if from != nil && (isString(to) != isString(from)) && (isString(to) || isString(from)) {
+				pass.Reportf(call.Pos(), "hot path: conversion between string and byte/rune slice allocates")
+			}
+		}
+		return
+	}
+	if isBuiltin(pass, call.Fun, "make") || isBuiltin(pass, call.Fun, "new") {
+		pass.Reportf(call.Pos(), "hot path: %s allocates", call.Fun.(*ast.Ident).Name)
+		return
+	}
+	if isBuiltin(pass, call.Fun, "append") {
+		// Non-self appends are caught at the assignment; an append anywhere
+		// else (nested in a call, discarded) abandons the reuse guarantee.
+		if !c.appendHandled[call] {
+			pass.Reportf(call.Pos(), "hot path: append result is discarded or not reassigned to its base; only x = append(x, ...) reuses storage")
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "fmt", "errors":
+					pass.Reportf(call.Pos(), "hot path: %s.%s allocates", pn.Imported().Name(), sel.Sel.Name)
+					return
+				}
+			}
+		}
+	}
+	checkBoxing(pass, call)
+}
+
+// checkAssign validates the self-append shape: for each lhs_i = append(b,
+// ...), b (or its slice-expression base, as in x = append(x[:0], ...))
+// must be syntactically identical to lhs_i.
+func (c *checker) checkAssign(asg *ast.AssignStmt) {
+	pass := c.pass
+	for i, rhs := range asg.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) == 0 {
+			continue
+		}
+		c.appendHandled[call] = true
+		if i >= len(asg.Lhs) {
+			continue
+		}
+		base := call.Args[0]
+		if se, ok := base.(*ast.SliceExpr); ok {
+			base = se.X
+		}
+		if types.ExprString(asg.Lhs[i]) != types.ExprString(base) {
+			pass.Reportf(call.Pos(), "hot path: append to %s assigned to %s allocates a fresh backing array; use the self-append form x = append(x, ...)",
+				types.ExprString(base), types.ExprString(asg.Lhs[i]))
+		}
+	}
+}
+
+func checkComposite(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "hot path: slice literal allocates")
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "hot path: map literal allocates")
+	}
+}
+
+// checkBoxing flags arguments whose static type is a non-pointer concrete
+// type being passed where the callee expects an interface — each such call
+// heap-allocates the boxed copy.
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr) {
+	sig, ok := funcSig(pass, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || pointerLike(at) || isUntypedNil(pass, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hot path: %s is boxed into interface %s (allocates)", at, pt)
+	}
+}
+
+func funcSig(pass *analysis.Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	t := pass.TypeOf(call.Fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func isUntypedNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadConfig tunes Load.
+type LoadConfig struct {
+	// Tests additionally compiles each package's in-package _test.go files
+	// into the unit under analysis (external _test packages are skipped).
+	Tests bool
+	// Dir is the working directory for the go list invocation; "" means
+	// the current directory. Patterns may be path patterns (./...) rooted
+	// at Dir or import-path patterns (emuchick/...), which resolve from
+	// anywhere inside the module.
+	Dir string
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	CgoFiles    []string
+	TestGoFiles []string
+	Error       *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns via the go tool, parses
+// their sources, and type-checks them from source (the "source" importer
+// needs no pre-built export data, so the loader works in a hermetic
+// build environment). All packages share one FileSet and one importer, so
+// common dependencies are type-checked once.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	srcImp, _ := imp.(types.ImporterFrom)
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		names := lp.GoFiles
+		if cfg.Tests {
+			names = append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
+		}
+		if len(names) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(fset, srcImp, lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  lp.ImportPath,
+			Dir:   lp.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: pkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// Check type-checks one parsed package with full expression, object, and
+// selection information recorded. It is exported for analysistest, which
+// loads testdata directories without going through the go tool.
+func Check(fset *token.FileSet, imp types.ImporterFrom, path, dir string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: dirImporter{imp, dir}}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// dirImporter pins the source importer's vantage point to the package's own
+// directory, so relative/internal import resolution matches the compiler's.
+type dirImporter struct {
+	imp types.ImporterFrom
+	dir string
+}
+
+func (d dirImporter) Import(path string) (*types.Package, error) {
+	return d.imp.ImportFrom(path, d.dir, 0)
+}

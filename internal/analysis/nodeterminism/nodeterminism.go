@@ -1,0 +1,206 @@
+// Package nodeterminism forbids the three ambient sources of run-to-run
+// variation in the packages whose output must be bit-identical at any
+// -parallel: wall-clock reads (time.Now and friends), ambiently-seeded
+// math/rand, and iteration over Go maps, whose order is deliberately
+// randomized by the runtime.
+//
+// The one tolerated map-iteration shape is the standard collect-then-sort
+// idiom: a range body consisting solely of appending the key to a slice
+// that is later passed to a sort function in the same enclosing function.
+// Any other iteration needs an explicit
+// //lint:allow nodeterminism <reason>.
+package nodeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"emuchick/internal/analysis"
+)
+
+// sortFuncs are the sort/slices entry points that satisfy the
+// collect-then-sort idiom when the collected key slice is their first
+// argument.
+var sortFuncs = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true, "Slice": true,
+	"SliceStable": true, "Sort": true, "Stable": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// deterministicPackages is the contract's blast radius: the packages whose
+// outputs feed figures, serialized artifacts, or traces.
+var deterministicPackages = map[string]bool{
+	"emuchick/internal/sim":         true,
+	"emuchick/internal/kernels":     true,
+	"emuchick/internal/metrics":     true,
+	"emuchick/internal/report":      true,
+	"emuchick/internal/experiments": true,
+}
+
+// wallClockFuncs are the time package functions that read or depend on the
+// wall clock. Duration arithmetic and the time.Duration type stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// seededConstructors are the math/rand package-level names that build an
+// explicitly seeded generator; every other package-level call uses the
+// ambient global source.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// Analyzer is the nodeterminism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbids wall-clock reads, ambiently-seeded math/rand, and unordered " +
+		"map iteration in packages that must produce bit-identical results",
+	Packages: func(path string) bool { return deterministicPackages[path] },
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, enclosingFunc(f, n.Pos()), n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost function declaration or literal whose
+// body spans pos, for the collect-then-sort scan.
+func enclosingFunc(f *ast.File, pos token.Pos) ast.Node {
+	var fn ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || n.Pos() > pos || n.End() <= pos {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fn = n
+		}
+		return true
+	})
+	return fn
+}
+
+// pkgOf resolves the package an identifier names, or "" if it is not a
+// package qualifier.
+func pkgOf(pass *analysis.Pass, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	switch pkgOf(pass, sel.X) {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; deterministic packages must derive every value from simulated time or seeded inputs", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[sel.Sel.Name] && isFunc(pass, sel) {
+			pass.Reportf(sel.Pos(), "rand.%s uses the ambient global source; construct an explicitly seeded *rand.Rand instead", sel.Sel.Name)
+		}
+	}
+}
+
+// isFunc reports whether the selector names a function or variable (as
+// opposed to a type such as rand.Rand, which is fine to mention).
+func isFunc(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	switch obj.(type) {
+	case *types.Func, *types.Var:
+		return true
+	}
+	return false
+}
+
+func checkRange(pass *analysis.Pass, fn ast.Node, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if isCollectThenSort(pass, fn, rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order is randomized; collect and sort the keys first (the collect-then-sort idiom is recognized), or //lint:allow nodeterminism <reason>")
+}
+
+// isCollectThenSort recognizes
+//
+//	for k := range m { keys = append(keys, k) }
+//	...
+//	sort.Strings(keys)          // or sort.Ints/sort.Slice/slices.Sort*
+//
+// — the only map iteration whose effect is order-independent by
+// construction. The body must be exactly one self-append of the range key,
+// and the collected slice must flow into a sort call later in the same
+// function.
+func isCollectThenSort(pass *analysis.Pass, fn ast.Node, rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rng.Value != nil {
+		return false
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	}
+	if types.ExprString(call.Args[0]) != types.ExprString(asg.Lhs[0]) {
+		return false
+	}
+	if arg, ok := call.Args[1].(*ast.Ident); !ok || arg.Name != key.Name {
+		return false
+	}
+	slice := types.ExprString(asg.Lhs[0])
+	sorted := false
+	if fn == nil {
+		return false
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := pkgOf(pass, sel.X)
+		if (pkg == "sort" || pkg == "slices") && sortFuncs[sel.Sel.Name] &&
+			types.ExprString(call.Args[0]) == slice {
+			sorted = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}

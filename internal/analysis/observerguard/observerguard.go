@@ -1,0 +1,143 @@
+// Package observerguard enforces the zero-overhead half of the trace
+// contract: the machine layer may deliver events and samples to a
+// trace.Observer only from behind a nil check, so the detached fast path
+// stays a single comparison and the engine never calls through a nil
+// interface.
+//
+// A call x.Event(...) or x.Sample(...), where x's static type is a named
+// interface called Observer, is accepted only when the enclosing function
+// dominates it with a guard on the same expression:
+//
+//	if x == nil { return }        // early-out form
+//	if x != nil { ... x.Event(e) ... }  // enclosing form
+//
+// (x may also be a local copy, as in obs := s.obs; if obs == nil { ... }.)
+package observerguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"emuchick/internal/analysis"
+)
+
+// Analyzer is the observerguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "observerguard",
+	Doc: "requires every Observer.Event/Sample delivery in the machine layer " +
+		"to be dominated by a nil-observer guard on the same expression",
+	Packages: func(path string) bool {
+		return path == "emuchick/internal/machine" || path == "emuchick/internal/kernels"
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Event" && sel.Sel.Name != "Sample") {
+			return true
+		}
+		if !isObserver(pass.TypeOf(sel.X)) {
+			return true
+		}
+		if !guarded(pass, fd, types.ExprString(sel.X), call.Pos()) {
+			pass.Reportf(call.Pos(), "%s.%s outside the nil-observer guard; the detached fast path must be a single nil check (guard with `if %s == nil { return }` or an enclosing `if %s != nil`)",
+				types.ExprString(sel.X), sel.Sel.Name, types.ExprString(sel.X), types.ExprString(sel.X))
+		}
+		return true
+	})
+}
+
+// isObserver reports whether t is a named interface type called Observer.
+func isObserver(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, ok := named.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	return named.Obj().Name() == "Observer"
+}
+
+// guarded reports whether some if statement in fd dominates pos with a nil
+// check on expr: either `expr != nil` (possibly conjoined with &&) with pos
+// inside its body, or `expr == nil` whose body returns, ending before pos.
+func guarded(pass *analysis.Pass, fd *ast.FuncDecl, expr string, pos token.Pos) bool {
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, isIf := n.(*ast.IfStmt)
+		if !isIf || ok {
+			return !ok
+		}
+		if hasNilCheck(ifs.Cond, expr, token.NEQ) &&
+			ifs.Body.Pos() <= pos && pos < ifs.Body.End() {
+			ok = true
+		}
+		if hasNilCheck(ifs.Cond, expr, token.EQL) &&
+			ifs.End() <= pos && bodyReturns(ifs.Body) {
+			ok = true
+		}
+		return !ok
+	})
+	return ok
+}
+
+// hasNilCheck reports whether cond contains the conjunct `expr op nil`.
+func hasNilCheck(cond ast.Expr, expr string, op token.Token) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return hasNilCheck(c.X, expr, op)
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND {
+			return hasNilCheck(c.X, expr, op) || hasNilCheck(c.Y, expr, op)
+		}
+		if c.Op != op {
+			return false
+		}
+		x, y := types.ExprString(c.X), types.ExprString(c.Y)
+		return (x == expr && y == "nil") || (x == "nil" && y == expr)
+	}
+	return false
+}
+
+// bodyReturns reports whether the block's last statement leaves the
+// function or loop (return, panic, continue, break).
+func bodyReturns(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+// Package parksite enforces the repo's post-mortem labeling contract:
+// every point where a simulated process blocks must carry a park-site
+// label, so a sim.RunError's parked-proc dump names what each proc was
+// waiting on instead of dumping anonymous "park" entries.
+//
+// Three rules:
+//
+//  1. No bare Park() calls. Park is the unlabeled fallback; call sites
+//     must use ParkReason(site) or a labeled wrapper (Semaphore.Acquire,
+//     Join.Wait) instead.
+//  2. ParkReason's site argument must not be the empty string or the
+//     generic "park" label.
+//  3. Inside the sim package itself, a call to the low-level yield must be
+//     preceded by a store to the proc's site field in the same function —
+//     the root invariant that makes rules 1 and 2 sufficient.
+//
+// The rules key off method shape, not package identity: any named type
+// offering both Park() and ParkReason(string) is treated as a parkable
+// process, which lets the analyzer test itself on a fake.
+package parksite
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"emuchick/internal/analysis"
+)
+
+// Analyzer is the parksite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "parksite",
+	Doc: "requires every sim blocking point to carry a park-site label " +
+		"(ParkReason or a labeled wrapper) so failure dumps are never anonymous",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := pass.TypeOf(sel.X)
+			if recv == nil || !isParkable(recv) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Park":
+				if len(call.Args) == 0 {
+					pass.Reportf(call.Pos(), "bare Park() leaves an anonymous proc in failure dumps; use ParkReason(site) or a labeled wrapper")
+				}
+			case "ParkReason":
+				checkLabel(pass, f, call)
+			}
+			return true
+		})
+		checkYieldSites(pass, f)
+	}
+	return nil
+}
+
+// isParkable reports whether t (or *t) is a named type with both a Park()
+// and a ParkReason(string) method — the shape of a simulated process.
+func isParkable(t types.Type) bool {
+	return hasMethod(t, "Park") && hasMethod(t, "ParkReason")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		ms = types.NewMethodSet(types.NewPointer(t))
+	}
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLabel rejects site labels that carry no information: the empty
+// string and the generic "park" the bare wrapper would have used anyway.
+// The Park method's own body is the one place the "park" fallback label is
+// legitimate.
+func checkLabel(pass *analysis.Pass, f *ast.File, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant labels (semaphore names) are fine
+	}
+	switch constant.StringVal(tv.Value) {
+	case "":
+		pass.Reportf(call.Args[0].Pos(), "empty park-site label; name what the proc is blocked on")
+	case "park":
+		if enclosingFuncName(f, call.Pos()) == "Park" {
+			return
+		}
+		pass.Reportf(call.Args[0].Pos(), `generic "park" label; name what the proc is blocked on`)
+	}
+}
+
+// enclosingFuncName returns the name of the top-level function declaration
+// spanning pos, or "".
+func enclosingFuncName(f *ast.File, pos token.Pos) string {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos < fd.End() {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// checkYieldSites enforces the root invariant inside the proc package: a
+// yield must see a site store earlier in the same function (ParkReason
+// satisfies it by storing the caller's label; the yield definition itself
+// is exempt).
+func checkYieldSites(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || fd.Name.Name == "yield" {
+			continue
+		}
+		siteStored := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "site" {
+						siteStored = true
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "yield" {
+					return true
+				}
+				recv := pass.TypeOf(sel.X)
+				if recv == nil || !isParkable(recv) {
+					return true
+				}
+				if !siteStored {
+					pass.Reportf(n.Pos(), "yield without a prior park-site store; set the proc's site (or call ParkReason) so failure dumps can name this blocking point")
+				}
+			}
+			return true
+		})
+	}
+}

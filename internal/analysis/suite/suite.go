@@ -1,0 +1,35 @@
+// Package suite assembles the repo's five contract analyzers into the
+// multichecker that cmd/emulint, the Makefile lint target, and the
+// emuvalidate -lint claim all share.
+package suite
+
+import (
+	"emuchick/internal/analysis"
+	"emuchick/internal/analysis/fingerprint"
+	"emuchick/internal/analysis/hotpathalloc"
+	"emuchick/internal/analysis/nodeterminism"
+	"emuchick/internal/analysis/observerguard"
+	"emuchick/internal/analysis/parksite"
+)
+
+// Analyzers returns the full emulint suite, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		fingerprint.Analyzer,
+		hotpathalloc.Analyzer,
+		nodeterminism.Analyzer,
+		observerguard.Analyzer,
+		parksite.Analyzer,
+	}
+}
+
+// Lint loads the packages matching patterns (every package of the module
+// when none are given) and runs the suite, returning the surviving
+// findings.
+func Lint(cfg analysis.LoadConfig, patterns ...string) ([]analysis.Diagnostic, error) {
+	pkgs, err := analysis.Load(cfg, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.RunAnalyzers(pkgs, Analyzers())
+}

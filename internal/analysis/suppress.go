@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression grammar is one comment per tolerated finding:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either on the flagged line itself or on the line directly above
+// it. The reason is mandatory — an allow that cannot say why it exists is
+// reported as a finding of its own — and the marker silences exactly one
+// analyzer on exactly one line, so a suppression can never hide an
+// unrelated future regression on the same statement.
+
+const allowPrefix = "//lint:allow"
+
+// allowKey addresses one (file, line, analyzer) suppression site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowIndex map[allowKey]bool
+
+// collect indexes every //lint:allow comment in f, reporting malformed
+// markers into diags.
+func (ai allowIndex) collect(fset *token.FileSet, f *ast.File, diags *[]Diagnostic) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			fields := strings.Fields(rest)
+			pos := fset.Position(c.Pos())
+			if len(fields) < 2 {
+				*diags = append(*diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "lintcomment",
+					Message:  "malformed suppression: want //lint:allow <analyzer> <reason>",
+				})
+				continue
+			}
+			ai[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+		}
+	}
+}
+
+// allowed reports whether d is suppressed by an allow comment on its line
+// or the line above.
+func (ai allowIndex) allowed(d Diagnostic) bool {
+	if d.Analyzer == "lintcomment" {
+		return false
+	}
+	return ai[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		ai[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]
+}

@@ -1,0 +1,18 @@
+// Testdata for the fingerprint analyzer, checked against a miniature table
+// (see fingerprint_test.go): Trials and Seed are In, Parallel is Out, the
+// table carries a stale "Stale" entry, and the struct carries an
+// unclassified Extra field.
+package fingerprint
+
+import "fmt"
+
+type Options struct { // want `fingerprint table entry "Stale" matches no field`
+	Trials   int
+	Seed     int64
+	Parallel int
+	Extra    bool // want `field Options\.Extra is not classified`
+}
+
+func optionsFingerprint(o Options) string { // want `In field Seed is not folded into the fingerprint`
+	return fmt.Sprintf("trials=%d;par=%d", o.Trials, o.Parallel) // want `Out field Parallel must not flow into the fingerprint`
+}

@@ -1,0 +1,61 @@
+// Testdata for the observerguard analyzer. Observer is a miniature of
+// trace.Observer; the analyzer keys on the interface's name, so no import
+// of the real trace package is needed.
+package observerguard
+
+type Observer interface {
+	Event(e int)
+	Sample(s int)
+}
+
+type system struct {
+	obs Observer
+}
+
+func (s *system) emitGuardedEarlyOut(e int) {
+	obs := s.obs
+	if obs == nil {
+		return
+	}
+	obs.Event(e)
+}
+
+func (s *system) emitGuardedEnclosing(e int) {
+	if s.obs != nil {
+		s.obs.Event(e)
+	}
+}
+
+func (s *system) emitConjoinedGuard(e int, sampling bool) {
+	if sampling && s.obs != nil {
+		s.obs.Sample(e)
+	}
+}
+
+func (s *system) emitUnguarded(e int) {
+	s.obs.Event(e) // want `s\.obs\.Event outside the nil-observer guard`
+}
+
+// emitWrongExpr guards one expression and calls through another; the guard
+// must dominate the same expression it checks.
+func (s *system) emitWrongExpr(e int) {
+	obs := s.obs
+	if s.obs == nil {
+		return
+	}
+	obs.Sample(e) // want `obs\.Sample outside the nil-observer guard`
+}
+
+func (s *system) tolerated(e int) {
+	//lint:allow observerguard caller has already checked attachment
+	s.obs.Event(e)
+}
+
+// logger is a concrete type whose Event method is not an Observer delivery.
+type logger struct{}
+
+func (logger) Event(e int) {}
+
+func free(l logger, e int) {
+	l.Event(e)
+}

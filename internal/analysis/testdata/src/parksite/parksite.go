@@ -1,0 +1,62 @@
+// Testdata for the parksite analyzer. Proc is a miniature of sim.Proc; the
+// analyzer recognizes it by method shape (Park + ParkReason), so no import
+// of the real sim package is needed.
+package parksite
+
+type Proc struct {
+	site string
+}
+
+func (p *Proc) yield() {}
+
+func (p *Proc) Park() { p.ParkReason("park") }
+
+func (p *Proc) ParkReason(site string) {
+	p.site = site
+	p.yield()
+}
+
+func blockBare(p *Proc) {
+	p.Park() // want `bare Park\(\) leaves an anonymous proc`
+}
+
+func blockLabeled(p *Proc) {
+	p.ParkReason("queue-drain")
+}
+
+func blockEmptyLabel(p *Proc) {
+	p.ParkReason("") // want `empty park-site label`
+}
+
+func blockGenericLabel(p *Proc) {
+	p.ParkReason("park") // want `generic "park" label`
+}
+
+// blockDynamicLabel: non-constant labels (a semaphore's name) are always
+// acceptable.
+func blockDynamicLabel(p *Proc, name string) {
+	p.ParkReason(name)
+}
+
+func rawYield(p *Proc) {
+	p.yield() // want `yield without a prior park-site store`
+}
+
+func labeledYield(p *Proc, site string) {
+	p.site = site
+	p.yield()
+}
+
+func toleratedBare(p *Proc) {
+	//lint:allow parksite exercising the unlabeled fallback on purpose
+	p.Park()
+}
+
+// Car has Park but no ParkReason: not the parkable shape, out of scope.
+type Car struct{}
+
+func (c *Car) Park() {}
+
+func garage(c *Car) {
+	c.Park()
+}

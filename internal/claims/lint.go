@@ -1,0 +1,50 @@
+package claims
+
+import (
+	"fmt"
+	"strings"
+
+	"emuchick/internal/analysis"
+	"emuchick/internal/analysis/suite"
+	"emuchick/internal/experiments"
+)
+
+// Lint returns the static-analysis claim: the repo's determinism, park-site,
+// hot-path, fingerprint, and observer-guard contracts hold across the source
+// tree. It is not part of All() — it judges the source rather than the
+// models — and emuvalidate appends it behind the -lint flag. The check runs
+// the same analyzer suite as cmd/emulint, so it must execute inside the
+// module (the loader shells out to the go tool).
+func Lint() Claim {
+	return Claim{
+		ID:      "lint",
+		Section: "repo contract",
+		Statement: "The determinism, park-site, hot-path, fingerprint, and " +
+			"observer-guard contracts hold everywhere (emulint is clean).",
+		Check: checkLint,
+	}
+}
+
+func checkLint(experiments.Options) (Verdict, error) {
+	diags, err := suite.Lint(analysis.LoadConfig{}, "emuchick/...")
+	if err != nil {
+		return Verdict{}, err
+	}
+	if len(diags) == 0 {
+		return Verdict{Pass: true, Detail: "emulint clean over emuchick/..."}, nil
+	}
+	const maxListed = 3
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d finding(s): ", len(diags))
+	for i, d := range diags {
+		if i == maxListed {
+			fmt.Fprintf(&b, "; +%d more (run make lint)", len(diags)-i)
+			break
+		}
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(d.String())
+	}
+	return Verdict{Pass: false, Detail: b.String()}, nil
+}

@@ -133,12 +133,15 @@ func (e *Engine) Schedule(t Time, fn func()) {
 // allocating a closure. The wake-up time is mirrored onto the Proc so a
 // failure dump can distinguish "parked with a pending wake" from "parked
 // forever".
+//
+//emu:hotpath every park/wake schedules through here
 func (e *Engine) scheduleProc(t Time, p *Proc) {
 	p.wakeAt = t
 	p.hasWake = true
 	e.schedule(t, event{proc: p})
 }
 
+//emu:hotpath lane-or-heap insert, allocation-free in steady state
 func (e *Engine) schedule(t Time, ev event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -182,8 +185,11 @@ func (e *Engine) After(d Time, fn func()) {
 }
 
 // pushHeap inserts ev into the 4-ary min-heap.
+//
+//emu:hotpath
 func (e *Engine) pushHeap(ev event) {
-	h := append(e.heap, ev)
+	e.heap = append(e.heap, ev)
+	h := e.heap
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -198,6 +204,8 @@ func (e *Engine) pushHeap(ev event) {
 }
 
 // popHeap removes and returns the minimum event of the 4-ary min-heap.
+//
+//emu:hotpath
 func (e *Engine) popHeap() event {
 	// Vacated slots are not cleared: everything an event references (fn
 	// closures, Procs) is reachable for the whole run anyway, and the
@@ -248,6 +256,8 @@ func (e *Engine) popHeap() event {
 
 // next removes and returns the globally earliest pending event: the
 // smallest (at, seq) front across the heap and every lane.
+//
+//emu:hotpath k-way merge front, one pass over four lanes
 func (e *Engine) next() event {
 	e.pending--
 	best := -1 // lane index holding the current minimum; -1 means the heap
@@ -302,6 +312,8 @@ func (e *Engine) Run() error {
 // outcome was sent on e.done; either way the caller no longer holds the
 // token and must block on its resume channel (a parked Proc) or return (the
 // Run goroutine, a finished Proc).
+//
+//emu:hotpath the event loop itself; failure exits allocate via e.failure, which is fine — they end the run
 func (e *Engine) advance(self *Proc) bool {
 	for {
 		if e.Pending() == 0 {

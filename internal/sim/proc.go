@@ -67,6 +67,8 @@ func (e *Engine) GoAt(t Time, name string, fn func(*Proc)) *Proc {
 // caller must already have arranged for a future dispatch (a scheduled
 // event or a registered waiter), otherwise the engine will report a
 // deadlock.
+//
+//emu:hotpath a context switch is one channel handoff, nothing more
 func (p *Proc) yield() {
 	p.parkedAt = p.eng.now
 	if p.eng.advance(p) {
@@ -77,6 +79,8 @@ func (p *Proc) yield() {
 
 // WaitUntil suspends the Proc until absolute simulated time t. Waiting for a
 // time not after now returns immediately without yielding.
+//
+//emu:hotpath
 func (p *Proc) WaitUntil(t Time) {
 	e := p.eng
 	if t <= e.now {
@@ -98,12 +102,19 @@ func (p *Proc) Delay(d Time) {
 // Park suspends the Proc indefinitely; it resumes when another party calls
 // Unpark. The caller must have registered itself somewhere an Unpark will
 // come from before calling Park.
+//
+// Park leaves the generic "park" site in failure dumps; call sites should
+// prefer ParkReason (the parksite analyzer flags bare Park calls).
+//
+//emu:hotpath
 func (p *Proc) Park() { p.ParkReason("park") }
 
 // ParkReason is Park with a site label recorded for failure dumps, so a
 // deadlock report can say what each proc was blocked on. Synchronization
 // primitives pass their own label ("join", the semaphore's name); callers of
 // plain Park get the generic "park".
+//
+//emu:hotpath the park half of every context switch
 func (p *Proc) ParkReason(site string) {
 	p.site = site
 	p.yield()
@@ -111,6 +122,8 @@ func (p *Proc) ParkReason(site string) {
 
 // Unpark schedules p to resume at the current time (after already-queued
 // same-time events). It must be called exactly once per Park.
+//
+//emu:hotpath the wake half of every context switch
 func (p *Proc) Unpark() {
 	e := p.eng
 	e.scheduleProc(e.now, p)

@@ -81,6 +81,7 @@ func TestParkUnpark(t *testing.T) {
 	var resumedAt Time
 	e.Go("waiter", func(p *Proc) {
 		waiter = p
+		//lint:allow parksite the bare Park/Unpark pair is the API under test
 		p.Park()
 		resumedAt = p.Now()
 	})
@@ -98,7 +99,7 @@ func TestParkUnpark(t *testing.T) {
 
 func TestDeadlockDetected(t *testing.T) {
 	e := NewEngine()
-	e.Go("stuck", func(p *Proc) { p.Park() })
+	e.Go("stuck", func(p *Proc) { p.ParkReason("no-waker") })
 	if err := e.Run(); err == nil {
 		t.Fatal("parked-forever proc not reported as deadlock")
 	}
@@ -132,7 +133,7 @@ func TestProcAccessorsAndUnparkAt(t *testing.T) {
 			t.Error("accessors wrong")
 		}
 		waiter = p
-		p.Park()
+		p.ParkReason("timed-sleep")
 		resumedAt = p.Now()
 	})
 	e.Go("waker", func(p *Proc) {

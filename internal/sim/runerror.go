@@ -113,6 +113,8 @@ func (e *RunError) parkedSummary() string {
 // procs once they dominate the slice so long runs with high proc turnover
 // (millions of short-lived threadlets) keep the registry proportional to the
 // live count rather than the spawn count.
+//
+//emu:hotpath on the spawn path; the compaction sweep reuses the slice
 func (e *Engine) register(p *Proc) {
 	if len(e.all) > 64 && len(e.all) > 4*e.procs {
 		live := e.all[:0]

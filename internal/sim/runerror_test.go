@@ -151,6 +151,7 @@ func TestRunErrorDumpAfterProcChurn(t *testing.T) {
 		}
 		p.ParkReason("churn-done") // never woken
 	})
+	//lint:allow parksite asserting the bare-Park "park" fallback site below
 	e.Go("lurker", func(p *Proc) { p.Park() })
 	err := e.Run()
 	var re *RunError

@@ -24,6 +24,8 @@ func NewSemaphore(eng *Engine, name string, capacity int) *Semaphore {
 }
 
 // Acquire takes one slot, blocking p until one is available.
+//
+//emu:hotpath every spawn and inbound migration acquires a context slot
 func (s *Semaphore) Acquire(p *Proc) {
 	if s.inUse < s.capacity {
 		s.take()
@@ -54,6 +56,8 @@ func (s *Semaphore) take() {
 
 // Release returns one slot. If a Proc is waiting, the slot transfers
 // directly to the head of the queue.
+//
+//emu:hotpath
 func (s *Semaphore) Release() {
 	if s.inUse <= 0 {
 		panic(fmt.Sprintf("sim: semaphore %q released below zero", s.name))
@@ -106,6 +110,8 @@ func (j *Join) Add(n int) {
 }
 
 // Done records one completion, waking the waiter if the count reaches zero.
+//
+//emu:hotpath the join side of every thread exit
 func (j *Join) Done() {
 	if j.remaining <= 0 {
 		panic("sim: join Done below zero")
@@ -122,6 +128,8 @@ func (j *Join) Done() {
 func (j *Join) Pending() int { return j.remaining }
 
 // Wait blocks p until the count reaches zero. At most one Proc may wait.
+//
+//emu:hotpath
 func (j *Join) Wait(p *Proc) {
 	if j.remaining == 0 {
 		return
