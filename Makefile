@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-quick bench bench-quick race figures figures-quick scorecard scorecard-quick trace-smoke fault-smoke soak examples clean
+.PHONY: all check build vet lint test test-quick bench bench-quick bench-archive bench-gate race figures figures-quick scorecard scorecard-quick trace-smoke fault-smoke soak examples clean
 
 all: build vet lint test race
 
-# The pre-commit gate: compile, vet, lint, test.
-check: build vet lint test
+# The pre-commit gate: compile, vet, lint, test, and the perf gate.
+check: build vet lint test bench-gate
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,30 @@ test-quick: test
 bench:
 	$(GO) test -bench . -benchmem .
 
-# One pass over the figure benchmarks, archived as JSON (name, ns/op, and
-# the simulated-bandwidth metrics) so engine changes can be diffed.
+# Benchmark iterations for archives and the gate; the archived baselines in
+# the repo were recorded with 5 (see DESIGN.md §13).
+BENCH_ITERS ?= 5
+# The baseline the gate diffs against: BENCH_engine2.json is the newest
+# archive (post-optimization); BENCH_engine.json is the pre-optimization one,
+# kept so the trajectory stays visible.
+BENCH_BASELINE ?= BENCH_engine2.json
+
+# One fast pass over the figure benchmarks, snapshotted as JSON scratch for
+# quick local diffs (does not touch the archived baselines).
 bench-quick:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime 1x . | $(GO) run ./cmd/benchjson > BENCH_engine.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime 1x . | $(GO) run ./cmd/benchjson > BENCH_quick.json
+
+# Re-archive the gate baseline: BENCH_ITERS runs per benchmark aggregated
+# into min/mean/max stats. Run this (and commit the result) whenever a
+# deliberate perf change moves the expected numbers.
+bench-archive:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime 1x -count $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson > $(BENCH_BASELINE)
+
+# The perf regression gate: run the figure benchmarks live and diff against
+# the archived baseline; exits non-zero when any benchmark regresses past
+# its tolerance or disappears. Wired into `make check`.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime 1x -count $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE)
 
 # Race-detector pass over the event engine and the parallel experiment
 # runner — the two packages that share state across goroutines.

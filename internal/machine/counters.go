@@ -4,8 +4,25 @@ package machine
 // number of thread spawns, migrations, and memory operations per nodelet",
 // section III-B). They are exact — every simulated operation increments
 // exactly one of them — which the counter tests rely on.
+//
+// Storage is struct-of-arrays over a single arena: one contiguous []uint64
+// holds every per-nodelet series back to back, so a whole-machine reduction
+// (TotalWords, Snapshot, the gauge scorecards) walks unit-stride memory
+// instead of striding over 104-byte per-nodelet structs, and the increment
+// paths index a flat series with no pointer chasing. NodeletCounters remains
+// the assembled per-nodelet view the public API returns.
 type Counters struct {
-	perNodelet []NodeletCounters
+	nodelets int
+	arena    []uint64 // the single backing allocation, series-major
+
+	// Per-nodelet series, each a window into arena.
+	localSpawns, remoteSpawns   []uint64
+	migrationsIn, migrationsOut []uint64
+	localReads, localWrites     []uint64
+	remoteStores, atomics       []uint64
+	computeCycles, serviceCalls []uint64
+	// Fault-injection series (zero on healthy runs); see internal/fault.
+	stalledMigrations, migrationRetries, backoffCycles []uint64
 
 	ThreadsSpawned   uint64
 	ThreadsCompleted uint64
@@ -13,7 +30,10 @@ type Counters struct {
 	MaxLiveThreads   int
 }
 
-// NodeletCounters is the per-nodelet slice of the counter set.
+// numSeries is how many per-nodelet series the arena holds.
+const numSeries = 13
+
+// NodeletCounters is the assembled per-nodelet view of the counter set.
 type NodeletCounters struct {
 	LocalSpawns   uint64 // threads created on this nodelet by a local parent
 	RemoteSpawns  uint64 // threads created on this nodelet by a remote parent
@@ -35,55 +55,81 @@ type NodeletCounters struct {
 }
 
 func newCounters(nodelets int) *Counters {
-	return &Counters{perNodelet: make([]NodeletCounters, nodelets)}
+	c := &Counters{nodelets: nodelets, arena: make([]uint64, numSeries*nodelets)}
+	series := func(i int) []uint64 { return c.arena[i*nodelets : (i+1)*nodelets : (i+1)*nodelets] }
+	c.localSpawns = series(0)
+	c.remoteSpawns = series(1)
+	c.migrationsIn = series(2)
+	c.migrationsOut = series(3)
+	c.localReads = series(4)
+	c.localWrites = series(5)
+	c.remoteStores = series(6)
+	c.atomics = series(7)
+	c.computeCycles = series(8)
+	c.serviceCalls = series(9)
+	c.stalledMigrations = series(10)
+	c.migrationRetries = series(11)
+	c.backoffCycles = series(12)
+	return c
 }
 
-// Nodelet returns a copy of the counters for one nodelet.
-func (c *Counters) Nodelet(nl int) NodeletCounters { return c.perNodelet[nl] }
+// Nodelet assembles a copy of the counters for one nodelet from the series.
+func (c *Counters) Nodelet(nl int) NodeletCounters {
+	return NodeletCounters{
+		LocalSpawns:       c.localSpawns[nl],
+		RemoteSpawns:      c.remoteSpawns[nl],
+		MigrationsIn:      c.migrationsIn[nl],
+		MigrationsOut:     c.migrationsOut[nl],
+		LocalReads:        c.localReads[nl],
+		LocalWrites:       c.localWrites[nl],
+		RemoteStores:      c.remoteStores[nl],
+		Atomics:           c.atomics[nl],
+		ComputeCycles:     c.computeCycles[nl],
+		ServiceCalls:      c.serviceCalls[nl],
+		StalledMigrations: c.stalledMigrations[nl],
+		MigrationRetries:  c.migrationRetries[nl],
+		BackoffCycles:     c.backoffCycles[nl],
+	}
+}
 
 // Snapshot returns a copy of every nodelet's counters, for whole-machine
 // comparisons (the trace-equivalence tests diff traced vs untraced runs).
 func (c *Counters) Snapshot() []NodeletCounters {
-	out := make([]NodeletCounters, len(c.perNodelet))
-	copy(out, c.perNodelet)
+	out := make([]NodeletCounters, c.nodelets)
+	for i := range out {
+		out[i] = c.Nodelet(i)
+	}
 	return out
 }
 
 // Nodelets reports how many nodelets the counter set spans.
-func (c *Counters) Nodelets() int { return len(c.perNodelet) }
+func (c *Counters) Nodelets() int { return c.nodelets }
 
 // TotalMigrations sums migrations-out across nodelets (each migration is
 // counted once out and once in).
-func (c *Counters) TotalMigrations() uint64 {
-	var total uint64
-	for i := range c.perNodelet {
-		total += c.perNodelet[i].MigrationsOut
-	}
-	return total
-}
+func (c *Counters) TotalMigrations() uint64 { return sum(c.migrationsOut) }
 
 // TotalSpawns sums thread creations across nodelets.
 func (c *Counters) TotalSpawns() uint64 {
-	var total uint64
-	for i := range c.perNodelet {
-		total += c.perNodelet[i].LocalSpawns + c.perNodelet[i].RemoteSpawns
-	}
-	return total
+	return sum(c.localSpawns) + sum(c.remoteSpawns)
 }
 
 // TotalWords sums word reads, word writes, remote stores, and atomics —
 // the total channel word traffic of the run.
 func (c *Counters) TotalWords() uint64 {
-	var total uint64
-	for i := range c.perNodelet {
-		nc := &c.perNodelet[i]
-		total += nc.LocalReads + nc.LocalWrites + nc.RemoteStores + nc.Atomics
-	}
-	return total
+	return sum(c.localReads) + sum(c.localWrites) + sum(c.remoteStores) + sum(c.atomics)
 }
 
 // TotalBytes is TotalWords scaled to bytes.
 func (c *Counters) TotalBytes() uint64 { return 8 * c.TotalWords() }
+
+func sum(series []uint64) uint64 {
+	var total uint64
+	for _, v := range series {
+		total += v
+	}
+	return total
+}
 
 func (c *Counters) threadStarted() {
 	c.ThreadsSpawned++

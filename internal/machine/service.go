@@ -39,7 +39,7 @@ func (t *Thread) ServiceCall(cycles int64) sim.Time {
 	start := t.p.Now()
 	arrive := start + serviceQueueLatency
 	_, served := s.stationary[node].Acquire(arrive, s.stationaryClock.Cycles(cycles))
-	s.Counters.perNodelet[t.nodelet].ServiceCalls++
+	s.Counters.serviceCalls[t.nodelet]++
 	finish := served + serviceQueueLatency
 	s.emit(trace.KindService, t.nodelet, -1, 0, start, finish)
 	t.p.WaitUntil(finish)

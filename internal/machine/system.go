@@ -28,6 +28,17 @@ type System struct {
 	links           []*sim.Resource // per-node fabric egress link
 	migEngines      []*sim.Resource // per-node migration engine
 	stationary      []*sim.Resource // per-node stationary (OS) processor
+
+	// freeThreads pools finished Thread contexts for reuse, so spawn-heavy
+	// kernels allocate thread state only up to the peak live count. The
+	// simulated analogue is exact: a Gossamer context slot is likewise a
+	// recycled hardware resource, not a fresh allocation per threadlet.
+	freeThreads []*Thread
+
+	// Migration-path constants, precomputed so the hot migrate path does no
+	// floating-point division per hop.
+	migSvc  sim.Time // service time of one migration at the engine's rate
+	ctxXfer sim.Time // fabric transfer time of one thread context
 }
 
 // nodelet bundles the modelled resources of one nodelet.
@@ -65,6 +76,8 @@ func NewSystem(cfg Config) *System {
 		links:           make([]*sim.Resource, cfg.Nodes),
 		migEngines:      make([]*sim.Resource, cfg.Nodes),
 		stationary:      make([]*sim.Resource, cfg.Nodes),
+		migSvc:          sim.Interval(cfg.MigrationsPerSec),
+		ctxXfer:         sim.TransferTime(cfg.ContextBytes, cfg.FabricBytesPerSec),
 	}
 	for i := 0; i < n; i++ {
 		nl := &nodelet{
@@ -144,7 +157,7 @@ func (s *System) MeanChannelUtilization(elapsed sim.Time) float64 {
 func (s *System) Run(root func(*Thread)) (sim.Time, error) {
 	start := s.Eng.Now()
 	s.emit(trace.KindRunBegin, len(s.nodelets), -1, 0, start, start)
-	s.Counters.perNodelet[0].LocalSpawns++ // the main thread itself
+	s.Counters.localSpawns[0]++ // the main thread itself
 	s.startThread(0, "main", root, nil)
 	if err := s.Eng.Run(); err != nil {
 		return 0, err
@@ -157,26 +170,43 @@ func (s *System) Run(root func(*Thread)) (sim.Time, error) {
 	return end - start, nil
 }
 
-// startThread creates a thread on the given nodelet. The new thread first
-// waits for a context slot, runs body, then releases the slot and notifies
-// parentJoin (if any).
+// startThread creates a thread on the given nodelet, dispatched at the
+// current time — the immediate-spawn path (Run's main thread). The thread
+// first waits for a context slot, runs body, then releases the slot and
+// notifies parentJoin (if any); see Thread.RunProc.
 func (s *System) startThread(nl int, name string, body func(*Thread), parentJoin *sim.Join) {
-	s.Eng.Go(name, func(p *sim.Proc) {
-		t := &Thread{sys: s, p: p, nodelet: nl}
-		home := s.nodelets[nl]
-		home.slots.Acquire(p)
-		t.core = home.nextCore
-		home.nextCore = (home.nextCore + 1) % len(home.cores)
-		s.Counters.threadStarted()
-		s.emit(trace.KindThreadStart, nl, -1, 0, p.Now(), p.Now())
-		body(t)
-		// Implicit cilk sync at function end, matching Cilk semantics.
-		t.Sync()
-		s.nodelets[t.nodelet].slots.Release()
-		s.Counters.threadFinished()
-		s.emit(trace.KindThreadEnd, t.nodelet, -1, 0, p.Now(), p.Now())
-		if parentJoin != nil {
-			parentJoin.Done()
-		}
-	})
+	t := s.acquireThread()
+	t.nodelet = nl
+	t.body = body
+	t.parentJoin = parentJoin
+	s.Eng.SpawnAt(s.Eng.Now(), name, t)
+}
+
+// acquireThread pops a pooled Thread or allocates a fresh one.
+//
+//emu:hotpath pool hit is the steady state; the miss path is factored into newThread
+func (s *System) acquireThread() *Thread {
+	if n := len(s.freeThreads); n > 0 {
+		t := s.freeThreads[n-1]
+		s.freeThreads[n-1] = nil
+		s.freeThreads = s.freeThreads[:n-1]
+		*t = Thread{sys: s}
+		return t
+	}
+	return s.newThread()
+}
+
+func (s *System) newThread() *Thread {
+	return &Thread{sys: s}
+}
+
+// releaseThread returns a finished Thread to the pool. References are
+// dropped so the pool never pins a body closure or a parent's join.
+//
+//emu:hotpath the tail of every simulated thread
+func (s *System) releaseThread(t *Thread) {
+	t.body = nil
+	t.parentJoin = nil
+	t.children = nil
+	s.freeThreads = append(s.freeThreads, t)
 }

@@ -26,12 +26,45 @@ import (
 //     chosen nodelet (a "remote spawn"); Sync joins all children.
 //
 // All methods must be called from the thread's own simulated context.
+//
+// Thread implements sim.Runner, and its contexts are pooled by the System
+// (see acquireThread): the spawn hot path allocates neither a closure nor a
+// Thread in steady state. The child join is embedded rather than allocated —
+// children all call Done before their parent's RunProc returns (the implicit
+// sync), so the embedded join can never outlive its Thread's lifetime.
 type Thread struct {
-	sys      *System
-	p        *sim.Proc
-	nodelet  int
-	core     int
-	children *sim.Join
+	sys        *System
+	p          *sim.Proc
+	nodelet    int
+	core       int
+	children   *sim.Join // nil until the first spawn, then &childJoin
+	childJoin  sim.Join
+	parentJoin *sim.Join
+	body       func(*Thread)
+}
+
+// RunProc is the sim.Runner body of a machine thread: acquire a context
+// slot, run the body with the implicit cilk sync at function end, release
+// the slot, notify the parent, and recycle the Thread.
+func (t *Thread) RunProc(p *sim.Proc) {
+	s := t.sys
+	t.p = p
+	home := s.nodelets[t.nodelet]
+	home.slots.Acquire(p)
+	t.core = home.nextCore
+	home.nextCore = (home.nextCore + 1) % len(home.cores)
+	s.Counters.threadStarted()
+	s.emit(trace.KindThreadStart, t.nodelet, -1, 0, p.Now(), p.Now())
+	t.body(t)
+	// Implicit cilk sync at function end, matching Cilk semantics.
+	t.Sync()
+	s.nodelets[t.nodelet].slots.Release()
+	s.Counters.threadFinished()
+	s.emit(trace.KindThreadEnd, t.nodelet, -1, 0, p.Now(), p.Now())
+	if t.parentJoin != nil {
+		t.parentJoin.Done()
+	}
+	s.releaseThread(t)
 }
 
 // System returns the machine this thread runs on.
@@ -51,7 +84,7 @@ func (t *Thread) Compute(cycles int64) {
 	s := t.sys
 	nl := s.nodelets[t.nodelet]
 	_, done := nl.cores[t.core].Acquire(t.p.Now(), s.clock.Cycles(cycles))
-	s.Counters.perNodelet[t.nodelet].ComputeCycles += uint64(cycles)
+	s.Counters.computeCycles[t.nodelet] += uint64(cycles)
 	t.p.WaitUntil(done)
 }
 
@@ -72,7 +105,7 @@ func (t *Thread) Load(a memsys.Addr) uint64 {
 	if home := a.Nodelet(); home != t.nodelet {
 		t.migrate(home, a) // the read is the migration's trigger address
 	}
-	t.sys.Counters.perNodelet[t.nodelet].LocalReads++
+	t.sys.Counters.localReads[t.nodelet]++
 	issued := t.p.Now()
 	t.localWordAccess()
 	t.sys.emit(TraceLoad, t.nodelet, -1, a, issued, t.p.Now())
@@ -93,7 +126,7 @@ func (t *Thread) Store(a memsys.Addr, v uint64) {
 	s := t.sys
 	home := a.Nodelet()
 	if home == t.nodelet {
-		s.Counters.perNodelet[t.nodelet].LocalWrites++
+		s.Counters.localWrites[t.nodelet]++
 		issued := t.p.Now()
 		t.localWordAccess()
 		s.Mem.Write(a, v)
@@ -106,7 +139,7 @@ func (t *Thread) Store(a memsys.Addr, v uint64) {
 	_, issued := nl.cores[t.core].Acquire(t.p.Now(), s.clock.Cycles(s.Cfg.MemIssueCycles))
 	arrive := issued + t.networkLatency(home)
 	_, served := s.nodelets[home].channel.Acquire(arrive, s.Cfg.WordAccessTime)
-	s.Counters.perNodelet[home].RemoteStores++
+	s.Counters.remoteStores[home]++
 	s.Mem.Write(a, v)
 	s.emit(TraceRemoteStore, t.nodelet, home, a, issued, served)
 	t.p.WaitUntil(t.postedAccept(issued, served))
@@ -127,7 +160,7 @@ func (t *Thread) FetchAdd(a memsys.Addr, delta uint64) uint64 {
 	}
 	// Read-modify-write occupies the home channel for two word times.
 	_, served := s.nodelets[home].channel.Acquire(arrive, 2*s.Cfg.WordAccessTime)
-	s.Counters.perNodelet[home].Atomics++
+	s.Counters.atomics[home]++
 	old := s.Mem.Read(a)
 	s.Mem.Write(a, old+delta)
 	finish := served
@@ -153,7 +186,7 @@ func (t *Thread) RemoteAdd(a memsys.Addr, delta uint64) {
 		arrive += t.networkLatency(home)
 	}
 	_, served := s.nodelets[home].channel.Acquire(arrive, 2*s.Cfg.WordAccessTime)
-	s.Counters.perNodelet[home].Atomics++
+	s.Counters.atomics[home]++
 	s.emit(TraceAtomic, t.nodelet, home, a, issued, served)
 	s.Mem.Write(a, s.Mem.Read(a)+delta)
 	t.p.WaitUntil(t.postedAccept(issued, served))
@@ -189,7 +222,7 @@ func (t *Thread) RemoteAddFloat(a memsys.Addr, delta float64) {
 		arrive += t.networkLatency(home)
 	}
 	_, served := s.nodelets[home].channel.Acquire(arrive, 2*s.Cfg.WordAccessTime)
-	s.Counters.perNodelet[home].Atomics++
+	s.Counters.atomics[home]++
 	s.emit(TraceAtomic, t.nodelet, home, a, issued, served)
 	cur := math.Float64frombits(s.Mem.Read(a))
 	s.Mem.Write(a, math.Float64bits(cur+delta))
@@ -225,8 +258,8 @@ func (t *Thread) migrate(target int, trigger memsys.Addr) {
 	if target < 0 || target >= len(s.nodelets) {
 		panic(fmt.Sprintf("machine: migrate to nodelet %d of %d", target, len(s.nodelets)))
 	}
-	s.Counters.perNodelet[t.nodelet].MigrationsOut++
-	s.Counters.perNodelet[target].MigrationsIn++
+	s.Counters.migrationsOut[t.nodelet]++
+	s.Counters.migrationsIn[target]++
 	node := s.Cfg.NodeOf(t.nodelet)
 	crossing := s.Cfg.NodeOf(target) != node
 	depart := t.p.Now()
@@ -235,11 +268,11 @@ func (t *Thread) migrate(target int, trigger memsys.Addr) {
 	}
 	s.nodelets[t.nodelet].slots.Release()
 	engine := s.migEngines[node]
-	_, sent := engine.Acquire(depart, sim.Interval(s.Cfg.MigrationsPerSec))
+	_, sent := engine.Acquire(depart, s.migSvc)
 	flight := s.Cfg.MigrationLatency
 	if crossing {
 		link := s.links[node]
-		xfer := sim.TransferTime(s.Cfg.ContextBytes, s.Cfg.FabricBytesPerSec)
+		xfer := s.ctxXfer
 		if s.faults != nil {
 			xfer = fault.Scale(xfer, s.faults.LinkScale(node, sent))
 		}
@@ -265,17 +298,17 @@ func (t *Thread) migrate(target int, trigger memsys.Addr) {
 // time-bounded, so the loop always terminates.
 func (t *Thread) faultBackoff(node, target int, crossing bool, depart sim.Time) sim.Time {
 	s := t.sys
-	nc := &s.Counters.perNodelet[t.nodelet]
+	c, src := s.Counters, t.nodelet
 	for attempt := 0; ; attempt++ {
 		if _, blocked := s.faults.BlockedUntil(node, crossing, depart); !blocked {
 			return depart
 		}
 		if attempt == 0 {
-			nc.StalledMigrations++
+			c.stalledMigrations[src]++
 		}
-		nc.MigrationRetries++
+		c.migrationRetries[src]++
 		cyc := s.faults.BackoffCycles(attempt)
-		nc.BackoffCycles += uint64(cyc)
+		c.backoffCycles[src] += uint64(cyc)
 		resume := depart + s.clock.Cycles(cyc)
 		s.emit(trace.KindFaultStall, t.nodelet, target, 0, depart, resume)
 		t.p.WaitUntil(resume)
@@ -310,22 +343,24 @@ func (t *Thread) SpawnAt(nl int, fn func(*Thread)) {
 	t.spawnOn(nl, start, fn)
 }
 
+//emu:hotpath the spawn path: pooled child thread, launch event instead of a closure
 func (t *Thread) spawnOn(nl int, at sim.Time, fn func(*Thread)) {
 	s := t.sys
 	if t.children == nil {
-		t.children = sim.NewJoin(0)
+		t.children = &t.childJoin
 	}
 	t.children.Add(1)
 	if nl == t.nodelet {
-		s.Counters.perNodelet[nl].LocalSpawns++
+		s.Counters.localSpawns[nl]++
 	} else {
-		s.Counters.perNodelet[nl].RemoteSpawns++
+		s.Counters.remoteSpawns[nl]++
 	}
 	s.emit(TraceSpawn, t.nodelet, nl, 0, t.p.Now(), at)
-	join := t.children
-	s.Eng.Schedule(at, func() {
-		s.startThread(nl, "t", fn, join)
-	})
+	child := s.acquireThread()
+	child.nodelet = nl
+	child.body = fn
+	child.parentJoin = t.children
+	s.Eng.LaunchAt(at, "t", child)
 }
 
 // Sync blocks until every child this thread has spawned so far finishes

@@ -107,10 +107,21 @@ func (s *System) TraceTo(w io.Writer, limit int) {
 
 // emit streams one event to the observer, then takes gauge samples if an
 // interval boundary has passed. The nil check is the entire cost of the
-// detached fast path.
+// detached fast path; keeping only that check in emit lets it inline into
+// every machine operation, so a detached run never pays a call here at all.
 //
-//emu:hotpath nil-observer emit path: one comparison when detached
+//emu:hotpath nil-observer emit path: one inlined comparison when detached
 func (s *System) emit(kind trace.Kind, nodelet, target int, addr memsys.Addr, start, end sim.Time) {
+	if s.obs == nil {
+		return
+	}
+	s.emitSlow(kind, nodelet, target, addr, start, end)
+}
+
+// emitSlow is emit's attached-observer path: deliver the event, then sample
+// gauges if an interval boundary has passed. The local re-check mirrors
+// emit's guard (it can't fail — emit already returned on nil).
+func (s *System) emitSlow(kind trace.Kind, nodelet, target int, addr memsys.Addr, start, end sim.Time) {
 	obs := s.obs
 	if obs == nil {
 		return

@@ -43,14 +43,22 @@ const (
 )
 
 // NewAddr builds the address of word number offset on the given nodelet.
+//
+//emu:hotpath every address computation (At, Plus) funnels through here
 func NewAddr(nodelet int, offset uint64) Addr {
+	if uint(nodelet) >= MaxNodelets || offset > offsetMask {
+		badAddr(nodelet, offset)
+	}
+	return Addr(uint64(nodelet)<<offsetBits | offset)
+}
+
+// badAddr reports an unencodable address component, factored out of NewAddr
+// so the valid path inlines into the allocation accessors.
+func badAddr(nodelet int, offset uint64) {
 	if nodelet < 0 || nodelet >= MaxNodelets {
 		panic(fmt.Sprintf("memsys: nodelet %d out of range", nodelet))
 	}
-	if offset > offsetMask {
-		panic(fmt.Sprintf("memsys: offset %d overflows address encoding", offset))
-	}
-	return Addr(uint64(nodelet)<<offsetBits | offset)
+	panic(fmt.Sprintf("memsys: offset %d overflows address encoding", offset))
 }
 
 // Nodelet reports which nodelet owns the addressed word.

@@ -24,11 +24,19 @@ func (l Local) Len() int { return l.words }
 func (l Local) Nodelet() int { return l.base.Nodelet() }
 
 // At returns the address of element i.
+//
+//emu:hotpath per-element address math of every Local traversal
 func (l Local) At(i int) Addr {
-	if i < 0 || i >= l.words {
-		panic(fmt.Sprintf("memsys: Local index %d out of %d", i, l.words))
+	if uint(i) >= uint(l.words) {
+		badIndex("Local", i, l.words)
 	}
 	return l.base.Plus(i)
+}
+
+// badIndex reports an out-of-range element access, factored out of the At
+// accessors so their index math inlines into kernel loops.
+func badIndex(kind string, i, n int) {
+	panic(fmt.Sprintf("memsys: %s index %d out of %d", kind, i, n))
 }
 
 // Striped is a word-granularity round-robin allocation across all nodelets —
@@ -68,9 +76,11 @@ func (st Striped) Len() int { return st.words }
 func (st Striped) Nodelets() int { return len(st.bases) }
 
 // At returns the address of element i: nodelet i mod N, slot i div N.
+//
+//emu:hotpath per-element address math of every Striped traversal
 func (st Striped) At(i int) Addr {
-	if i < 0 || i >= st.words {
-		panic(fmt.Sprintf("memsys: Striped index %d out of %d", i, st.words))
+	if uint(i) >= uint(st.words) {
+		badIndex("Striped", i, st.words)
 	}
 	n := len(st.bases)
 	return st.bases[i%n].Plus(i / n)

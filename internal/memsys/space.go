@@ -49,21 +49,32 @@ func (s *Space) allocWords(nodelet, words int) uint64 {
 
 // Read returns the word at a. Reading unallocated memory is a bug in the
 // simulated program and panics.
+//
+//emu:hotpath the functional load under every simulated memory read
 func (s *Space) Read(a Addr) uint64 {
 	nl, off := a.Nodelet(), a.Offset()
 	if nl >= len(s.heaps) || off >= uint64(len(s.heaps[nl])) {
-		panic(fmt.Sprintf("memsys: read of unallocated address %v", a))
+		badAccess("read", a)
 	}
 	return s.heaps[nl][off]
 }
 
 // Write stores v at a. Writing unallocated memory panics.
+//
+//emu:hotpath the functional store under every simulated memory write
 func (s *Space) Write(a Addr, v uint64) {
 	nl, off := a.Nodelet(), a.Offset()
 	if nl >= len(s.heaps) || off >= uint64(len(s.heaps[nl])) {
-		panic(fmt.Sprintf("memsys: write of unallocated address %v", a))
+		badAccess("write", a)
 	}
 	s.heaps[nl][off] = v
+}
+
+// badAccess reports an out-of-bounds access. Factored out of Read/Write so
+// their bodies fit the inlining budget (the message formatting would
+// otherwise keep two single-expression accessors out of line).
+func badAccess(op string, a Addr) {
+	panic(fmt.Sprintf("memsys: %s of unallocated address %v", op, a))
 }
 
 // Valid reports whether a refers to an allocated word.

@@ -2,11 +2,14 @@ package sim
 
 import "fmt"
 
-// event is a scheduled engine action: either a plain callback or the
-// dispatch of a parked Proc. Dispatch targets are kept in a dedicated field
-// rather than a closure so the context-switch hot path (WaitUntil, Unpark,
-// spawn) allocates nothing per event. Events fire in (at, seq) order so that
-// ties resolve in scheduling order and runs are deterministic.
+// event is a scheduled engine action: a plain callback (fn set), the
+// dispatch of a parked Proc (proc set), or the launch of a freshly spawned
+// Proc (both set, fn == launchMark; firing it schedules the proc's first
+// dispatch at the fire time). Dispatch and launch targets are kept in
+// dedicated fields rather than closures so the context-switch and spawn hot
+// paths (WaitUntil, Unpark, SpawnAt, LaunchAt) allocate nothing per event.
+// Events fire in (at, seq) order so that ties resolve in scheduling order
+// and runs are deterministic.
 type event struct {
 	at   Time
 	seq  uint64
@@ -25,8 +28,12 @@ func (a event) before(b event) bool {
 
 // numLanes bounds how many distinct timestamps can be lane-buffered at
 // once. Machine models rarely have more than a few deadline classes in
-// flight (current tick, plus one or two operation latencies), so four
-// lanes absorb almost all traffic while keeping the push/pop scans tiny.
+// flight (current tick, plus a handful of operation latencies), so a small
+// lane count absorbs almost all traffic while keeping the push/pop scans
+// tiny. An interleaved four-vs-eight A/B across the bandwidth and chase
+// figures measured no difference beyond run-to-run noise, so the count
+// stays at four; it is a pure perf knob — the k-way merge keeps dispatch
+// order bit-identical at any lane count.
 const numLanes = 4
 
 // lane is a FIFO of events that all share the timestamp at. head indexes
@@ -80,9 +87,16 @@ type Engine struct {
 	// sender never blocks.
 	done chan error
 
-	procs     int     // live (spawned, not finished) procs
-	all       []*Proc // every spawned Proc, in spawn order, for failure dumps
-	fired     uint64  // events dispatched so far
+	procs int     // live (spawned, not finished) procs
+	all   []*Proc // every registered Proc, for failure dumps (see register)
+
+	// free holds finished Procs whose goroutines are parked in procLoop,
+	// ready to be recycled by the next spawn; stop, captured by each pooled
+	// goroutine at creation, is closed when Run ends so the pool drains.
+	free []*Proc
+	stop chan struct{}
+
+	fired     uint64 // events dispatched so far
 	MaxEvents uint64 // safety valve; 0 means no limit
 	MaxTime   Time   // safety valve; 0 means no limit
 
@@ -289,6 +303,45 @@ func (e *Engine) next() event {
 	return bestEv
 }
 
+// fastForward is the uncontended-wait fast path behind Proc.WaitUntil: the
+// calling Proc holds the control token and wants to sleep until t. If every
+// pending event fires strictly after t, the dispatch event WaitUntil would
+// schedule — claiming the next seq, at time t — would by construction be
+// the very next event advance pops (any pending event at exactly t holds a
+// smaller seq and would fire first, hence the strict comparison). In that
+// case the schedule/pop round trip and the token hand-back are pure
+// overhead: the engine instead claims the seq and the firing directly and
+// hops the clock to t, leaving (now, seq, fired) — and therefore every
+// subsequent event ordering — bit-identical to the slow path. Runs with a
+// safety valve or interrupt hook in a state the event loop would act on
+// decline the fast path so failure behaviour is byte-for-byte unchanged.
+//
+//emu:hotpath the no-contention wait: a clock hop instead of a queue round trip
+func (e *Engine) fastForward(t Time) bool {
+	if e.MaxEvents > 0 && e.fired >= e.MaxEvents {
+		return false
+	}
+	if e.MaxTime > 0 && t > e.MaxTime {
+		return false
+	}
+	if e.Interrupt != nil && e.fired&1023 == 0 {
+		return false
+	}
+	if len(e.heap) > 0 && e.heap[0].at <= t {
+		return false
+	}
+	for i := range e.lanes {
+		ln := &e.lanes[i]
+		if ln.head < len(ln.evs) && ln.at <= t {
+			return false
+		}
+	}
+	e.seq++
+	e.fired++
+	e.now = t
+	return true
+}
+
 // Run dispatches events in order until none remain. It returns an error if a
 // safety valve trips or if processes are still live when the event queue
 // drains (a deadlock: some Proc parked forever).
@@ -301,7 +354,17 @@ func (e *Engine) next() event {
 func (e *Engine) Run() error {
 	e.done = make(chan error, 1)
 	e.advance(nil)
-	return <-e.done
+	err := <-e.done
+	// Retire the proc pool: every freelisted goroutine is parked in
+	// procLoop's select, and closing stop lets them exit. Procs parked
+	// mid-body when a run fails stay blocked on their resume channels, as
+	// they always have. A later Run starts a fresh pool.
+	if e.stop != nil {
+		close(e.stop)
+		e.stop = nil
+		e.free = nil
+	}
+	return err
 }
 
 // advance runs the event loop on the calling goroutine. self is the Proc
@@ -346,6 +409,13 @@ func (e *Engine) advance(self *Proc) bool {
 		e.fired++
 		if ev.proc == nil {
 			ev.fn()
+			continue
+		}
+		if ev.fn != nil {
+			// Launch: schedule the new proc's first dispatch now, claiming
+			// a fresh seq exactly as the closure-based deferred spawn did
+			// when its Schedule closure fired.
+			e.scheduleProc(e.now, ev.proc)
 			continue
 		}
 		if ev.proc.done {

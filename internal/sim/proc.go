@@ -11,11 +11,22 @@ package sim
 // This is cooperative coroutine scheduling over goroutines — the idiomatic
 // Go way to express a process-oriented discrete-event simulation while
 // keeping the model code in straight-line style.
+//
+// Procs are pooled: when a body returns, the Proc (and its goroutine, with
+// its grown stack) parks on the engine's freelist and is recycled by the
+// next spawn. Spawn-heavy kernels — the paper's fine-grained Cilk trees —
+// therefore create goroutines only up to the peak live count, not once per
+// simulated thread.
 type Proc struct {
 	eng    *Engine
 	resume chan struct{}
+	runner Runner
 	name   string
 	done   bool
+
+	// registered is true while the Proc sits in the engine's failure-dump
+	// registry; compaction clears it so a recycled Proc re-registers.
+	registered bool
 
 	// Failure-dump bookkeeping, maintained on the park/wake paths with plain
 	// field stores (no allocation, no formatting) so the hot path stays free.
@@ -24,6 +35,19 @@ type Proc struct {
 	wakeAt   Time   // pending dispatch time; valid only while hasWake
 	hasWake  bool
 }
+
+// Runner runs the body of a simulated process. Machine layers implement it
+// on their pooled thread types so a spawn allocates no per-spawn closure;
+// Go and GoAt adapt plain functions through funcRunner.
+type Runner interface {
+	RunProc(p *Proc)
+}
+
+// funcRunner adapts a plain function to Runner. Func values are
+// pointer-shaped, so storing one in the runner field does not allocate.
+type funcRunner func(*Proc)
+
+func (f funcRunner) RunProc(p *Proc) { f(p) }
 
 // Name reports the name the Proc was spawned with.
 func (p *Proc) Name() string { return p.name }
@@ -43,22 +67,111 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 
 // GoAt is like Go but delays the first dispatch until absolute time t.
 func (e *Engine) GoAt(t Time, name string, fn func(*Proc)) *Proc {
-	p := &Proc{eng: e, resume: make(chan struct{}), name: name, site: "start", parkedAt: e.now}
+	return e.SpawnAt(t, name, funcRunner(fn))
+}
+
+// SpawnAt creates (or recycles) a process running r and schedules its first
+// dispatch at absolute time t. It is GoAt without the closure: the event
+// pattern — one dispatch event whose seq is claimed now — is identical.
+//
+//emu:hotpath the pooled spawn path, allocation-free on a pool hit
+func (e *Engine) SpawnAt(t Time, name string, r Runner) *Proc {
+	p := e.acquireProc(name)
+	p.runner = r
 	e.procs++
-	e.register(p)
-	go func() {
-		<-p.resume
-		fn(p)
-		p.done = true
-		e.procs--
-		// The finished Proc still holds the control token: keep driving
-		// the event loop until it hands off or the run ends, then let the
-		// goroutine exit. advance never returns true here — dispatching a
-		// finished proc panics inside advance.
-		e.advance(p)
-	}()
+	if !p.registered {
+		e.register(p)
+		p.registered = true
+	}
 	e.scheduleProc(t, p)
 	return p
+}
+
+// LaunchAt creates (or recycles) a process running r whose first dispatch is
+// scheduled when the launch event fires at absolute time t. This reproduces
+// the event pattern of the closure-based deferred spawn it replaces —
+// Schedule(t, func(){ Go(name, fn) }) — exactly: one event claims a seq now
+// and fires at t; the dispatch event claims a fresh seq at fire time, queuing
+// behind events already scheduled for t. Byte-for-byte the same dispatch
+// order, without the per-spawn closure.
+//
+//emu:hotpath the deferred spawn path (machine spawnOn), allocation-free on a pool hit
+func (e *Engine) LaunchAt(t Time, name string, r Runner) *Proc {
+	p := e.acquireProc(name)
+	p.runner = r
+	e.procs++
+	if !p.registered {
+		e.register(p)
+		p.registered = true
+	}
+	p.wakeAt = t
+	p.hasWake = true
+	e.schedule(t, event{fn: launchMark, proc: p})
+	return p
+}
+
+// launchMark distinguishes a launch event (fn and proc both set) from a
+// dispatch (proc only). It is never called.
+var launchMark = func() {}
+
+// acquireProc pops a finished Proc from the freelist — its goroutine is
+// parked in procLoop awaiting recycling — or creates a fresh one.
+//
+//emu:hotpath pool hit is the steady state; the miss path is factored into newProc
+func (e *Engine) acquireProc(name string) *Proc {
+	if n := len(e.free); n > 0 {
+		p := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		p.done = false
+		p.name = name
+		p.site = "start"
+		p.parkedAt = e.now
+		p.hasWake = false
+		return p
+	}
+	return e.newProc(name)
+}
+
+// newProc allocates a Proc and starts its pooled host goroutine.
+func (e *Engine) newProc(name string) *Proc {
+	if e.stop == nil {
+		e.stop = make(chan struct{})
+	}
+	p := &Proc{eng: e, resume: make(chan struct{}), name: name, site: "start", parkedAt: e.now}
+	go e.procLoop(p, e.stop)
+	return p
+}
+
+// procLoop is the host goroutine of one pooled Proc. It waits for the
+// process's first dispatch, runs the current body, then returns the Proc to
+// the engine's freelist and parks until recycled — keeping the goroutine and
+// its grown stack across simulated thread lifetimes. advance returning true
+// means the freelisted Proc was already respawned and its new first dispatch
+// fired while this goroutine still drove the event loop: the next body starts
+// directly, with no channel handoff at all.
+//
+// stop is captured at creation: closing it (end of Run) releases every
+// pooled goroutine. Procs parked mid-body when a run fails stay blocked on
+// their resume channels, as they always have.
+func (e *Engine) procLoop(p *Proc, stop <-chan struct{}) {
+	redispatched := false
+	for {
+		if !redispatched {
+			select {
+			case <-p.resume:
+			case <-stop:
+				return
+			}
+		}
+		p.runner.RunProc(p)
+		p.done = true
+		e.procs--
+		// The token is still held here, so the freelist push is ordinary
+		// engine-owned state mutation, race-free by the token discipline.
+		e.free = append(e.free, p)
+		redispatched = e.advance(p)
+	}
 }
 
 // yield gives up the control token: the Proc drives the engine loop until
@@ -78,12 +191,19 @@ func (p *Proc) yield() {
 }
 
 // WaitUntil suspends the Proc until absolute simulated time t. Waiting for a
-// time not after now returns immediately without yielding.
+// time not after now returns immediately without yielding. When every
+// pending event fires strictly after t, the dispatch this wait would
+// schedule is provably the event the loop would pop next — the engine
+// fast-forwards the clock in place instead of running the queue round trip
+// (see Engine.fastForward).
 //
 //emu:hotpath
 func (p *Proc) WaitUntil(t Time) {
 	e := p.eng
 	if t <= e.now {
+		return
+	}
+	if e.fastForward(t) {
 		return
 	}
 	p.site = "wait"

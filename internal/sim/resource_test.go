@@ -97,6 +97,73 @@ func TestResourceNegativeServicePanics(t *testing.T) {
 	NewResource("chan").Acquire(0, -1)
 }
 
+// Property: AcquireRun(now, svc, k) leaves the resource in exactly the state
+// k sequential Acquire(now, svc) calls would — same return values, same
+// freeAt/busy/ops/waited/maxWait — for any prior schedule, arrival time,
+// service time, run length, and service scale. This is the exact-equivalence
+// contract the bulk-transfer call sites rely on.
+func TestAcquireRunMatchesSequential(t *testing.T) {
+	f := func(priorSteps, priorSvcs []uint8, gap, svc uint8, count uint8, scaleQ uint8) bool {
+		runLen := int(count%16) + 1
+		bulk := NewResource("bulk")
+		seq := NewResource("seq")
+		if scaleQ%4 != 0 {
+			scale := 1 + float64(scaleQ)/64
+			bulk.SetServiceScale(scale)
+			seq.SetServiceScale(scale)
+		}
+		// Replay an arbitrary prior schedule on both resources.
+		now := Time(0)
+		n := len(priorSteps)
+		if len(priorSvcs) < n {
+			n = len(priorSvcs)
+		}
+		for i := 0; i < n; i++ {
+			now += Time(priorSteps[i])
+			bulk.Acquire(now, Time(priorSvcs[i]))
+			seq.Acquire(now, Time(priorSvcs[i]))
+		}
+		now += Time(gap)
+		bStart, bDone := bulk.AcquireRun(now, Time(svc), runLen)
+		var sStart, sDone Time
+		for i := 0; i < runLen; i++ {
+			start, done := seq.Acquire(now, Time(svc))
+			if i == 0 {
+				sStart = start
+			}
+			sDone = done
+		}
+		return bStart == sStart && bDone == sDone &&
+			bulk.FreeAt() == seq.FreeAt() &&
+			bulk.BusyTime() == seq.BusyTime() &&
+			bulk.Ops() == seq.Ops() &&
+			bulk.TotalWait() == seq.TotalWait() &&
+			bulk.MaxWait() == seq.MaxWait()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcquireRunSingleOpEqualsAcquire(t *testing.T) {
+	a := NewResource("a")
+	b := NewResource("b")
+	aStart, aDone := a.AcquireRun(7, 5, 1)
+	bStart, bDone := b.Acquire(7, 5)
+	if aStart != bStart || aDone != bDone || a.TotalWait() != b.TotalWait() {
+		t.Fatalf("run of 1: (%v,%v) vs Acquire (%v,%v)", aStart, aDone, bStart, bDone)
+	}
+}
+
+func TestAcquireRunNonPositiveCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("count 0 did not panic")
+		}
+	}()
+	NewResource("chan").AcquireRun(0, 1, 0)
+}
+
 // Property: for any arrival/service sequence, completions are monotone
 // non-decreasing, no operation starts before it arrives, and total busy time
 // equals the sum of service times.

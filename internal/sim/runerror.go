@@ -112,7 +112,10 @@ func (e *RunError) parkedSummary() string {
 // register adds p to the failure-dump registry, compacting out finished
 // procs once they dominate the slice so long runs with high proc turnover
 // (millions of short-lived threadlets) keep the registry proportional to the
-// live count rather than the spawn count.
+// live count rather than the spawn count. A recycled Proc that is still
+// registered from its previous lifetime keeps its entry (the registered flag
+// on the Proc prevents a duplicate); compaction clears the flag on the procs
+// it drops so they re-register on their next spawn.
 //
 //emu:hotpath on the spawn path; the compaction sweep reuses the slice
 func (e *Engine) register(p *Proc) {
@@ -121,6 +124,8 @@ func (e *Engine) register(p *Proc) {
 		for _, q := range e.all {
 			if !q.done {
 				live = append(live, q)
+			} else {
+				q.registered = false
 			}
 		}
 		for i := len(live); i < len(e.all); i++ {

@@ -5,6 +5,7 @@ package xeon
 // kernels — which is all a timing model needs.
 type cache struct {
 	sets    int
+	setMask int64 // sets-1 when sets is a power of two, else -1
 	assoc   int
 	tags    []int64  // sets*assoc entries; -1 = invalid
 	stamps  []uint64 // LRU timestamps parallel to tags
@@ -23,11 +24,15 @@ func newCache(totalBytes, lineBytes, assoc int) *cache {
 		sets = 1
 	}
 	c := &cache{
-		sets:   sets,
-		assoc:  assoc,
-		tags:   make([]int64, sets*assoc),
-		stamps: make([]uint64, sets*assoc),
-		dirty:  make([]bool, sets*assoc),
+		sets:    sets,
+		setMask: -1,
+		assoc:   assoc,
+		tags:    make([]int64, sets*assoc),
+		stamps:  make([]uint64, sets*assoc),
+		dirty:   make([]bool, sets*assoc),
+	}
+	if sets&(sets-1) == 0 {
+		c.setMask = int64(sets - 1)
 	}
 	for i := range c.tags {
 		c.tags[i] = -1
@@ -35,7 +40,16 @@ func newCache(totalBytes, lineBytes, assoc int) *cache {
 	return c
 }
 
+// setOf maps a line to its set index. Realistic geometries have
+// power-of-two set counts, where the Euclidean modulus reduces to a mask
+// (valid for negative lines too: two's-complement AND is the positive
+// residue); odd set counts fall back to the division form.
+//
+//emu:hotpath probed once per tag lookup/insert
 func (c *cache) setOf(line int64) int {
+	if c.setMask >= 0 {
+		return int(line & c.setMask)
+	}
 	s := int(line % int64(c.sets))
 	if s < 0 {
 		s += c.sets

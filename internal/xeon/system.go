@@ -163,6 +163,13 @@ func (t *CPUThread) Write(addr, bytes int64) { t.access(addr, bytes, true) }
 // through a per-thread write-combining buffer, booking one full-line DRAM
 // write each time the store stream enters a new line. Tuned STREAM kernels
 // use it for the destination array. The thread does not stall.
+//
+// Only the span's first line can already sit in the write-combining buffer
+// (each later line differs from its predecessor by construction), so the
+// per-line buffer check of the old loop reduces to one comparison and the
+// rest of the span books as a single bulk run per DRAM channel.
+//
+//emu:hotpath streaming stores book whole line runs in one call
 func (t *CPUThread) WriteNT(addr, bytes int64) {
 	if bytes <= 0 {
 		return
@@ -171,14 +178,15 @@ func (t *CPUThread) WriteNT(addr, bytes int64) {
 	lb := int64(s.Cfg.LineBytes)
 	first := addr / lb
 	last := (addr + bytes - 1) / lb
-	for line := first; line <= last; line++ {
-		if line == t.wcLine {
-			continue // combines into the open write-combining buffer
-		}
-		t.wcLine = line
-		s.mem.writeback(t.p.Now(), line)
-		s.NTWriteLines++
+	if first == t.wcLine {
+		first++ // combines into the open write-combining buffer
 	}
+	if first > last {
+		return
+	}
+	t.wcLine = last
+	s.mem.writebackRun(t.p.Now(), first, last)
+	s.NTWriteLines += uint64(last - first + 1)
 }
 
 func (t *CPUThread) access(addr, bytes int64, write bool) {
@@ -248,7 +256,12 @@ func (t *CPUThread) lineAccess(line int64, write bool) sim.Time {
 
 	// waitReady adds any in-flight prefetch completion to a hit time, so
 	// prefetched lines cannot be consumed faster than DRAM delivers them.
+	// The empty-map guard keeps prefetch-free kernels (pointer chase) off
+	// the hash probe entirely.
 	waitReady := func(done sim.Time) sim.Time {
+		if len(s.prefetchReady) == 0 {
+			return done
+		}
 		if ready, ok := s.prefetchReady[line]; ok {
 			delete(s.prefetchReady, line)
 			if ready > done {
