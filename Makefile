@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-quick bench bench-quick bench-archive bench-gate race figures figures-quick scorecard scorecard-quick trace-smoke fault-smoke soak examples clean
+.PHONY: all check build vet lint test test-quick bench bench-quick bench-archive bench-gate race figures figures-quick scorecard scorecard-quick trace-smoke fault-smoke serve-smoke soak examples clean
 
 all: build vet lint test race
 
-# The pre-commit gate: compile, vet, lint, test, and the perf gate.
-check: build vet lint test bench-gate
+# The pre-commit gate: compile, vet, lint, test, the perf gate, and the job
+# server smoke.
+check: build vet lint test bench-gate serve-smoke
 
 build:
 	$(GO) build ./...
@@ -49,11 +50,17 @@ bench-quick:
 bench-archive:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime 1x -count $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson > $(BENCH_BASELINE)
 
+# Gate tolerance: measured back-to-back same-binary drift on the 1-core CI
+# container reaches ~1.3-1.4x (min-of-5 vs min-of-5, minutes apart), so the
+# benchjson default of +25% flakes on an unchanged tree. The gate's job is
+# the accidental 2x (DESIGN.md §13); 5% deltas need interleaved A/B runs.
+BENCH_TOLERANCE ?= 0.5
+
 # The perf regression gate: run the figure benchmarks live and diff against
 # the archived baseline; exits non-zero when any benchmark regresses past
 # its tolerance or disappears. Wired into `make check`.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime 1x -count $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE)
+	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime 1x -count $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
 
 # Race-detector pass over the event engine and the parallel experiment
 # runner — the two packages that share state across goroutines.
@@ -89,6 +96,13 @@ fault-smoke:
 	$(GO) run ./cmd/emutrace -fig fig6 -quick -trials 1 -format jsonl \
 		-faults 'migstall=10us/100us' -out /tmp/emufault-smoke.jsonl
 	$(GO) run ./cmd/emutrace -validate /tmp/emufault-smoke.jsonl
+
+# Boot cmd/emuserved, submit a quick job over real HTTP, poll it done, fetch
+# the result, and require an identical resubmit to be a byte-identical cache
+# hit (exactly 1 simulated + 1 cache hit in /v1/stats). Wired into `make
+# check`.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # Kill-and-resume soak: archive an uninterrupted full-size fig6, then start
 # the same sweep checkpointed, SIGINT it mid-run (it takes ~8 s; the kill

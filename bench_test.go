@@ -356,7 +356,7 @@ func BenchmarkAblationReplicatedX(b *testing.B) {
 func BenchmarkQuickExperimentSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, e := range experiments.All() {
-			if _, err := e.Run(experiments.Options{Quick: true, Trials: 1}); err != nil {
+			if _, err := e.Run(experiments.WithScale(experiments.QuickScale), experiments.WithTrials(1)); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -90,7 +90,7 @@ func TestCheckpointRefusesForeignLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = e.Run(experiments.Options{Quick: true, Trials: 3}, WithCheckpoint(path))
+	_, err = e.Run(experiments.WithScale(experiments.QuickScale), experiments.WithTrials(3), WithCheckpoint(path))
 	if err == nil {
 		t.Fatal("resume under a different trial count was accepted")
 	}

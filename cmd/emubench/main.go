@@ -41,7 +41,7 @@ import (
 	"time"
 
 	"emuchick/internal/experiments"
-	"emuchick/internal/fault"
+	"emuchick/internal/jobspec"
 	"emuchick/internal/metrics"
 	"emuchick/internal/report"
 )
@@ -57,17 +57,11 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("emubench", flag.ContinueOnError)
 	figArg := fs.String("fig", "all", "comma-separated experiment ids, or 'all'")
 	format := fs.String("format", "table", "output format: table, csv, json, chart, or all")
-	trials := fs.Int("trials", 0, "trials per seeded data point (default: 10, or 3 with -quick)")
-	quick := fs.Bool("quick", false, "shrink workloads for a fast smoke run")
 	list := fs.Bool("list", false, "list experiments and exit")
 	outdir := fs.String("outdir", "", "also write each figure as <outdir>/<figure-id>.json")
-	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent simulations (results are identical at any setting)")
-	faults := fs.String("faults", "", "fault plan, e.g. 'chan=4@2,migstall=10us/100us' (see internal/fault)")
-	faultSeed := fs.Uint64("fault-seed", 0, "seed for the plan's nodelet choices (0: plan default)")
-	checkpoint := fs.String("checkpoint", "", "write-ahead log of completed sweep cells (a directory path keeps one log per figure); killed runs resume with -resume")
-	resume := fs.Bool("resume", false, "allow resuming from an existing non-empty checkpoint")
-	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell watchdog: kill any single simulation after this wall-clock time (0 disables)")
-	retries := fs.Int("retries", 1, "extra attempts for a watchdog-killed cell before it is recorded as failed")
+	// The sweep/faults/checkpoint/QoS flags are the shared jobspec block, so
+	// their grammar and defaults match emurun and emuvalidate exactly.
+	shared := jobspec.FromFlags(fs, jobspec.GroupSweep|jobspec.GroupFaults|jobspec.GroupCheckpoint|jobspec.GroupQoS)
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -123,30 +117,32 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := experiments.Options{
-		Trials: *trials, Quick: *quick, Parallel: *parallel, FaultSeed: *faultSeed,
-		Checkpoint: *checkpoint, CellTimeout: *cellTimeout, Retries: *retries,
-	}
-	if *faults != "" {
-		plan, err := fault.Parse(*faults, *faultSeed)
-		if err != nil {
-			return err
-		}
-		opts.Faults = plan
-	}
 	var incomplete []string
 	for _, id := range ids {
 		e, err := experiments.ByID(id)
 		if err != nil {
 			return err
 		}
-		if *checkpoint != "" && !*resume {
-			if err := refuseStaleCheckpoint(experiments.CheckpointPath(*checkpoint, id)); err != nil {
-				return err
-			}
+		spec := shared.Spec()
+		spec.Experiment = id
+		if err := spec.Validate(); err != nil {
+			return err
 		}
+		opts, err := spec.Options()
+		if err != nil {
+			return err
+		}
+		if shared.Checkpoint != "" {
+			if !shared.Resume {
+				if err := refuseStaleCheckpoint(experiments.CheckpointPath(shared.Checkpoint, id)); err != nil {
+					return err
+				}
+			}
+			opts = append(opts, experiments.WithCheckpoint(shared.Checkpoint))
+		}
+		opts = append(opts, experiments.WithContext(ctx))
 		start := time.Now()
-		figs, err := e.Run(opts, experiments.WithContext(ctx))
+		figs, err := e.Run(opts...)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -170,7 +166,7 @@ func run(args []string, out io.Writer) error {
 	if len(incomplete) > 0 {
 		fmt.Fprintf(out, "WARNING: incomplete figures (failed cells left NaN holes): %s\n",
 			strings.Join(incomplete, ", "))
-		if *checkpoint != "" {
+		if shared.Checkpoint != "" {
 			fmt.Fprintln(out, "         per-cell failure records (parked procs, engine state) are in the checkpoint log")
 		}
 	}

@@ -1,6 +1,9 @@
 // Command emurun runs a single benchmark with explicit parameters and
 // prints its measurement plus the machine counters — the workhorse for
-// exploring the model outside the fixed paper sweeps.
+// exploring the model outside the fixed paper sweeps. It is a thin parser
+// over the jobspec schema: the flags assemble a jobspec.Spec, the kernel
+// registry resolves -bench by name, and jobspec.RunKernel executes it under
+// the shared watchdog/retry policy.
 //
 // Usage:
 //
@@ -34,16 +37,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"time"
+	"strings"
 
-	"emuchick/internal/cilk"
 	"emuchick/internal/experiments"
-	"emuchick/internal/fault"
+	"emuchick/internal/jobspec"
 	"emuchick/internal/kernels"
 	"emuchick/internal/machine"
-	"emuchick/internal/metrics"
 	"emuchick/internal/sim"
-	"emuchick/internal/workload"
 )
 
 func main() {
@@ -53,57 +53,46 @@ func main() {
 	}
 }
 
-func machineFor(name string, nodes int) (machine.Config, error) {
-	switch name {
-	case "hw", "hardware":
-		if nodes > 1 {
-			return machine.HardwareChickNodes(nodes), nil
-		}
-		return machine.HardwareChick(), nil
-	case "sim", "simulator":
-		return machine.SimMatched(), nil
-	case "fullspeed", "design":
-		if nodes <= 0 {
-			nodes = 1
-		}
-		return machine.FullSpeed(nodes), nil
-	default:
-		return machine.Config{}, fmt.Errorf("unknown machine %q (hw, sim, fullspeed)", name)
-	}
-}
-
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("emurun", flag.ContinueOnError)
-	bench := fs.String("bench", "stream", "benchmark: stream, chase, spmv, pingpong, gups")
+	d := kernels.DefaultParams()
+	bench := fs.String("bench", "stream", "benchmark: "+strings.Join(kernels.Names(), ", "))
 	mach := fs.String("machine", "hw", "machine config: hw, sim, fullspeed")
 	nodes := fs.Int("nodes", 1, "node cards (hw and fullspeed)")
-	nodelets := fs.Int("nodelets", 8, "nodelets used by the kernel")
-	threads := fs.Int("threads", 64, "worker threads")
-	elems := fs.Int("elems", 4096, "elements (stream: per nodelet; chase/gups: total)")
-	strategy := fs.String("strategy", "serial_remote_spawn", "spawn strategy (stream)")
-	block := fs.Int("block", 64, "block size in elements (chase)")
-	mode := fs.String("mode", "full_block_shuffle", "shuffle mode (chase)")
-	seed := fs.Uint64("seed", 1, "workload seed")
-	gridN := fs.Int("n", 32, "Laplacian grid size (spmv)")
-	layout := fs.String("layout", "2d", "data layout: local, 1d, 2d (spmv)")
-	grain := fs.Int("grain", 16, "elements per spawn (spmv)")
-	iters := fs.Int("iters", 1000, "round trips per thread (pingpong)")
-	updates := fs.Int("updates", 16384, "update count (gups)")
+	var p kernels.Params
+	fs.IntVar(&p.Nodelets, "nodelets", d.Nodelets, "nodelets used by the kernel")
+	fs.IntVar(&p.Threads, "threads", d.Threads, "worker threads")
+	fs.IntVar(&p.Elems, "elems", d.Elems, "elements (stream: per nodelet; chase/gups: total)")
+	fs.StringVar(&p.Strategy, "strategy", d.Strategy, "spawn strategy (stream)")
+	fs.IntVar(&p.Block, "block", d.Block, "block size in elements (chase)")
+	fs.StringVar(&p.Mode, "mode", d.Mode, "shuffle mode (chase)")
+	fs.Uint64Var(&p.Seed, "seed", d.Seed, "workload seed")
+	fs.IntVar(&p.GridN, "n", d.GridN, "Laplacian grid size (spmv)")
+	fs.StringVar(&p.Layout, "layout", d.Layout, "data layout: local, 1d, 2d (spmv)")
+	fs.IntVar(&p.Grain, "grain", d.Grain, "elements per spawn (spmv)")
+	fs.IntVar(&p.Iters, "iters", d.Iters, "round trips per thread (pingpong)")
+	fs.IntVar(&p.Updates, "updates", d.Updates, "update count (gups)")
 	trace := fs.Int("trace", 0, "print the first N machine operations of the run")
-	faults := fs.String("faults", "", "fault plan, e.g. 'chan=4@2,migstall=10us/100us' (see internal/fault)")
-	faultSeed := fs.Uint64("fault-seed", 0, "seed for the plan's nodelet choices (0: plan default)")
-	checkpoint := fs.String("checkpoint", "", "write-ahead log of the finished measurement; rerun with -resume to replay it")
-	resume := fs.Bool("resume", false, "allow replaying an existing non-empty checkpoint")
-	cellTimeout := fs.Duration("cell-timeout", 0, "watchdog: kill the simulation after this wall-clock time (0 disables)")
-	retries := fs.Int("retries", 1, "extra attempts after a watchdog kill before giving up")
+	// The faults/checkpoint/QoS flags are the shared jobspec block, so their
+	// grammar and defaults match emubench and emuvalidate exactly.
+	shared := jobspec.FromFlags(fs, jobspec.GroupFaults|jobspec.GroupCheckpoint|jobspec.GroupQoS)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg, err := machineFor(*mach, *nodes)
+	spec := shared.Spec()
+	spec.Kernel = *bench
+	spec.Machine = jobspec.Machine{Name: *mach, Nodes: *nodes}
+	spec.Params = p
+	spec.Parallel = 0 // single measurement: no sweep workers
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	k, cfg, _, err := spec.KernelPlan()
 	if err != nil {
 		return err
 	}
+
 	if *trace > 0 {
 		kernels.TraceNextSystem(out, *trace)
 		defer kernels.TraceNextSystem(nil, 0)
@@ -112,127 +101,33 @@ func run(args []string, out io.Writer) error {
 	// Ctrl-C interrupts the simulation instead of killing the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	runOpts := []kernels.RunOption{kernels.WithContext(ctx)}
-	if *faults != "" {
-		plan, err := fault.Parse(*faults, *faultSeed)
-		if err != nil {
-			return err
-		}
-		runOpts = append(runOpts, kernels.WithFaultPlan(plan))
-	}
 
-	// reportResult renders the standard bandwidth block from the measurement
-	// vector [bytes, elapsed-ns]; pingpong installs its own pair below.
-	reportResult := func(vals []float64) {
-		res := metrics.Result{Bytes: int64(vals[0]), Elapsed: sim.Time(vals[1])}
-		fmt.Fprintf(out, "machine    %s\n", cfg.Name)
-		fmt.Fprintf(out, "bytes      %d\n", res.Bytes)
-		fmt.Fprintf(out, "elapsed    %v\n", res.Elapsed)
-		fmt.Fprintf(out, "bandwidth  %.2f MB/s (%.4f GB/s)\n", res.MBps(), res.GBps())
-		fmt.Fprintf(out, "peak       %.1f%% of machine word-traffic peak\n",
-			100*res.BytesPerSec()/cfg.PeakMemoryBytesPerSec())
-	}
-	asResult := func(res metrics.Result, err error) ([]float64, error) {
-		if err != nil {
-			return nil, err
-		}
-		return []float64{float64(res.Bytes), float64(res.Elapsed)}, nil
-	}
-
-	// do runs the benchmark once under the given options and returns its
-	// measurement vector; report renders a vector (fresh or replayed).
-	var do func(ro []kernels.RunOption) ([]float64, error)
-	report := reportResult
-	switch *bench {
-	case "stream":
-		strat, err := cilk.ParseStrategy(*strategy)
-		if err != nil {
-			return err
-		}
-		do = func(ro []kernels.RunOption) ([]float64, error) {
-			return asResult(kernels.StreamAdd(cfg, kernels.StreamConfig{
-				ElemsPerNodelet: *elems, Nodelets: *nodelets, Threads: *threads, Strategy: strat,
-			}, ro...))
-		}
-	case "chase":
-		m, err := workload.ParseShuffleMode(*mode)
-		if err != nil {
-			return err
-		}
-		do = func(ro []kernels.RunOption) ([]float64, error) {
-			return asResult(kernels.PointerChase(cfg, kernels.ChaseConfig{
-				Elements: *elems, BlockSize: *block, Mode: m, Seed: *seed,
-				Threads: *threads, Nodelets: *nodelets,
-			}, ro...))
-		}
-	case "spmv":
-		var l kernels.SpMVLayout
-		switch *layout {
-		case "local":
-			l = kernels.SpMVLocal
-		case "1d":
-			l = kernels.SpMV1D
-		case "2d":
-			l = kernels.SpMV2D
-		default:
-			return fmt.Errorf("unknown layout %q", *layout)
-		}
-		do = func(ro []kernels.RunOption) ([]float64, error) {
-			return asResult(kernels.SpMV(cfg, kernels.SpMVConfig{GridN: *gridN, Layout: l, GrainNNZ: *grain}, ro...))
-		}
-	case "pingpong":
-		do = func(ro []kernels.RunOption) ([]float64, error) {
-			pp, err := kernels.PingPong(cfg, kernels.PingPongConfig{
-				Threads: *threads, Iterations: *iters, NodeletA: 0, NodeletB: 1,
-			}, ro...)
-			if err != nil {
-				return nil, err
-			}
-			return []float64{float64(pp.Migrations), float64(pp.Elapsed), pp.MigrationsPerSec, float64(pp.MeanLatency)}, nil
-		}
-		report = func(vals []float64) {
-			fmt.Fprintf(out, "machine        %s\n", cfg.Name)
-			fmt.Fprintf(out, "migrations     %d\n", int64(vals[0]))
-			fmt.Fprintf(out, "elapsed        %v\n", sim.Time(vals[1]))
-			fmt.Fprintf(out, "rate           %.2f M migrations/s\n", vals[2]/1e6)
-			fmt.Fprintf(out, "mean latency   %v per migration per thread\n", sim.Time(vals[3]))
-		}
-	case "gups":
-		do = func(ro []kernels.RunOption) ([]float64, error) {
-			return asResult(kernels.GUPS(cfg, kernels.GUPSConfig{
-				TableWords: *elems, Updates: *updates, Threads: *threads, Seed: *seed,
-			}, ro...))
-		}
-	default:
-		return fmt.Errorf("unknown benchmark %q", *bench)
-	}
-
-	// The checkpoint addresses the measurement vector as cells of sweep 0,
-	// fingerprinted by every workload-shaping flag so -resume refuses to
-	// replay a measurement taken with different parameters.
+	// The checkpoint stores the measurement vector, fingerprinted by the
+	// jobspec content address so -resume refuses to replay a measurement
+	// taken with different workload-shaping parameters.
 	var ck *experiments.Checkpoint
-	if *checkpoint != "" {
-		if !*resume {
-			if fi, err := os.Stat(*checkpoint); err == nil && fi.Size() > 0 {
-				return fmt.Errorf("checkpoint %s already holds records; pass -resume to replay it or delete the file", *checkpoint)
+	if shared.Checkpoint != "" {
+		if !shared.Resume {
+			if fi, err := os.Stat(shared.Checkpoint); err == nil && fi.Size() > 0 {
+				return fmt.Errorf("checkpoint %s already holds records; pass -resume to replay it or delete the file", shared.Checkpoint)
 			}
 		}
-		fp := fmt.Sprintf("machine=%s;nodes=%d;nodelets=%d;threads=%d;elems=%d;strategy=%s;block=%d;mode=%s;seed=%d;n=%d;layout=%s;grain=%d;iters=%d;updates=%d;faults=%s;fault-seed=%d",
-			*mach, *nodes, *nodelets, *threads, *elems, *strategy, *block, *mode, *seed, *gridN, *layout, *grain, *iters, *updates, *faults, *faultSeed)
-		var err error
-		ck, err = experiments.OpenCheckpoint(*checkpoint, "emurun/"+*bench, fp)
+		ck, err = experiments.OpenCheckpoint(shared.Checkpoint, jobspec.CheckpointID(spec.Kernel), spec.Fingerprint())
 		if err != nil {
 			return err
 		}
 		defer ck.Close()
-		if vals, ok := replay(ck); ok {
-			fmt.Fprintf(out, "(replayed from checkpoint %s)\n", *checkpoint)
-			report(vals)
+		if m, ok := jobspec.ReplayMeasurement(ck, k); ok {
+			fmt.Fprintf(out, "(replayed from checkpoint %s)\n", shared.Checkpoint)
+			report(out, cfg, m)
 			return nil
 		}
 	}
 
-	vals, attempts, err := runWithWatchdog(ctx, out, *cellTimeout, *retries, runOpts, do)
+	m, attempts, err := jobspec.RunKernel(ctx, spec, func(attempt, attempts int) {
+		fmt.Fprintf(out, "watchdog: attempt %d/%d killed after %v; retrying\n",
+			attempt, attempts, shared.CellTimeout)
+	})
 	if err != nil {
 		if ck != nil {
 			cf := experiments.NewCellFailure(attempts, err)
@@ -244,64 +139,34 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if ck != nil {
-		for i, v := range vals {
-			if err := ck.Record(0, i, v); err != nil {
-				return err
-			}
+		if err := jobspec.RecordMeasurement(ck, m); err != nil {
+			return err
 		}
 	}
-	report(vals)
+	report(out, cfg, m)
 	return nil
 }
 
-// replay reassembles the measurement vector from a checkpoint that recorded
-// the whole run (cells 0..n-1 of sweep 0, contiguous).
-func replay(ck *experiments.Checkpoint) ([]float64, bool) {
-	var vals []float64
-	for i := 0; ; i++ {
-		v, ok := ck.Lookup(0, i)
-		if !ok {
-			return vals, i > 0
-		}
-		vals = append(vals, v)
+// report renders a measurement vector (fresh or replayed) in the kernel's
+// native vocabulary: the migration block for pingpong, the bandwidth block
+// for every byte-moving kernel.
+func report(out io.Writer, cfg machine.Config, m kernels.Measurement) {
+	if m.Kernel == "pingpong" {
+		pp := m.PingPong()
+		fmt.Fprintf(out, "machine        %s\n", cfg.Name)
+		fmt.Fprintf(out, "migrations     %d\n", pp.Migrations)
+		fmt.Fprintf(out, "elapsed        %v\n", pp.Elapsed)
+		fmt.Fprintf(out, "rate           %.2f M migrations/s\n", pp.MigrationsPerSec/1e6)
+		fmt.Fprintf(out, "mean latency   %v per migration per thread\n", pp.MeanLatency)
+		return
 	}
-}
-
-// runWithWatchdog executes do, arming a per-attempt deadline when
-// cellTimeout is set and retrying watchdog kills up to retries extra times.
-// It reports the number of attempts spent alongside the outcome.
-func runWithWatchdog(ctx context.Context, out io.Writer, cellTimeout time.Duration, retries int,
-	base []kernels.RunOption, do func([]kernels.RunOption) ([]float64, error)) ([]float64, int, error) {
-	attempts := 1
-	if cellTimeout > 0 {
-		attempts += retries
-	}
-	var lastErr error
-	for a := 1; a <= attempts; a++ {
-		ro := base
-		cancel := context.CancelFunc(func() {})
-		if cellTimeout > 0 {
-			actx, c := context.WithTimeout(ctx, cellTimeout)
-			// A later WithContext replaces the base one for this attempt.
-			ro = append(append([]kernels.RunOption{}, base...), kernels.WithContext(actx))
-			cancel = c
-		}
-		vals, err := do(ro)
-		cancel()
-		if err == nil {
-			return vals, a, nil
-		}
-		lastErr = err
-		if ctx.Err() != nil {
-			return nil, a, err // outer cancellation (SIGINT): no retry
-		}
-		if errors.Is(err, context.DeadlineExceeded) && a < attempts {
-			fmt.Fprintf(out, "watchdog: attempt %d/%d killed after %v; retrying\n", a, attempts, cellTimeout)
-			continue
-		}
-		return nil, a, err
-	}
-	return nil, attempts, lastErr
+	res := m.Result()
+	fmt.Fprintf(out, "machine    %s\n", cfg.Name)
+	fmt.Fprintf(out, "bytes      %d\n", res.Bytes)
+	fmt.Fprintf(out, "elapsed    %v\n", res.Elapsed)
+	fmt.Fprintf(out, "bandwidth  %.2f MB/s (%.4f GB/s)\n", res.MBps(), res.GBps())
+	fmt.Fprintf(out, "peak       %.1f%% of machine word-traffic peak\n",
+		100*res.BytesPerSec()/cfg.PeakMemoryBytesPerSec())
 }
 
 // renderPostMortem prints the structured dump of a sim.RunError — engine

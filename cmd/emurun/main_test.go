@@ -3,26 +3,28 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"emuchick/internal/jobspec"
 )
 
 func TestMachineFor(t *testing.T) {
-	hw, err := machineFor("hw", 1)
+	hw, err := jobspec.Machine{Name: "hw", Nodes: 1}.Config()
 	if err != nil || hw.Nodes != 1 {
 		t.Fatalf("hw: %+v, %v", hw, err)
 	}
-	multi, err := machineFor("hardware", 4)
+	multi, err := jobspec.Machine{Name: "hardware", Nodes: 4}.Config()
 	if err != nil || multi.Nodes != 4 {
 		t.Fatalf("hw multi-node: %+v, %v", multi, err)
 	}
-	sim, err := machineFor("sim", 1)
+	sim, err := jobspec.Machine{Name: "sim", Nodes: 1}.Config()
 	if err != nil || sim.MigrationsPerSec != 16e6 {
 		t.Fatalf("sim: %+v, %v", sim, err)
 	}
-	fast, err := machineFor("fullspeed", 0)
+	fast, err := jobspec.Machine{Name: "fullspeed"}.Config()
 	if err != nil || fast.Nodes != 1 || fast.CoreHz != 300e6 {
 		t.Fatalf("fullspeed: %+v, %v", fast, err)
 	}
-	if _, err := machineFor("tpu", 1); err == nil {
+	if _, err := (jobspec.Machine{Name: "tpu", Nodes: 1}).Config(); err == nil {
 		t.Fatal("unknown machine accepted")
 	}
 }

@@ -1,0 +1,93 @@
+// Command emuserved serves simulations over HTTP: clients POST declarative
+// jobspec requests and the server multiplexes them across a shared bounded
+// worker pool, caches results by content address, and survives restarts —
+// jobs in flight when the process dies resume from their write-ahead logs
+// with byte-identical figures.
+//
+// Usage:
+//
+//	emuserved -addr :8080 -data /var/lib/emuserved -workers 2 -job-parallel 4
+//
+// See README.md ("Serving simulations") for the API walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"emuchick/internal/jobserver"
+)
+
+func main() {
+	fs := flag.NewFlagSet("emuserved", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	data := fs.String("data", "emuserved-data", "durable data directory (job records, WALs, result cache)")
+	workers := fs.Int("workers", 2, "jobs simulated concurrently")
+	jobParallel := fs.Int("job-parallel", defaultJobParallel(), "sweep workers per job when the jobspec does not set -parallel")
+	queue := fs.Int("queue", 1024, "pending-job backlog bound (submits beyond it get 503)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "emuserved: HTTP job server for emuchick simulations\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	logger := log.New(os.Stderr, "emuserved: ", log.LstdFlags)
+	srv, err := jobserver.New(jobserver.Config{
+		DataDir:        *data,
+		Workers:        *workers,
+		ParallelPerJob: *jobParallel,
+		QueueDepth:     *queue,
+		Logf:           func(format string, args ...any) { logger.Printf(format, args...) },
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on http://%s (data %s)", *addr, *data)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, preempt running jobs (their WALs
+		// keep finished cells; the next boot resumes them), then exit.
+		logger.Printf("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			logger.Printf("http shutdown: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			logger.Printf("close: %v", err)
+		}
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			srv.Close()
+			logger.Fatal(err)
+		}
+	}
+}
+
+// defaultJobParallel splits the machine between concurrent jobs without
+// oversubscribing a small box.
+func defaultJobParallel() int {
+	if n := runtime.GOMAXPROCS(0) / 2; n > 1 {
+		return n
+	}
+	return 1
+}

@@ -26,11 +26,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"runtime"
 	"time"
 
 	"emuchick/internal/claims"
 	"emuchick/internal/experiments"
+	"emuchick/internal/jobspec"
 )
 
 func main() {
@@ -46,21 +46,17 @@ func main() {
 
 func run(args []string, out io.Writer) (bool, error) {
 	fs := flag.NewFlagSet("emuvalidate", flag.ContinueOnError)
-	quick := fs.Bool("quick", false, "shrink workloads for a fast smoke run")
-	trials := fs.Int("trials", 0, "trials per seeded data point")
 	claimID := fs.String("claim", "", "check a single claim by id")
-	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent simulations (results are identical at any setting)")
 	deadline := fs.Duration("deadline", 0, "stop launching new claims after this much wall-clock time; remaining claims are marked SKIP and the exit code is non-zero (0 disables)")
-	checkpoint := fs.String("checkpoint", "", "write-ahead log of completed sweep cells (a directory path keeps one log per experiment); killed runs resume with -resume")
-	resume := fs.Bool("resume", false, "allow resuming from existing non-empty checkpoints")
-	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell watchdog: kill any single simulation after this wall-clock time (0 disables)")
-	retries := fs.Int("retries", 1, "extra attempts for a watchdog-killed cell before it is recorded as failed")
+	// The sweep/checkpoint/QoS flags are the shared jobspec block, so their
+	// grammar and defaults match emubench and emurun exactly.
+	shared := jobspec.FromFlags(fs, jobspec.GroupSweep|jobspec.GroupCheckpoint|jobspec.GroupQoS)
 	lint := fs.Bool("lint", false, "append the emulint static-analysis claim (the analyzer suite must find nothing)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
-	if *checkpoint != "" && !*resume {
-		if err := refuseStaleCheckpoints(*checkpoint); err != nil {
+	if shared.Checkpoint != "" && !shared.Resume {
+		if err := refuseStaleCheckpoints(shared.Checkpoint); err != nil {
 			return false, err
 		}
 	}
@@ -68,13 +64,16 @@ func run(args []string, out io.Writer) (bool, error) {
 	// valid and a -resume run replays every finished cell.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	opts := experiments.ApplyOptions(
-		experiments.Options{
-			Quick: *quick, Trials: *trials, Parallel: *parallel,
-			Checkpoint: *checkpoint, CellTimeout: *cellTimeout, Retries: *retries,
-		},
-		experiments.WithContext(ctx),
-	)
+	specOpts, err := shared.Spec().Options()
+	if err != nil {
+		return false, err
+	}
+	if shared.Checkpoint != "" {
+		specOpts = append(specOpts, experiments.WithCheckpoint(shared.Checkpoint))
+	}
+	specOpts = append(specOpts, experiments.WithContext(ctx))
+	opts := experiments.ApplyOptions(specOpts...)
+	quick := shared.Quick
 
 	list := claims.All()
 	if *lint {
@@ -95,7 +94,7 @@ func run(args []string, out io.Writer) (bool, error) {
 	skipped := 0
 	started := time.Now()
 	fmt.Fprintf(out, "Reproduction scorecard (%d claims", len(list))
-	if *quick {
+	if quick {
 		fmt.Fprint(out, ", quick scale")
 	}
 	fmt.Fprintln(out, "):")

@@ -242,60 +242,90 @@ func ParseFaultPlan(spec string, seed uint64) (*FaultPlan, error) {
 	return fault.Parse(spec, seed)
 }
 
-// runKernel resolves facade options for one kernel invocation and runs it
-// Trials times (the simulation is deterministic, so trials produce identical
-// results; the knob exists so an observer can collect repeated-run traces).
-func runKernel[T any](opts []RunOption, invoke func([]kernels.RunOption) (T, error)) (T, error) {
+// The kernel registry, re-exported: every benchmark is invocable by name
+// with a flat parameter set, which is what the jobspec schema and the job
+// server speak. Run is the single entry point; the Run* functions below are
+// deprecated one-line wrappers over it.
+type (
+	// KernelParams is the flat, kernel-agnostic parameter set; each kernel
+	// reads the subset it understands (see DefaultKernelParams).
+	KernelParams = kernels.Params
+	// Measurement is a kernel run's result flattened to a labelled vector.
+	Measurement = kernels.Measurement
+)
+
+// Kernels lists the registered benchmark kernel names.
+func Kernels() []string { return kernels.Names() }
+
+// DefaultKernelParams returns the registry's default parameter vector — the
+// same defaults the emurun flags advertise.
+func DefaultKernelParams() KernelParams { return kernels.DefaultParams() }
+
+// Run executes a registered benchmark kernel by name on a fresh machine,
+// running it Trials times when WithTrials is given (the simulation is
+// deterministic, so trials produce identical results; the knob exists so an
+// observer can collect repeated-run traces). Zero-valued params fields are
+// passed through as-is: wrappers stay lossless, and name-based callers can
+// start from DefaultKernelParams.
+func Run(cfg Config, kernel string, p KernelParams, opts ...RunOption) (Measurement, error) {
+	k, err := kernels.ByName(kernel)
+	if err != nil {
+		return Measurement{}, err
+	}
 	o := experiments.ApplyOptions(opts...)
 	ks := o.KernelOptions()
 	trials := o.Trials
 	if trials <= 0 {
 		trials = 1
 	}
-	var out T
-	var err error
+	var m Measurement
 	for i := 0; i < trials; i++ {
-		out, err = invoke(ks)
+		m, err = k.Run(cfg, p, ks...)
 		if err != nil {
-			break
+			return Measurement{}, err
 		}
 	}
-	return out, err
+	return m, nil
 }
 
 // RunStream runs the STREAM ADD benchmark on a fresh machine.
+//
+// Deprecated: use Run(cfg, "stream", ...); this wrapper routes through it.
 func RunStream(cfg Config, bc StreamConfig, opts ...RunOption) (Result, error) {
-	return runKernel(opts, func(ks []kernels.RunOption) (Result, error) {
-		return kernels.StreamAdd(cfg, bc, ks...)
-	})
+	m, err := Run(cfg, "stream", kernels.StreamParams(bc), opts...)
+	return m.Result(), err
 }
 
 // RunPointerChase runs the block-shuffled pointer-chasing benchmark.
+//
+// Deprecated: use Run(cfg, "chase", ...); this wrapper routes through it.
 func RunPointerChase(cfg Config, bc ChaseConfig, opts ...RunOption) (Result, error) {
-	return runKernel(opts, func(ks []kernels.RunOption) (Result, error) {
-		return kernels.PointerChase(cfg, bc, ks...)
-	})
+	m, err := Run(cfg, "chase", kernels.ChaseParams(bc), opts...)
+	return m.Result(), err
 }
 
 // RunSpMV runs CSR SpMV over the synthetic Laplacian.
+//
+// Deprecated: use Run(cfg, "spmv", ...); this wrapper routes through it.
 func RunSpMV(cfg Config, bc SpMVConfig, opts ...RunOption) (Result, error) {
-	return runKernel(opts, func(ks []kernels.RunOption) (Result, error) {
-		return kernels.SpMV(cfg, bc, ks...)
-	})
+	m, err := Run(cfg, "spmv", kernels.SpMVParams(bc), opts...)
+	return m.Result(), err
 }
 
 // RunPingPong runs the thread-migration microbenchmark.
+//
+// Deprecated: use Run(cfg, "pingpong", ...); this wrapper routes through it.
 func RunPingPong(cfg Config, bc PingPongConfig, opts ...RunOption) (PingPongResult, error) {
-	return runKernel(opts, func(ks []kernels.RunOption) (PingPongResult, error) {
-		return kernels.PingPong(cfg, bc, ks...)
-	})
+	m, err := Run(cfg, "pingpong", kernels.PingPongParams(bc), opts...)
+	return m.PingPong(), err
 }
 
 // RunGUPS runs the RandomAccess-style update kernel.
+//
+// Deprecated: use Run(cfg, "gups", ...); this wrapper routes through it.
 func RunGUPS(cfg Config, bc GUPSConfig, opts ...RunOption) (Result, error) {
-	return runKernel(opts, func(ks []kernels.RunOption) (Result, error) {
-		return kernels.GUPS(cfg, bc, ks...)
-	})
+	m, err := Run(cfg, "gups", kernels.GUPSParams(bc), opts...)
+	return m.Result(), err
 }
 
 // Experiment regenerates one paper artifact (figure or table).

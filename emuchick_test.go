@@ -89,7 +89,7 @@ func TestFacadeExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	figs, err := e.Run(ExperimentOptions{Quick: true, Trials: 1})
+	figs, err := e.Run(WithScale(QuickScale), WithTrials(1))
 	if err != nil {
 		t.Fatal(err)
 	}

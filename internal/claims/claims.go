@@ -160,7 +160,7 @@ func runFigures(id string, o experiments.Options) (map[string]*metrics.Figure, e
 	if err != nil {
 		return nil, err
 	}
-	figs, err := e.Run(o)
+	figs, err := e.RunResolved(o)
 	if err != nil {
 		return nil, err
 	}

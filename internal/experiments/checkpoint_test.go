@@ -47,7 +47,7 @@ func runFigureBytes(t *testing.T, id string, opts ...Option) []byte {
 // ckptFigureBytes is runFigureBytes with a checkpoint attached.
 func ckptFigureBytes(t *testing.T, id, path string, extra ...Option) []byte {
 	t.Helper()
-	opts := append([]Option{Options{Quick: true, Trials: 1}, WithCheckpoint(path)}, extra...)
+	opts := append([]Option{WithScale(QuickScale), WithTrials(1), WithCheckpoint(path)}, extra...)
 	return runFigureBytes(t, id, opts...)
 }
 
@@ -55,7 +55,7 @@ func ckptFigureBytes(t *testing.T, id, path string, extra ...Option) []byte {
 // contract: a checkpointed run writing a cold log, and a second run replaying
 // the now complete log, must both match an uncheckpointed run byte for byte.
 func TestCheckpointCompleteRunIsByteIdentical(t *testing.T) {
-	base := figureBytes(t, "fig4", Options{Quick: true, Trials: 1})
+	base := figureBytes(t, "fig4", WithScale(QuickScale), WithTrials(1))
 	path := filepath.Join(t.TempDir(), "fig4.ckpt")
 	cold := ckptFigureBytes(t, "fig4", path)
 	if !bytes.Equal(base, cold) {
@@ -95,7 +95,7 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			base := runFigureBytes(t, tc.id,
-				append([]Option{Options{Quick: true, Trials: 1}, WithParallel(tc.resumeP)}, tc.extra...)...)
+				append([]Option{WithScale(QuickScale), WithTrials(1), WithParallel(tc.resumeP)}, tc.extra...)...)
 			path := filepath.Join(t.TempDir(), tc.id+".ckpt")
 
 			// Interrupted run: cancel the context once cutAt cells are in the
@@ -114,7 +114,7 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 			_, err = e.Run(append([]Option{
-				Options{Quick: true, Trials: 1},
+				WithScale(QuickScale), WithTrials(1),
 				WithParallel(tc.interP), WithCheckpoint(path), WithContext(ctx), hook,
 			}, tc.extra...)...)
 			if err == nil {
@@ -144,7 +144,7 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 // TestCheckpointTornTailTolerated: a kill mid-append leaves a partial final
 // line; resume must drop it and recover every complete record.
 func TestCheckpointTornTailTolerated(t *testing.T) {
-	base := figureBytes(t, "fig4", Options{Quick: true, Trials: 1})
+	base := figureBytes(t, "fig4", WithScale(QuickScale), WithTrials(1))
 	path := filepath.Join(t.TempDir(), "fig4.ckpt")
 	ckptFigureBytes(t, "fig4", path)
 	data, err := os.ReadFile(path)
@@ -193,7 +193,7 @@ func TestCheckpointMidFileCorruptionRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(Options{Quick: true, Trials: 1}, WithCheckpoint(path)); err == nil {
+	if _, err := e.Run(WithScale(QuickScale), WithTrials(1), WithCheckpoint(path)); err == nil {
 		t.Fatal("mid-file corruption was accepted")
 	} else if !strings.Contains(err.Error(), "corrupt") {
 		t.Fatalf("unexpected error: %v", err)
@@ -243,7 +243,7 @@ func deadlockExperiment() *Experiment {
 func TestDeadlockedCellRecordsFailureAndCompletes(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "deadlock.ckpt")
 	e := deadlockExperiment()
-	figs, err := e.Run(Options{Quick: true, Trials: 1}, WithCheckpoint(path))
+	figs, err := e.Run(WithScale(QuickScale), WithTrials(1), WithCheckpoint(path))
 	if err != nil {
 		t.Fatalf("sweep aborted instead of completing around the dead cell: %v", err)
 	}
@@ -273,7 +273,7 @@ func TestDeadlockedCellRecordsFailureAndCompletes(t *testing.T) {
 
 	// Resume re-runs the failed cell (same deadlock) but replays the healthy
 	// ones; the assembled figure is unchanged.
-	figs2, err := e.Run(Options{Quick: true, Trials: 1}, WithCheckpoint(path))
+	figs2, err := e.Run(WithScale(QuickScale), WithTrials(1), WithCheckpoint(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,8 +319,8 @@ func TestWatchdogKillsStuckCellAfterRetries(t *testing.T) {
 		},
 	}
 	path := filepath.Join(t.TempDir(), "watchdog.ckpt")
-	figs, err := e.Run(Options{Quick: true, Trials: 1, Parallel: 1,
-		CellTimeout: 50 * time.Millisecond, Retries: 2, Checkpoint: path})
+	figs, err := e.Run(WithScale(QuickScale), WithTrials(1), WithParallel(1),
+		WithCellTimeout(50*time.Millisecond), WithRetries(2), WithCheckpoint(path))
 	if err != nil {
 		t.Fatalf("watchdog failure aborted the sweep: %v", err)
 	}
@@ -352,8 +352,8 @@ func TestWatchdogThreadsBudgetIntoKernelOptions(t *testing.T) {
 	o.CellTimeout = time.Second
 	ao, cancel := o.withWatchdog()
 	defer cancel()
-	if ao.maxEvents != eventBudget(false) {
-		t.Fatalf("maxEvents = %d, want %d", ao.maxEvents, eventBudget(false))
+	if ao.maxEvents != EventBudget(false) {
+		t.Fatalf("maxEvents = %d, want %d", ao.maxEvents, EventBudget(false))
 	}
 	if ao.ctx == nil {
 		t.Fatal("watchdog did not install a deadline context")
@@ -364,7 +364,7 @@ func TestWatchdogThreadsBudgetIntoKernelOptions(t *testing.T) {
 	o.Quick = true
 	aq, cancel2 := o.withWatchdog()
 	defer cancel2()
-	if aq.maxEvents != eventBudget(true) {
-		t.Fatalf("quick maxEvents = %d, want %d", aq.maxEvents, eventBudget(true))
+	if aq.maxEvents != EventBudget(true) {
+		t.Fatalf("quick maxEvents = %d, want %d", aq.maxEvents, EventBudget(true))
 	}
 }

@@ -18,12 +18,12 @@ import (
 	"emuchick/internal/trace"
 )
 
-// Options tunes an experiment run.
-//
-// Deprecated: new call sites should pass functional options (WithTrials,
-// WithScale, WithParallel, WithObserver, WithContext) to Experiment.Run.
-// Options itself implements Option, so a legacy `e.Run(Options{...})` call
-// still compiles and behaves as before.
+// Options is the resolved option set of one experiment run — the value the
+// functional options (WithTrials, WithScale, WithParallel, WithObserver,
+// WithContext, ...) fold into, and the form Runner functions and
+// claims.Claim checks receive. Construct it with ApplyOptions; the struct
+// no longer implements Option itself (the legacy `e.Run(Options{...})`
+// adapter was removed once every caller had migrated).
 type Options struct {
 	// Trials is the number of trials per data point for seeded
 	// workloads; the paper uses ten. Deterministic kernels (STREAM,
@@ -94,26 +94,6 @@ func (o Options) withDefaults() Options {
 // Option configures one Experiment.Run call.
 type Option interface {
 	apply(*Options)
-}
-
-// apply lets a legacy Options struct be passed to Run: the struct replaces
-// every exported field at once (previously applied unexported state — the
-// context, an open checkpoint, the test hook — is kept, since a literal
-// cannot carry it).
-func (o Options) apply(dst *Options) {
-	if o.ctx == nil {
-		o.ctx = dst.ctx
-	}
-	if o.ckpt == nil {
-		o.ckpt = dst.ckpt
-	}
-	if o.ckptHook == nil {
-		o.ckptHook = dst.ckptHook
-	}
-	if o.maxEvents == 0 {
-		o.maxEvents = dst.maxEvents
-	}
-	*dst = o
 }
 
 // optionFunc adapts a mutation function to the Option interface.
@@ -196,6 +176,14 @@ func WithRetries(n int) Option {
 	return optionFunc(func(o *Options) { o.Retries = n })
 }
 
+// WithCheckpointHook installs a callback observing every checkpoint Record
+// call with the running count of freshly recorded cells. The job server uses
+// it as its per-job progress signal (and tests as a deterministic mid-sweep
+// trigger); it has no effect on results and only fires on checkpointed runs.
+func WithCheckpointHook(fn func(recorded int)) Option {
+	return optionFunc(func(o *Options) { o.ckptHook = fn })
+}
+
 // ApplyOptions folds opts in order into an Options value (later options
 // win), for facades that accept Option lists.
 func ApplyOptions(opts ...Option) Options {
@@ -256,13 +244,18 @@ type Experiment struct {
 	Runner func(Options) ([]*metrics.Figure, error)
 }
 
-// Run executes the experiment with the given options: functional options,
-// or a single legacy Options struct (Options implements Option). With a
+// Run executes the experiment with the given functional options. With a
 // checkpoint path set, the write-ahead log is opened (resuming any
 // compatible records already in it) before the runner starts and closed
 // when it returns — interrupting the run at any point leaves a valid log.
 func (e *Experiment) Run(opts ...Option) ([]*metrics.Figure, error) {
-	o := ApplyOptions(opts...)
+	return e.RunResolved(ApplyOptions(opts...))
+}
+
+// RunResolved executes the experiment from an already-resolved option set —
+// the entry point for code that is handed an Options value (claims checks
+// receive one) rather than composing options itself.
+func (e *Experiment) RunResolved(o Options) ([]*metrics.Figure, error) {
 	if o.Checkpoint == "" {
 		return e.runner(o)
 	}

@@ -15,7 +15,7 @@ func runOne(t *testing.T, id string) map[string]*metrics.Figure {
 	if err != nil {
 		t.Fatal(err)
 	}
-	figs, err := e.Run(quick)
+	figs, err := e.RunResolved(quick)
 	if err != nil {
 		t.Fatal(err)
 	}

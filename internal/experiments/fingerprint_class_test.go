@@ -154,7 +154,7 @@ func TestCheckpointResumeHonorsFingerprintTable(t *testing.T) {
 			if !ok {
 				t.Fatalf("no resume mutation for field %q; extend the table", name)
 			}
-			figs, err := e.Run(Options{Quick: true, Trials: 1}, WithCheckpoint(path), opt)
+			figs, err := e.Run(WithScale(QuickScale), WithTrials(1), WithCheckpoint(path), opt)
 			if class == fingerprint.In {
 				if err == nil {
 					t.Fatalf("resume with a different %s was accepted; In fields must refuse", name)
@@ -177,7 +177,7 @@ func TestCheckpointResumeHonorsFingerprintTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e6.Run(Options{Quick: true, Trials: 1}, WithCheckpoint(path)); err == nil {
+	if _, err := e6.Run(WithScale(QuickScale), WithTrials(1), WithCheckpoint(path)); err == nil {
 		t.Fatal("resume under a different experiment was accepted")
 	}
 }

@@ -163,11 +163,12 @@ func xsOf(vals []int) []float64 {
 	return xs
 }
 
-// eventBudget is the watchdog's deterministic backstop: a cap on dispatched
+// EventBudget is the watchdog's deterministic backstop: a cap on dispatched
 // engine events per cell, sized an order of magnitude above what the largest
 // healthy cell of each scale fires. Wall clocks vary with machine load; the
-// event count of a runaway simulation does not.
-func eventBudget(quick bool) uint64 {
+// event count of a runaway simulation does not. Exported so the jobspec
+// kernel runner arms the same budget as the sweep watchdog.
+func EventBudget(quick bool) uint64 {
 	if quick {
 		return 1 << 26
 	}
@@ -190,7 +191,7 @@ func (o Options) withWatchdog() (Options, context.CancelFunc) {
 	ctx, cancel := context.WithTimeout(parent, o.CellTimeout)
 	o.ctx = ctx
 	if o.maxEvents == 0 {
-		o.maxEvents = eventBudget(o.Quick)
+		o.maxEvents = EventBudget(o.Quick)
 	}
 	return o, cancel
 }

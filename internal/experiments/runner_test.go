@@ -13,13 +13,13 @@ import (
 
 // figureBytes marshals every figure an experiment produces into one JSON
 // blob, the same encoding cmd/emubench archives.
-func figureBytes(t *testing.T, id string, o Options) []byte {
+func figureBytes(t *testing.T, id string, opts ...Option) []byte {
 	t.Helper()
 	e, err := ByID(id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	figs, err := e.Run(o)
+	figs, err := e.Run(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,8 +38,8 @@ func figureBytes(t *testing.T, id string, o Options) []byte {
 // arrival order.
 func TestParallelRunnerByteIdentical(t *testing.T) {
 	for _, id := range []string{"fig4", "fig6"} {
-		seq := figureBytes(t, id, Options{Quick: true, Trials: 2, Parallel: 1})
-		par := figureBytes(t, id, Options{Quick: true, Trials: 2, Parallel: 8})
+		seq := figureBytes(t, id, WithScale(QuickScale), WithTrials(2), WithParallel(1))
+		par := figureBytes(t, id, WithScale(QuickScale), WithTrials(2), WithParallel(8))
 		if !bytes.Equal(seq, par) {
 			t.Errorf("%s: parallel run differs from sequential:\nseq: %s\npar: %s", id, seq, par)
 		}

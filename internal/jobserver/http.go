@@ -1,0 +1,251 @@
+package jobserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"emuchick/internal/experiments"
+	"emuchick/internal/jobspec"
+	"emuchick/internal/kernels"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	GET    /v1/healthz          — liveness probe
+//	GET    /v1/stats            — job accounting (Stats)
+//	GET    /v1/kernels          — registered kernel names and docs
+//	GET    /v1/experiments      — registered experiment ids and titles
+//	POST   /v1/jobs             — submit a jobspec; 202 + job record
+//	GET    /v1/jobs             — list jobs in submission order
+//	GET    /v1/jobs/{id}        — one job record
+//	GET    /v1/jobs/{id}/wait   — long-poll until the job changes or ?timeout=
+//	GET    /v1/jobs/{id}/watch  — JSONL stream of snapshots until terminal
+//	GET    /v1/jobs/{id}/result — the finished result payload (cache bytes)
+//	DELETE /v1/jobs/{id}        — cancel a queued or running job
+//
+// Every response body is JSON; errors are {"error": "..."} with a matching
+// status code.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
+	mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name   string   `json:"name"`
+		Doc    string   `json:"doc"`
+		Labels []string `json:"labels"`
+	}
+	var out []entry
+	for _, name := range kernels.Names() {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, entry{Name: k.Name, Doc: k.Doc, Labels: k.Labels})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Paper string `json:"paper"`
+	}
+	var out []entry
+	for _, e := range experiments.All() {
+		out = append(out, entry{ID: e.ID, Title: e.Title, Paper: e.Paper})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobspec.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rec, err := s.Submit(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "queue full") {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob(r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleWait long-polls: it returns the job record as soon as its state
+// advances past the version the client saw (?version=), or after ?timeout=
+// (default 30s) with the current record either way.
+func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, version, ok := s.Snapshot(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob(id))
+		return
+	}
+	since := version
+	if q := r.URL.Query().Get("version"); q != "" {
+		var v int
+		if _, err := jsonNumber(q, &v); err == nil {
+			since = v
+		}
+	}
+	timeout := 30 * time.Second
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		if d, err := time.ParseDuration(q); err == nil && d > 0 {
+			timeout = d
+		}
+	}
+	if rec.State.terminal() {
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	changed, _ := s.WaitChanged(id, since)
+	select {
+	case <-changed:
+	case <-time.After(timeout):
+	case <-r.Context().Done():
+	}
+	rec, _, _ = s.Snapshot(id)
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleWatch streams one JSON line per state change until the job reaches
+// a terminal state (progress updates — WAL cells — included).
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, version, ok := s.Snapshot(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob(id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		if err := enc.Encode(rec); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if rec.State.terminal() {
+			return
+		}
+		changed, ok := s.WaitChanged(id, version)
+		if !ok {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+		rec, version, ok = s.Snapshot(id)
+		if !ok {
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob(id))
+		return
+	}
+	if rec.State != StateDone {
+		writeError(w, http.StatusConflict, errNotDone(id, rec.State))
+		return
+	}
+	data, err := s.ResultBytes(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Serve the cached bytes verbatim: identical requests get identical
+	// bodies, byte for byte.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+type jobError string
+
+func (e jobError) Error() string { return string(e) }
+
+func errUnknownJob(id string) error {
+	return jobError("unknown job " + id)
+}
+
+func errNotDone(id string, st State) error {
+	return jobError("job " + id + " is " + string(st) + ", not done")
+}
+
+// jsonNumber parses a decimal query parameter.
+func jsonNumber(s string, dst *int) (int, error) {
+	var v int
+	if err := json.Unmarshal([]byte(s), &v); err != nil {
+		return 0, err
+	}
+	*dst = v
+	return v, nil
+}

@@ -1,0 +1,112 @@
+package jobserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The store is the server's durable state, laid out under one data
+// directory:
+//
+//	jobs/<id>.json     — the job record (spec + state), rewritten atomically
+//	                     on every state transition; the restart scan
+//	                     re-enqueues every job that was queued or running.
+//	ckpt/<id>.ckpt     — the job's write-ahead log of completed sweep cells
+//	                     (the PR-4 checkpoint, lifted to a per-job store);
+//	                     a restarted job resumes from it byte-identically.
+//	results/<key>.json — the content-addressed result cache, keyed by the
+//	                     jobspec fingerprint; identical requests are served
+//	                     from here without re-simulating.
+//
+// Writes go through a temp-file rename, so a kill mid-write leaves either
+// the old record or the new one, never a torn file (the WAL has its own
+// torn-tail tolerance).
+
+type store struct {
+	dir string
+}
+
+func newStore(dir string) (*store, error) {
+	st := &store{dir: dir}
+	for _, sub := range []string{"jobs", "ckpt", "results"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("jobserver: %w", err)
+		}
+	}
+	return st, nil
+}
+
+func (st *store) jobPath(id string) string    { return filepath.Join(st.dir, "jobs", id+".json") }
+func (st *store) ckptPath(id string) string   { return filepath.Join(st.dir, "ckpt", id+".ckpt") }
+func (st *store) resultPath(key string) string {
+	return filepath.Join(st.dir, "results", key+".json")
+}
+
+// atomicWrite writes data to path via a temp file + rename.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// saveJob persists one job record.
+func (st *store) saveJob(rec Job) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobserver: %w", err)
+	}
+	return atomicWrite(st.jobPath(rec.ID), b)
+}
+
+// loadJobs reads every persisted job record, sorted by id (ids are
+// zero-padded sequence numbers, so this is submission order).
+func (st *store) loadJobs() ([]Job, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("jobserver: %w", err)
+	}
+	var out []Job
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(st.dir, "jobs", name))
+		if err != nil {
+			return nil, fmt.Errorf("jobserver: %w", err)
+		}
+		var rec Job
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("jobserver: job record %s: %w", name, err)
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// saveResult stores a completed result under its content key.
+func (st *store) saveResult(key string, data []byte) error {
+	return atomicWrite(st.resultPath(key), data)
+}
+
+// loadResult fetches a cached result from disk.
+func (st *store) loadResult(key string) ([]byte, bool) {
+	b, err := os.ReadFile(st.resultPath(key))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// hasCheckpoint reports whether the job's WAL holds any records.
+func (st *store) hasCheckpoint(id string) bool {
+	fi, err := os.Stat(st.ckptPath(id))
+	return err == nil && fi.Size() > 0
+}

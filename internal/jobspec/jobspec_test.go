@@ -1,0 +1,273 @@
+package jobspec
+
+import (
+	"encoding/json"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"emuchick/internal/experiments"
+	"emuchick/internal/kernels"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	in := Spec{
+		Kernel:     "chase",
+		Machine:    Machine{Name: "fullspeed", Nodes: 4},
+		Params:     kernels.Params{Elems: 2048, Block: 8, Threads: 128},
+		Trials:     2,
+		Faults:     "chan=4@2",
+		Parallel:   3,
+		Checkpoint: CheckpointPolicy{Path: "/tmp/x.ckpt"},
+		QoS:        QoS{CellTimeout: Duration(30 * time.Second), Retries: 2},
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Spec
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the spec:\nin:  %+v\nout: %+v", in, out)
+	}
+	// The duration serializes human-readable, and numeric nanoseconds are
+	// accepted on the way in.
+	if !strings.Contains(string(b), `"cell_timeout": "30s"`) && !strings.Contains(string(b), `"cell_timeout":"30s"`) {
+		t.Fatalf("cell_timeout not serialized as a duration string: %s", b)
+	}
+	var numeric Spec
+	if err := json.Unmarshal([]byte(`{"kernel":"gups","qos":{"cell_timeout":1000000000}}`), &numeric); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(numeric.QoS.CellTimeout) != time.Second {
+		t.Fatalf("numeric cell_timeout = %v, want 1s", time.Duration(numeric.QoS.CellTimeout))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := map[string]Spec{
+		"no target":             {},
+		"both targets":          {Experiment: "fig4", Kernel: "gups"},
+		"unknown experiment":    {Experiment: "fig999"},
+		"unknown kernel":        {Kernel: "linpack"},
+		"unknown scale":         {Experiment: "fig4", Scale: "medium"},
+		"negative trials":       {Experiment: "fig4", Trials: -1},
+		"negative parallel":     {Experiment: "fig4", Parallel: -2},
+		"bad fault grammar":     {Experiment: "fig4", Faults: "chan="},
+		"unknown machine":       {Kernel: "gups", Machine: Machine{Name: "tpu"}},
+		"bad strategy":          {Kernel: "stream", Params: kernels.Params{Strategy: "bogus"}},
+		"bad shuffle mode":      {Kernel: "chase", Params: kernels.Params{Mode: "bogus"}},
+		"bad spmv layout":       {Kernel: "spmv", Params: kernels.Params{Layout: "3d"}},
+		"experiment w/ params":  {Experiment: "fig4", Params: kernels.Params{Threads: 4}},
+		"experiment w/ machine": {Experiment: "fig4", Machine: Machine{Name: "hw"}},
+	}
+	for name, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", name, s)
+		}
+	}
+	good := []Spec{
+		{Experiment: "fig4"},
+		{Experiment: "fig4", Scale: ScaleQuick, Trials: 2, Parallel: 4},
+		{Kernel: "gups"},
+		{Kernel: "stream", Machine: Machine{Name: "sim"}, Params: kernels.Params{Threads: 16}},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("rejected %+v: %v", s, err)
+		}
+	}
+}
+
+func TestCanonicalDefaults(t *testing.T) {
+	c := Spec{Experiment: "fig4"}.Canonical()
+	if c.Scale != ScaleFull || c.Trials != 10 {
+		t.Fatalf("full experiment defaults: %+v", c)
+	}
+	q := Spec{Experiment: "fig4", Scale: ScaleQuick}.Canonical()
+	if q.Trials != 3 {
+		t.Fatalf("quick experiment trials = %d, want 3", q.Trials)
+	}
+	k := Spec{Kernel: "gups"}.Canonical()
+	if k.Machine.Name != "hw" || k.Machine.Nodes != 1 || k.Trials != 1 {
+		t.Fatalf("kernel machine defaults: %+v", k)
+	}
+	if k.Params != kernels.DefaultParams() {
+		t.Fatalf("kernel params not defaulted: %+v", k.Params)
+	}
+	// An explicit asymmetric nodelet pair survives defaulting.
+	pp := Spec{Kernel: "pingpong", Params: kernels.Params{NodeletA: 2}}.Canonical()
+	if pp.Params.NodeletA != 2 || pp.Params.NodeletB != 0 {
+		t.Fatalf("explicit nodelet pair overwritten: %+v", pp.Params)
+	}
+}
+
+// TestFingerprintWorkloadSensitivity pins the content-address contract:
+// workload-shaping fields move the fingerprint, drive-side fields do not,
+// and defaultable forms collide with their canonical spelling.
+func TestFingerprintWorkloadSensitivity(t *testing.T) {
+	base := Spec{Experiment: "fig4"}
+	fp := base.Fingerprint()
+
+	same := map[string]Spec{
+		"explicit full scale":     {Experiment: "fig4", Scale: ScaleFull},
+		"explicit default trials": {Experiment: "fig4", Trials: 10},
+		"parallel differs":        {Experiment: "fig4", Parallel: 7},
+		"checkpoint differs":      {Experiment: "fig4", Checkpoint: CheckpointPolicy{Path: "x", Disable: true}},
+		"qos differs":             {Experiment: "fig4", QoS: QoS{CellTimeout: Duration(time.Minute), Retries: 5}},
+	}
+	for name, s := range same {
+		if got := s.Fingerprint(); got != fp {
+			t.Errorf("%s: fingerprint moved (%s != %s) though the workload is identical", name, got, fp)
+		}
+	}
+	diff := map[string]Spec{
+		"quick scale":      {Experiment: "fig4", Scale: ScaleQuick},
+		"other trials":     {Experiment: "fig4", Trials: 2},
+		"faults":           {Experiment: "fig4", Faults: "chan=4@2"},
+		"fault seed":       {Experiment: "fig4", Faults: "chan=4@2", FaultSeed: 9},
+		"other experiment": {Experiment: "fig6"},
+		"a kernel":         {Kernel: "gups"},
+	}
+	seen := map[string]string{"base": fp}
+	for name, s := range diff {
+		got := s.Fingerprint()
+		for prev, prevFP := range seen {
+			if got == prevFP {
+				t.Errorf("%s collides with %s (%s)", name, prev, got)
+			}
+		}
+		seen[name] = got
+	}
+	// Kernel jobs: params and machine are workload-shaping.
+	kbase := Spec{Kernel: "gups"}.Fingerprint()
+	if got := (Spec{Kernel: "gups", Params: kernels.DefaultParams()}).Fingerprint(); got != kbase {
+		t.Errorf("explicit default params moved the kernel fingerprint")
+	}
+	if got := (Spec{Kernel: "gups", Params: kernels.Params{Updates: 99}}).Fingerprint(); got == kbase {
+		t.Errorf("changed updates did not move the kernel fingerprint")
+	}
+	if got := (Spec{Kernel: "gups", Machine: Machine{Name: "fullspeed"}}).Fingerprint(); got == kbase {
+		t.Errorf("changed machine did not move the kernel fingerprint")
+	}
+}
+
+func TestFromFlagsSpec(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := FromFlags(fs, GroupSweep|GroupFaults|GroupCheckpoint|GroupQoS)
+	err := fs.Parse([]string{
+		"-trials", "4", "-quick", "-parallel", "2",
+		"-faults", "chan=4@2", "-fault-seed", "7",
+		"-checkpoint", "wal.ckpt", "-resume",
+		"-cell-timeout", "45s", "-retries", "0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Spec()
+	if s.Trials != 4 || s.Scale != ScaleQuick || s.Parallel != 2 {
+		t.Fatalf("sweep flags: %+v", s)
+	}
+	if s.Faults != "chan=4@2" || s.FaultSeed != 7 {
+		t.Fatalf("fault flags: %+v", s)
+	}
+	if s.Checkpoint.Path != "wal.ckpt" || !f.Resume {
+		t.Fatalf("checkpoint flags: %+v resume=%v", s.Checkpoint, f.Resume)
+	}
+	// -retries 0 means "no retries", which QoS encodes as -1 so the zero
+	// value can keep meaning "default".
+	if time.Duration(s.QoS.CellTimeout) != 45*time.Second || s.QoS.Retries != -1 {
+		t.Fatalf("qos flags: %+v", s.QoS)
+	}
+	if got := s.Canonical().QoS.Retries; got != 0 {
+		t.Fatalf("canonical retries = %d, want 0 (none)", got)
+	}
+}
+
+// TestRunKernelMatchesDirectCall pins that the declarative path produces
+// exactly what the typed entry point produces.
+func TestRunKernelMatchesDirectCall(t *testing.T) {
+	spec := Spec{
+		Kernel: "gups",
+		Params: kernels.Params{Elems: 64, Updates: 256, Threads: 8},
+	}
+	m, attempts, err := RunKernel(t.Context(), spec, nil)
+	if err != nil || attempts != 1 {
+		t.Fatalf("RunKernel: %v (attempts %d)", err, attempts)
+	}
+	k, cfg, params, err := spec.KernelPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := k.Run(cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kernel != "gups" || len(m.Values) != len(direct.Values) {
+		t.Fatalf("measurement shape: %+v vs %+v", m, direct)
+	}
+	for i := range m.Values {
+		if m.Values[i] != direct.Values[i] {
+			t.Fatalf("value %d differs: %v vs %v", i, m.Values[i], direct.Values[i])
+		}
+	}
+}
+
+// TestRecordReplayMeasurement covers the kernel WAL scheme: the completion
+// marker is written last, so a log holding values but no marker (the torn
+// signature of a kill mid-append) refuses to replay.
+func TestRecordReplayMeasurement(t *testing.T) {
+	spec := Spec{Kernel: "gups", Params: kernels.Params{Elems: 64, Updates: 256, Threads: 8}}
+	k, _, _, err := spec.KernelPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := kernels.Measurement{Kernel: "gups", Labels: k.Labels, Values: []float64{123, 456}}
+	path := filepath.Join(t.TempDir(), "gups.ckpt")
+	fp := spec.Fingerprint()
+
+	ck, err := experiments.OpenCheckpoint(path, CheckpointID("gups"), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ReplayMeasurement(ck, k); ok {
+		t.Fatal("empty log replayed")
+	}
+	// Torn log: values recorded but the run died before the marker.
+	for i, v := range m.Values {
+		if err := ck.Record(0, i+1, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := ReplayMeasurement(ck, k); ok {
+		t.Fatal("marker-less log replayed")
+	}
+	if err := ck.Record(0, 0, float64(len(m.Values))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the complete vector replays; a different fingerprint refuses.
+	ck2, err := experiments.OpenCheckpoint(path, CheckpointID("gups"), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	got, ok := ReplayMeasurement(ck2, k)
+	if !ok {
+		t.Fatal("complete log did not replay")
+	}
+	if got.Values[0] != 123 || got.Values[1] != 456 || got.Kernel != "gups" {
+		t.Fatalf("replayed %+v", got)
+	}
+	other := Spec{Kernel: "gups", Params: kernels.Params{Elems: 128, Updates: 256, Threads: 8}}
+	if _, err := experiments.OpenCheckpoint(path, CheckpointID("gups"), other.Fingerprint()); err == nil {
+		t.Fatal("log accepted under a different workload fingerprint")
+	}
+}

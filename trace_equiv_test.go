@@ -25,7 +25,7 @@ func fig4Figures(t *testing.T, opts ...experiments.Option) []byte {
 		t.Fatal(err)
 	}
 	figs, err := e.Run(append([]experiments.Option{
-		experiments.Options{Quick: true, Trials: 1},
+		experiments.WithScale(experiments.QuickScale), experiments.WithTrials(1),
 	}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
