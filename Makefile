@@ -17,7 +17,8 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own analyzer suite (cmd/emulint): determinism, park-site,
-# hot-path allocation, fingerprint, and observer-guard contracts.
+# hot-path allocation, no-handoff, fingerprint, and observer-guard
+# contracts.
 lint:
 	$(GO) run ./cmd/emulint ./...
 
@@ -34,21 +35,28 @@ bench:
 # Benchmark iterations for archives and the gate; the archived baselines in
 # the repo were recorded with 5 (see DESIGN.md §13).
 BENCH_ITERS ?= 5
-# The baseline the gate diffs against: BENCH_engine2.json is the newest
-# archive (post-optimization); BENCH_engine.json is the pre-optimization one,
-# kept so the trajectory stays visible.
-BENCH_BASELINE ?= BENCH_engine2.json
+# The baseline the gate diffs against: BENCH_engine3.json is the newest
+# archive (continuation proc engine as the kernel default, plus the
+# threadlet-scale stress benchmark); BENCH_engine2.json (post-optimization
+# goroutine engine) and BENCH_engine.json (pre-optimization) are kept so
+# the trajectory stays visible.
+BENCH_BASELINE ?= BENCH_engine3.json
 
-# One fast pass over the figure benchmarks, snapshotted as JSON scratch for
+# The gated benchmark set: the per-figure benchmarks plus the
+# threadlet-scale stress run (10^6 continuation procs with a hard
+# bytes-per-proc bound).
+BENCH_GATED := BenchmarkFig|BenchmarkThreadletScale
+
+# One fast pass over the gated benchmarks, snapshotted as JSON scratch for
 # quick local diffs (does not touch the archived baselines).
 bench-quick:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime 1x . | $(GO) run ./cmd/benchjson > BENCH_quick.json
+	$(GO) test -run '^$$' -bench '$(BENCH_GATED)' -benchtime 1x . | $(GO) run ./cmd/benchjson > BENCH_quick.json
 
 # Re-archive the gate baseline: BENCH_ITERS runs per benchmark aggregated
 # into min/mean/max stats. Run this (and commit the result) whenever a
 # deliberate perf change moves the expected numbers.
 bench-archive:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime 1x -count $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson > $(BENCH_BASELINE)
+	$(GO) test -run '^$$' -bench '$(BENCH_GATED)' -benchtime 1x -count $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson > $(BENCH_BASELINE)
 
 # Gate tolerance: measured back-to-back same-binary drift on the 1-core CI
 # container reaches ~1.3-1.4x (min-of-5 vs min-of-5, minutes apart), so the
@@ -60,7 +68,7 @@ BENCH_TOLERANCE ?= 0.5
 # the archived baseline; exits non-zero when any benchmark regresses past
 # its tolerance or disappears. Wired into `make check`.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime 1x -count $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
+	$(GO) test -run '^$$' -bench '$(BENCH_GATED)' -benchtime 1x -count $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
 
 # Race-detector pass over the event engine and the parallel experiment
 # runner — the two packages that share state across goroutines.

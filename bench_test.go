@@ -7,10 +7,12 @@ package emuchick
 // number of every artifact; `cmd/emubench` regenerates the full sweeps.
 
 import (
+	"runtime"
 	"testing"
 
 	"emuchick/internal/cpukernels"
 	"emuchick/internal/experiments"
+	"emuchick/internal/sim"
 	"emuchick/internal/workload"
 	"emuchick/internal/xeon"
 )
@@ -349,6 +351,59 @@ func BenchmarkAblationReplicatedX(b *testing.B) {
 	reportEmu(b, func() (Result, error) {
 		return RunSpMV(HardwareChick(), SpMVConfig{GridN: 50, Layout: SpMV2D, GrainNNZ: 16})
 	})
+}
+
+// threadletSleeper is the shared body of every proc in the threadlet-scale
+// benchmark: park once until a fixed wake time, then exit. One instance is
+// shared by every proc, so the per-proc footprint is exactly the Proc
+// struct plus its registry and event-queue slots — the number the <200 B
+// hardware-context claim translates to on the continuation engine.
+type threadletSleeper struct{ wake sim.Time }
+
+func (s *threadletSleeper) StepProc(p *sim.Proc) {
+	if p.SleepUntil(s.wake) {
+		return
+	}
+	p.Exit()
+}
+
+// BenchmarkThreadletScale spawns 2^20 continuation procs — the resident
+// threadlet population of a 16-chassis full-speed rack — parks every one of
+// them, wakes them all, and reports the measured heap bytes per parked proc.
+// A goroutine per proc would need gigabytes of stacks; the continuation
+// engine must stay within a small constant per proc, and the benchmark
+// fails outright if the bound breaks. Wired into `make bench-gate` so the
+// per-proc footprint and the end-to-end ns/op are both regression-gated.
+func BenchmarkThreadletScale(b *testing.B) {
+	const n = 1 << 20
+	const maxBytesPerProc = 512
+	var perProc float64
+	for i := 0; i < b.N; i++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		eng := sim.NewEngineSized(n)
+		body := &threadletSleeper{wake: sim.Microsecond}
+		for k := 0; k < n; k++ {
+			eng.SpawnContAt(0, "t", body)
+		}
+		if live := eng.LiveProcs(); live != n {
+			b.Fatalf("spawned %d procs, %d live", n, live)
+		}
+		// Measure at the high-water mark: every proc spawned, none finished.
+		runtime.ReadMemStats(&after)
+		perProc = float64(after.HeapAlloc-before.HeapAlloc) / n
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if live := eng.LiveProcs(); live != 0 {
+			b.Fatalf("%d procs still live after Run", live)
+		}
+		if perProc > maxBytesPerProc {
+			b.Fatalf("%.0f heap bytes per parked proc, bound is %d", perProc, maxBytesPerProc)
+		}
+	}
+	b.ReportMetric(perProc, "B/proc")
 }
 
 // BenchmarkQuickExperimentSuite runs every registered experiment in quick

@@ -1,7 +1,7 @@
-// Command emulint is the repo's contract multichecker: five analyzers that
-// turn the reproduction's determinism, hot-path, park-site, fingerprint,
-// and observer-guard promises into compile-time checks (see DESIGN.md
-// section 12).
+// Command emulint is the repo's contract multichecker: six analyzers that
+// turn the reproduction's determinism, hot-path, no-handoff, park-site,
+// fingerprint, and observer-guard promises into compile-time checks (see
+// DESIGN.md section 12).
 //
 // Usage:
 //

@@ -1,0 +1,36 @@
+package emuchick
+
+// The continuation engine's central contract: figures are byte-identical to
+// the goroutine engine's. Both engines share every event-claiming path in
+// the simulator core, so the same kernel must produce the same (time, seq)
+// stream — and therefore bit-for-bit the same figure JSON — regardless of
+// which engine drives the procs and how many cells run in parallel.
+
+import (
+	"bytes"
+	"testing"
+
+	"emuchick/internal/experiments"
+	"emuchick/internal/kernels"
+)
+
+// TestContinuationFiguresBitIdentical pins the engine-equivalence contract
+// at the figure level: the spawn-strategy sweep (fig5) and the pointer-chase
+// scaling study (fig6) must render byte-for-byte the same JSON on both proc
+// engines, serially and with cells running in parallel.
+func TestContinuationFiguresBitIdentical(t *testing.T) {
+	for _, id := range []string{"fig5", "fig6"} {
+		for _, parallel := range []int{1, 4} {
+			g := figuresJSON(t, id,
+				experiments.WithParallel(parallel),
+				experiments.WithProcEngine(kernels.GoroutineProcs))
+			c := figuresJSON(t, id,
+				experiments.WithParallel(parallel),
+				experiments.WithProcEngine(kernels.ContinuationProcs))
+			if !bytes.Equal(g, c) {
+				t.Errorf("%s -parallel %d: engines disagree:\ngoroutine:    %s\ncontinuation: %s",
+					id, parallel, g, c)
+			}
+		}
+	}
+}

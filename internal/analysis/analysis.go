@@ -17,6 +17,9 @@
 //     deadlock post-mortems never dump anonymous procs.
 //   - hotpathalloc: functions annotated //emu:hotpath contain no
 //     allocating constructs.
+//   - nohandoff: functions annotated //emu:nohandoff never park their
+//     goroutine or spawn one per proc — the continuation engine's
+//     no-goroutine-handoff promise.
 //   - fingerprint: every experiments.Options field is explicitly
 //     classified into or out of the checkpoint fingerprint.
 //   - observerguard: machine-layer trace emits sit behind the

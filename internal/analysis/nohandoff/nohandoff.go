@@ -1,0 +1,158 @@
+// Package nohandoff enforces the continuation engine's core promise: a
+// function on the continuation hot path never hands control to another
+// goroutine. The goroutine proc engine parks its goroutine at every
+// blocking point and spawns one per threadlet; the continuation engine
+// exists to eliminate exactly those handoffs, so a resumable Step path
+// that quietly calls back into a parking or goroutine-spawning API would
+// reintroduce per-proc goroutine cost while still claiming threadlet
+// scale.
+//
+// Annotation grammar: a doc-comment line of the form
+//
+//	//emu:nohandoff [note]
+//
+// marks the function; everything after the marker is a free-form note.
+//
+// Inside an annotated function the analyzer flags:
+//
+//   - calls to the goroutine-parking proc methods Park, ParkReason,
+//     WaitUntil, and Delay (the continuation forms are SleepUntil and
+//     Suspend, which record a wake and return);
+//   - calls to the blocking sync wrappers Acquire(p) and Wait(p) on a
+//     parkable proc (the continuation forms are AcquireCont and
+//     WaitCont);
+//   - calls to the goroutine-spawning engine methods Go, GoAt, SpawnAt,
+//     and LaunchAt (the continuation forms are SpawnContAt and
+//     LaunchContAt).
+//
+// Like parksite, the rules key off method shape, not package identity: a
+// parkable proc is any named type with both Park() and ParkReason(string)
+// methods, and a continuation-aware engine is any type offering both
+// SpawnAt and SpawnContAt — which lets the analyzer test itself on fakes.
+package nohandoff
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"emuchick/internal/analysis"
+)
+
+// Marker is the annotation that opts a function into the check.
+const Marker = "//emu:nohandoff"
+
+// Analyzer is the nohandoff check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nohandoff",
+	Doc: "forbids goroutine handoffs (parking proc methods, blocking sync " +
+		"wrappers, goroutine-spawning engine methods) in functions annotated " +
+		"//emu:nohandoff — the continuation hot path must park state, not goroutines",
+	Run: run,
+}
+
+// parking are the Proc methods that block the calling goroutine, mapped to
+// their continuation-safe replacements.
+var parking = map[string]string{
+	"Park":       "Suspend(site)",
+	"ParkReason": "Suspend(site)",
+	"WaitUntil":  "SleepUntil(t)",
+	"Delay":      "SleepUntil(p.Now()+d)",
+}
+
+// blocking are the sync wrappers that park the proc's goroutine when they
+// cannot proceed, mapped to their park-state counterparts.
+var blocking = map[string]string{
+	"Acquire": "AcquireCont",
+	"Wait":    "WaitCont",
+}
+
+// spawning are the Engine methods that start a goroutine per proc, mapped
+// to their continuation counterparts.
+var spawning = map[string]string{
+	"Go":       "SpawnContAt",
+	"GoAt":     "SpawnContAt",
+	"SpawnAt":  "SpawnContAt",
+	"LaunchAt": "LaunchContAt",
+}
+
+// Annotated reports whether the function declaration carries the marker.
+func Annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == Marker || strings.HasPrefix(c.Text, Marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !Annotated(fd) {
+				continue
+			}
+			check(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		recv := pass.TypeOf(sel.X)
+		if recv == nil {
+			return true
+		}
+		if cont, ok := parking[name]; ok && isParkable(recv) {
+			pass.Reportf(call.Pos(), "no-handoff path: %s parks the calling goroutine; use %s and return parked", name, cont)
+			return true
+		}
+		if cont, ok := blocking[name]; ok && len(call.Args) == 1 && isParkable(pass.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "no-handoff path: %s(p) parks the proc's goroutine; use %s(p) and return parked", name, cont)
+			return true
+		}
+		if cont, ok := spawning[name]; ok && isContEngine(recv) {
+			pass.Reportf(call.Pos(), "no-handoff path: %s starts a goroutine per proc; use %s with a Stepper", name, cont)
+		}
+		return true
+	})
+}
+
+// isParkable reports whether t (or *t) is a named type with both a Park()
+// and a ParkReason(string) method — the shape of a simulated process.
+func isParkable(t types.Type) bool {
+	return hasMethod(t, "Park") && hasMethod(t, "ParkReason")
+}
+
+// isContEngine reports whether t offers both the goroutine and the
+// continuation spawn surface — the shape of the event-loop engine.
+func isContEngine(t types.Type) bool {
+	return hasMethod(t, "SpawnAt") && hasMethod(t, "SpawnContAt")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		ms = types.NewMethodSet(types.NewPointer(t))
+	}
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package nohandoff
+
+import (
+	"testing"
+
+	"emuchick/internal/analysis/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/nohandoff", Analyzer)
+}

@@ -1,4 +1,4 @@
-// Package suite assembles the repo's five contract analyzers into the
+// Package suite assembles the repo's six contract analyzers into the
 // multichecker that cmd/emulint, the Makefile lint target, and the
 // emuvalidate -lint claim all share.
 package suite
@@ -8,6 +8,7 @@ import (
 	"emuchick/internal/analysis/fingerprint"
 	"emuchick/internal/analysis/hotpathalloc"
 	"emuchick/internal/analysis/nodeterminism"
+	"emuchick/internal/analysis/nohandoff"
 	"emuchick/internal/analysis/observerguard"
 	"emuchick/internal/analysis/parksite"
 )
@@ -18,6 +19,7 @@ func Analyzers() []*analysis.Analyzer {
 		fingerprint.Analyzer,
 		hotpathalloc.Analyzer,
 		nodeterminism.Analyzer,
+		nohandoff.Analyzer,
 		observerguard.Analyzer,
 		parksite.Analyzer,
 	}

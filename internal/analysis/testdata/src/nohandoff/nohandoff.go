@@ -1,0 +1,117 @@
+// Testdata for the nohandoff analyzer. Proc and Engine are miniatures of
+// sim.Proc and sim.Engine; the analyzer recognizes them by method shape
+// (Park + ParkReason, SpawnAt + SpawnContAt), so no import of the real sim
+// package is needed.
+package nohandoff
+
+type Time int64
+
+type Proc struct {
+	site string
+}
+
+func (p *Proc) Park()                  {}
+func (p *Proc) ParkReason(s string)    {}
+func (p *Proc) WaitUntil(t Time)       {}
+func (p *Proc) Delay(d Time)           {}
+func (p *Proc) SleepUntil(t Time) bool { return true }
+func (p *Proc) Suspend(site string)    {}
+func (p *Proc) Now() Time              { return 0 }
+
+type Stepper interface {
+	StepProc(p *Proc)
+}
+
+type Engine struct{}
+
+func (e *Engine) SpawnAt(t Time, name string, fn func(*Proc)) *Proc  { return nil }
+func (e *Engine) LaunchAt(t Time, name string, fn func(*Proc)) *Proc { return nil }
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc               { return nil }
+func (e *Engine) GoAt(t Time, name string, fn func(*Proc)) *Proc     { return nil }
+func (e *Engine) SpawnContAt(t Time, name string, s Stepper) *Proc   { return nil }
+func (e *Engine) LaunchContAt(t Time, name string, s Stepper) *Proc  { return nil }
+
+type Semaphore struct{}
+
+func (s *Semaphore) Acquire(p *Proc)          {}
+func (s *Semaphore) AcquireCont(p *Proc) bool { return false }
+func (s *Semaphore) Release()                 {}
+
+type Join struct{}
+
+func (j *Join) Wait(p *Proc)          {}
+func (j *Join) WaitCont(p *Proc) bool { return false }
+
+//emu:nohandoff resumable step path
+func stepParks(p *Proc) {
+	p.Park()            // want `no-handoff path: Park parks the calling goroutine`
+	p.ParkReason("sem") // want `no-handoff path: ParkReason parks the calling goroutine`
+	p.WaitUntil(10)     // want `no-handoff path: WaitUntil parks the calling goroutine`
+	p.Delay(5)          // want `no-handoff path: Delay parks the calling goroutine`
+}
+
+//emu:nohandoff
+func stepBlocks(p *Proc, s *Semaphore, j *Join) {
+	s.Acquire(p) // want `no-handoff path: Acquire\(p\) parks the proc's goroutine`
+	j.Wait(p)    // want `no-handoff path: Wait\(p\) parks the proc's goroutine`
+}
+
+//emu:nohandoff
+func stepSpawns(e *Engine, fn func(*Proc)) {
+	e.Go("w", fn)          // want `no-handoff path: Go starts a goroutine per proc`
+	e.GoAt(1, "w", fn)     // want `no-handoff path: GoAt starts a goroutine per proc`
+	e.SpawnAt(1, "w", fn)  // want `no-handoff path: SpawnAt starts a goroutine per proc`
+	e.LaunchAt(1, "w", fn) // want `no-handoff path: LaunchAt starts a goroutine per proc`
+}
+
+//emu:nohandoff the continuation forms are all legal
+func stepClean(p *Proc, s *Semaphore, j *Join, e *Engine, st Stepper) {
+	if p.SleepUntil(10) {
+		return
+	}
+	p.Suspend("sem")
+	if s.AcquireCont(p) {
+		return
+	}
+	if j.WaitCont(p) {
+		return
+	}
+	s.Release()
+	e.SpawnContAt(1, "w", st)
+	e.LaunchContAt(1, "w", st)
+}
+
+// unannotated functions may hand off freely: the goroutine engine and the
+// compatibility shim live on exactly these calls.
+func goroutineBody(p *Proc, s *Semaphore, e *Engine, fn func(*Proc)) {
+	p.Park()
+	s.Acquire(p)
+	e.SpawnAt(1, "w", fn)
+}
+
+// onlySpawnAt has the goroutine half of the engine shape but no
+// continuation surface: not a continuation-aware engine, out of scope.
+type onlySpawnAt struct{}
+
+func (o *onlySpawnAt) SpawnAt(t Time, name string, fn func(*Proc)) {}
+
+//emu:nohandoff
+func stepOtherSpawner(o *onlySpawnAt, fn func(*Proc)) {
+	o.SpawnAt(1, "w", fn)
+}
+
+// Car has Park but no ParkReason: not the parkable shape, out of scope.
+type Car struct{}
+
+func (c *Car) Park() {}
+
+//emu:nohandoff
+func garage(c *Car) {
+	c.Park()
+}
+
+//emu:nohandoff suppression works one site at a time
+func stepTolerated(p *Proc) {
+	//lint:allow nohandoff teardown path, runs once per failed run
+	p.Park()
+}

@@ -12,6 +12,7 @@ import (
 
 	"emuchick/internal/analysis/fingerprint"
 	"emuchick/internal/fault"
+	"emuchick/internal/kernels"
 	"emuchick/internal/sim"
 	"emuchick/internal/trace"
 )
@@ -44,6 +45,7 @@ func fieldMutations(t *testing.T) map[string]func(*Options) {
 		"Faults":         func(o *Options) { o.Faults = mustPlan(t) },
 		"FaultSeed":      func(o *Options) { o.FaultSeed = 9 },
 		"Parallel":       func(o *Options) { o.Parallel = 7 },
+		"ProcEngine":     func(o *Options) { o.ProcEngine = kernels.GoroutineProcs },
 		"Observer":       func(o *Options) { o.Observer = trace.FuncObserver{OnEvent: func(trace.Event) {}} },
 		"SampleInterval": func(o *Options) { o.SampleInterval = sim.Microsecond },
 		"Checkpoint":     func(o *Options) { o.Checkpoint = "elsewhere.ckpt" },
@@ -132,6 +134,7 @@ func TestCheckpointResumeHonorsFingerprintTable(t *testing.T) {
 		"Faults":         WithFaultPlan(mustPlan(t)),
 		"FaultSeed":      WithFaultSeed(9),
 		"Parallel":       WithParallel(2),
+		"ProcEngine":     WithProcEngine(kernels.GoroutineProcs),
 		"Observer":       WithObserver(trace.FuncObserver{OnEvent: func(trace.Event) {}}),
 		"SampleInterval": WithSampleInterval(sim.Microsecond),
 		"CellTimeout":    WithCellTimeout(time.Minute),

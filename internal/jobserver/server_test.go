@@ -348,16 +348,23 @@ func TestKillRestartResumeByteIdentical(t *testing.T) {
 		DataDir: dataDir,
 		Workers: 1,
 		CellHook: func(id string, cells int) {
-			if cells >= 3 {
-				// Close blocks until workers exit, so it must not run on the
-				// worker goroutine delivering this hook.
-				once.Do(func() {
-					go func() {
-						srv.Close()
-						close(stopped)
-					}()
-				})
+			if cells < 3 {
+				return
 			}
+			// Close blocks until workers exit, so it must not run on the
+			// worker goroutine delivering this hook.
+			once.Do(func() {
+				go func() {
+					srv.Close()
+					close(stopped)
+				}()
+			})
+			// Hold the worker here until shutdown has actually begun:
+			// Close cancels the root context first, the hook then returns,
+			// and the sweep's next poll point parks the job back to
+			// queued. Without this the remaining cells can outrun the
+			// asynchronous Close and finish the job before the kill lands.
+			<-srv.root.Done()
 		},
 	})
 	rec, err := srv.Submit(spec)

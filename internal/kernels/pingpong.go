@@ -37,24 +37,30 @@ func PingPong(mcfg machine.Config, cfg PingPongConfig, opts ...RunOption) (PingP
 	if cfg.NodeletA == cfg.NodeletB {
 		return PingPongResult{}, fmt.Errorf("kernels: ping-pong needs two distinct nodelets")
 	}
-	sys := newSystem(mcfg, opts...)
+	rc := resolveRunConfig(opts)
+	sys := newSystemRC(mcfg, &rc)
 	if cfg.NodeletA >= sys.Nodelets() || cfg.NodeletB >= sys.Nodelets() {
 		return PingPongResult{}, fmt.Errorf("kernels: ping-pong nodelets out of range")
 	}
 	var out PingPongResult
-	_, err := sys.Run(func(root *machine.Thread) {
-		t0 := root.Now()
-		for k := 0; k < cfg.Threads; k++ {
-			root.SpawnAt(cfg.NodeletA, func(w *machine.Thread) {
-				for i := 0; i < cfg.Iterations; i++ {
-					w.MigrateTo(cfg.NodeletB)
-					w.MigrateTo(cfg.NodeletA)
-				}
-			})
-		}
-		root.Sync()
-		out.Elapsed = root.Now() - t0
-	})
+	var err error
+	if rc.engine == GoroutineProcs {
+		_, err = sys.Run(func(root *machine.Thread) {
+			t0 := root.Now()
+			for k := 0; k < cfg.Threads; k++ {
+				root.SpawnAt(cfg.NodeletA, func(w *machine.Thread) {
+					for i := 0; i < cfg.Iterations; i++ {
+						w.MigrateTo(cfg.NodeletB)
+						w.MigrateTo(cfg.NodeletA)
+					}
+				})
+			}
+			root.Sync()
+			out.Elapsed = root.Now() - t0
+		})
+	} else {
+		_, err = sys.RunCont(&pingContRoot{sp: pingSpawner{cfg: cfg}, out: &out.Elapsed})
+	}
 	if err != nil {
 		return PingPongResult{}, err
 	}

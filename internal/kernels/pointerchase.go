@@ -53,7 +53,8 @@ func PointerChaseWithStats(mcfg machine.Config, cfg ChaseConfig, opts ...RunOpti
 	if cfg.Elements <= 0 || cfg.BlockSize <= 0 || cfg.Threads <= 0 || cfg.Nodelets <= 0 {
 		return metrics.Result{}, ChaseStats{}, fmt.Errorf("kernels: invalid chase config %+v", cfg)
 	}
-	sys := newSystem(mcfg, opts...)
+	rc := resolveRunConfig(opts)
+	sys := newSystemRC(mcfg, &rc)
 	if cfg.Nodelets > sys.Nodelets() {
 		return metrics.Result{}, ChaseStats{}, fmt.Errorf("kernels: chase wants %d nodelets, machine has %d",
 			cfg.Nodelets, sys.Nodelets())
@@ -124,24 +125,29 @@ func PointerChaseWithStats(mcfg machine.Config, cfg ChaseConfig, opts ...RunOpti
 
 	sums := make([]uint64, cfg.Threads)
 	var res metrics.Result
-	_, err := sys.Run(func(root *machine.Thread) {
-		t0 := root.Now()
-		cilk.SpawnGrouped(root, groups, func(w *machine.Thread, k int) {
-			addr := starts[k]
-			var sum uint64
-			for {
-				sum += w.Load(addr)
-				next := w.Load(addr.Plus(1))
-				w.Compute(chaseOverheadCycles)
-				if next == endOfList {
-					break
+	var err error
+	if rc.engine == GoroutineProcs {
+		_, err = sys.Run(func(root *machine.Thread) {
+			t0 := root.Now()
+			cilk.SpawnGrouped(root, groups, func(w *machine.Thread, k int) {
+				addr := starts[k]
+				var sum uint64
+				for {
+					sum += w.Load(addr)
+					next := w.Load(addr.Plus(1))
+					w.Compute(chaseOverheadCycles)
+					if next == endOfList {
+						break
+					}
+					addr = memsys.Addr(next)
 				}
-				addr = memsys.Addr(next)
-			}
-			sums[k] = sum
+				sums[k] = sum
+			})
+			res.Elapsed = root.Now() - t0
 		})
-		res.Elapsed = root.Now() - t0
-	})
+	} else {
+		_, err = sys.RunCont(chaseContRoot(groups, starts, sums, &res.Elapsed))
+	}
 	if err != nil {
 		return metrics.Result{}, ChaseStats{}, err
 	}

@@ -126,7 +126,8 @@ func Stream(mcfg machine.Config, cfg StreamConfig, opts ...RunOption) (metrics.R
 	if cfg.ElemsPerNodelet <= 0 || cfg.Threads <= 0 || cfg.Nodelets <= 0 {
 		return metrics.Result{}, fmt.Errorf("kernels: invalid stream config %+v", cfg)
 	}
-	sys := newSystem(mcfg, opts...)
+	rc := resolveRunConfig(opts)
+	sys := newSystemRC(mcfg, &rc)
 	if cfg.Nodelets > sys.Nodelets() {
 		return metrics.Result{}, fmt.Errorf("kernels: stream wants %d nodelets, machine has %d",
 			cfg.Nodelets, sys.Nodelets())
@@ -162,28 +163,34 @@ func Stream(mcfg machine.Config, cfg StreamConfig, opts ...RunOption) (metrics.R
 
 	loads, _ := cfg.Kernel.loadsStores()
 	var res metrics.Result
-	_, err := sys.Run(func(root *machine.Thread) {
-		t0 := root.Now()
-		cilk.SpawnWorkers(root, cfg.Nodelets, cfg.Threads, cfg.Strategy, func(w *machine.Thread, id int) {
-			// Worker id serves nodelet id mod Nodelets and takes its
-			// rank-th contiguous share of that nodelet's stripe.
-			nl := id % cfg.Nodelets
-			rank := id / cfg.Nodelets
-			ranks := (cfg.Threads - nl + cfg.Nodelets - 1) / cfg.Nodelets
-			lo, hi := share(cfg.ElemsPerNodelet, rank, ranks)
-			for j := lo; j < hi; j++ {
-				i := index(nl, j)
-				va := w.Load(a.At(i))
-				var vb uint64
-				if loads == 2 {
-					vb = w.Load(b.At(i))
+	var err error
+	if rc.engine == GoroutineProcs {
+		_, err = sys.Run(func(root *machine.Thread) {
+			t0 := root.Now()
+			cilk.SpawnWorkers(root, cfg.Nodelets, cfg.Threads, cfg.Strategy, func(w *machine.Thread, id int) {
+				// Worker id serves nodelet id mod Nodelets and takes its
+				// rank-th contiguous share of that nodelet's stripe.
+				nl := id % cfg.Nodelets
+				rank := id / cfg.Nodelets
+				ranks := (cfg.Threads - nl + cfg.Nodelets - 1) / cfg.Nodelets
+				lo, hi := share(cfg.ElemsPerNodelet, rank, ranks)
+				for j := lo; j < hi; j++ {
+					i := index(nl, j)
+					va := w.Load(a.At(i))
+					var vb uint64
+					if loads == 2 {
+						vb = w.Load(b.At(i))
+					}
+					w.Store(c.At(i), cfg.Kernel.apply(va, vb))
+					w.Compute(streamOverheadCycles)
 				}
-				w.Store(c.At(i), cfg.Kernel.apply(va, vb))
-				w.Compute(streamOverheadCycles)
-			}
+			})
+			res.Elapsed = root.Now() - t0
 		})
-		res.Elapsed = root.Now() - t0
-	})
+	} else {
+		sh := &streamShared{a: a, b: b, c: c, kernel: cfg.Kernel, loads: loads, index: index}
+		_, err = sys.RunCont(streamContRoot(cfg, sh, &res.Elapsed))
+	}
 	if err != nil {
 		return metrics.Result{}, err
 	}

@@ -38,6 +38,42 @@ type runConfig struct {
 	ctx       context.Context
 	plan      *fault.Plan
 	maxEvents uint64
+	engine    ProcEngine
+}
+
+// ProcEngine selects how a kernel's simulated threadlets are hosted by the
+// event engine.
+type ProcEngine int
+
+const (
+	// ContinuationProcs (the default) hosts each threadlet as a resumable
+	// state machine the event loop steps in place — no goroutine, no
+	// channel handoff per context switch, and bounded bytes per threadlet,
+	// which is what makes rack-scale thread counts simulable.
+	ContinuationProcs ProcEngine = iota
+	// GoroutineProcs hosts each threadlet on its own goroutine, parking on
+	// a channel at every wait — the original engine, kept as a
+	// compatibility shim and as the independent reference implementation
+	// the equivalence tests diff the continuation engine against.
+	GoroutineProcs
+)
+
+// String names the engine for reports and jobspec fingerprints.
+func (e ProcEngine) String() string {
+	if e == GoroutineProcs {
+		return "goroutine"
+	}
+	return "continuation"
+}
+
+// WithProcEngine selects the proc engine for kernels that have both
+// implementations (STREAM, pointer chase, ping-pong). The two engines are
+// byte-identical in simulated time, counters, and traces — this knob exists
+// for host-side performance comparison and for regression-testing the
+// equivalence, not to change results. Kernels without a continuation port
+// always use goroutine procs regardless of this option.
+func WithProcEngine(e ProcEngine) RunOption {
+	return func(c *runConfig) { c.engine = e }
 }
 
 // WithObserver streams the run's machine events and gauge samples to obs.
@@ -75,21 +111,30 @@ func WithMaxEvents(n uint64) RunOption {
 	return func(c *runConfig) { c.maxEvents = n }
 }
 
-// newSystem builds a machine with the package tracing hook and the per-run
-// options applied.
-func newSystem(cfg machine.Config, opts ...RunOption) *machine.System {
-	sys := machine.NewSystem(cfg)
-	if traceWriter != nil {
-		sys.TraceTo(traceWriter, traceLimit)
-	}
-	if len(opts) == 0 {
-		return sys
-	}
+// resolveRunConfig folds the option list into one runConfig, so kernels with
+// engine-dependent bodies can branch on it before building their system.
+func resolveRunConfig(opts []RunOption) runConfig {
 	var c runConfig
 	for _, opt := range opts {
 		if opt != nil {
 			opt(&c)
 		}
+	}
+	return c
+}
+
+// newSystem builds a machine with the package tracing hook and the per-run
+// options applied.
+func newSystem(cfg machine.Config, opts ...RunOption) *machine.System {
+	rc := resolveRunConfig(opts)
+	return newSystemRC(cfg, &rc)
+}
+
+// newSystemRC is newSystem over an already-resolved runConfig.
+func newSystemRC(cfg machine.Config, c *runConfig) *machine.System {
+	sys := machine.NewSystem(cfg)
+	if traceWriter != nil {
+		sys.TraceTo(traceWriter, traceLimit)
 	}
 	if c.plan != nil {
 		sys.InjectFaults(c.plan)

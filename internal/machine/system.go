@@ -35,6 +35,11 @@ type System struct {
 	// recycled hardware resource, not a fresh allocation per threadlet.
 	freeThreads []*Thread
 
+	// freeCThreads pools continuation threadlet contexts the same way; on
+	// the continuation engine this pool plus the sim proc pool is the entire
+	// steady-state allocation footprint of a spawn.
+	freeCThreads []*CThread
+
 	// Migration-path constants, precomputed so the hot migrate path does no
 	// floating-point division per hop.
 	migSvc  sim.Time // service time of one migration at the engine's rate
@@ -155,10 +160,35 @@ func (s *System) MeanChannelUtilization(elapsed sim.Time) float64 {
 // runtime launches a program's main thread) and drives the simulation until
 // every thread has finished. It returns the total simulated time.
 func (s *System) Run(root func(*Thread)) (sim.Time, error) {
+	start := s.beginRun()
+	s.startThread(0, "main", root, nil)
+	return s.finishRun(start)
+}
+
+// RunCont executes root as the initial continuation threadlet on nodelet 0.
+// It is Run for the continuation proc engine: the same begin/finish
+// bookkeeping, the same main-thread spawn accounting, but no goroutine is
+// created for this or any descendant threadlet — the event loop resumes
+// each CThread's state machine in place.
+func (s *System) RunCont(root CBody) (sim.Time, error) {
+	start := s.beginRun()
+	t := s.acquireCThread()
+	t.nodelet = 0
+	t.body = root
+	s.Eng.SpawnContAt(s.Eng.Now(), "main", t)
+	return s.finishRun(start)
+}
+
+// beginRun emits the run-begin marker and accounts the main thread's spawn.
+func (s *System) beginRun() sim.Time {
 	start := s.Eng.Now()
 	s.emit(trace.KindRunBegin, len(s.nodelets), -1, 0, start, start)
 	s.Counters.localSpawns[0]++ // the main thread itself
-	s.startThread(0, "main", root, nil)
+	return start
+}
+
+// finishRun drives the engine and closes out the run's observability.
+func (s *System) finishRun(start sim.Time) (sim.Time, error) {
 	if err := s.Eng.Run(); err != nil {
 		return 0, err
 	}
@@ -209,4 +239,33 @@ func (s *System) releaseThread(t *Thread) {
 	t.parentJoin = nil
 	t.children = nil
 	s.freeThreads = append(s.freeThreads, t)
+}
+
+// acquireCThread pops a pooled continuation threadlet or allocates one.
+//
+//emu:hotpath pool hit is the steady state; the miss path is factored into newCThread
+func (s *System) acquireCThread() *CThread {
+	if n := len(s.freeCThreads); n > 0 {
+		t := s.freeCThreads[n-1]
+		s.freeCThreads[n-1] = nil
+		s.freeCThreads = s.freeCThreads[:n-1]
+		*t = CThread{sys: s}
+		return t
+	}
+	return s.newCThread()
+}
+
+func (s *System) newCThread() *CThread {
+	return &CThread{sys: s}
+}
+
+// releaseCThread returns a finished continuation threadlet to the pool.
+//
+//emu:hotpath the tail of every continuation threadlet
+func (s *System) releaseCThread(t *CThread) {
+	t.body = nil
+	t.spawnBody = nil
+	t.parentJoin = nil
+	t.children = nil
+	s.freeCThreads = append(s.freeCThreads, t)
 }

@@ -201,12 +201,16 @@ const remoteQueueEntries = 64
 
 // postedAccept converts a posted operation's issue and service times into
 // the moment the sender may proceed.
-func (t *Thread) postedAccept(issued, served sim.Time) sim.Time {
-	bound := served - sim.Time(remoteQueueEntries)*t.sys.Cfg.WordAccessTime
+func (s *System) postedAccept(issued, served sim.Time) sim.Time {
+	bound := served - sim.Time(remoteQueueEntries)*s.Cfg.WordAccessTime
 	if bound > issued {
 		return bound
 	}
 	return issued
+}
+
+func (t *Thread) postedAccept(issued, served sim.Time) sim.Time {
+	return t.sys.postedAccept(issued, served)
 }
 
 // RemoteAddFloat posts an atomic float64 accumulation, the operation the
@@ -229,14 +233,41 @@ func (t *Thread) RemoteAddFloat(a memsys.Addr, delta float64) {
 	t.p.WaitUntil(t.postedAccept(issued, served))
 }
 
+// flightLatency is the one-way network flight time from nodelet src to the
+// target nodelet's memory-side processor: the base migration latency, plus
+// the inter-node hop when crossing node cards, plus the top-of-rack hop when
+// crossing chassis (zero on single-tier machines). Thread and CThread share
+// it so the two proc engines are arithmetic-identical by construction.
+func (s *System) flightLatency(src, target int) sim.Time {
+	lat := s.Cfg.MigrationLatency
+	if s.Cfg.NodeOf(target) != s.Cfg.NodeOf(src) {
+		lat += s.Cfg.InterNodeLatency
+	}
+	if s.Cfg.ChassisOf(target) != s.Cfg.ChassisOf(src) {
+		lat += s.Cfg.InterChassisLatency
+	}
+	return lat
+}
+
+// spawnArrival is when a spawn packet issued at nodelet src at time at
+// becomes runnable on nodelet nl.
+func (s *System) spawnArrival(src, nl int, at sim.Time) sim.Time {
+	if nl != src {
+		at += s.Cfg.RemoteSpawnLatency
+		if s.Cfg.NodeOf(nl) != s.Cfg.NodeOf(src) {
+			at += s.Cfg.InterNodeLatency
+		}
+		if s.Cfg.ChassisOf(nl) != s.Cfg.ChassisOf(src) {
+			at += s.Cfg.InterChassisLatency
+		}
+	}
+	return at
+}
+
 // networkLatency is the one-way flight time from the thread's nodelet to
 // the target nodelet's memory-side processor.
 func (t *Thread) networkLatency(target int) sim.Time {
-	lat := t.sys.Cfg.MigrationLatency
-	if t.sys.Cfg.NodeOf(target) != t.sys.Cfg.NodeOf(t.nodelet) {
-		lat += t.sys.Cfg.InterNodeLatency
-	}
-	return lat
+	return t.sys.flightLatency(t.nodelet, target)
 }
 
 // MigrateTo moves the thread's context to the target nodelet: it releases
@@ -278,6 +309,9 @@ func (t *Thread) migrate(target int, trigger memsys.Addr) {
 		}
 		_, sent = link.Acquire(sent, xfer)
 		flight += s.Cfg.InterNodeLatency
+		if s.Cfg.ChassisOf(target) != s.Cfg.ChassisOf(t.nodelet) {
+			flight += s.Cfg.InterChassisLatency
+		}
 	}
 	s.emit(TraceMigrate, t.nodelet, target, trigger, depart, sent+flight)
 	t.p.WaitUntil(sent + flight)
@@ -333,14 +367,7 @@ func (t *Thread) SpawnAt(nl int, fn func(*Thread)) {
 		panic(fmt.Sprintf("machine: spawn at nodelet %d of %d", nl, len(s.nodelets)))
 	}
 	t.Compute(s.Cfg.LocalSpawnCycles)
-	start := t.p.Now()
-	if nl != t.nodelet {
-		start += s.Cfg.RemoteSpawnLatency
-		if s.Cfg.NodeOf(nl) != s.Cfg.NodeOf(t.nodelet) {
-			start += s.Cfg.InterNodeLatency
-		}
-	}
-	t.spawnOn(nl, start, fn)
+	t.spawnOn(nl, s.spawnArrival(t.nodelet, nl, t.p.Now()), fn)
 }
 
 //emu:hotpath the spawn path: pooled child thread, launch event instead of a closure

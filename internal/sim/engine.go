@@ -93,8 +93,17 @@ type Engine struct {
 	// free holds finished Procs whose goroutines are parked in procLoop,
 	// ready to be recycled by the next spawn; stop, captured by each pooled
 	// goroutine at creation, is closed when Run ends so the pool drains.
-	free []*Proc
-	stop chan struct{}
+	// freeCont is the separate pool for continuation procs, which have no
+	// goroutine or channel to keep alive.
+	free     []*Proc
+	freeCont []*Proc
+	stop     chan struct{}
+
+	// aborted is set during failed-run teardown while live goroutine procs
+	// are being released (see abortParked); each one acknowledges on
+	// abortAck as its host goroutine unwinds.
+	aborted  bool
+	abortAck chan struct{}
 
 	fired     uint64 // events dispatched so far
 	MaxEvents uint64 // safety valve; 0 means no limit
@@ -351,20 +360,81 @@ func (e *Engine) fastForward(t Time) bool {
 // the token moves on — so a proc-to-proc context switch is one direct
 // channel handoff, and a Proc whose own wake-up is the next event continues
 // without any handoff at all.
+// Run may be called again on the same engine after it returns: teardown
+// leaves the engine in a clean reusable state whether the run succeeded or
+// failed (the clock, seq counter, and fired count stay monotonic across
+// runs — simulated time never rewinds).
 func (e *Engine) Run() error {
 	e.done = make(chan error, 1)
 	e.advance(nil)
 	err := <-e.done
-	// Retire the proc pool: every freelisted goroutine is parked in
-	// procLoop's select, and closing stop lets them exit. Procs parked
-	// mid-body when a run fails stay blocked on their resume channels, as
-	// they always have. A later Run starts a fresh pool.
+	e.teardown(err != nil)
+	return err
+}
+
+// teardown retires the proc pools after a run. After a failed run it first
+// releases every proc still parked mid-body — historically those goroutines
+// stayed blocked on their resume channels forever, a leak that accumulated
+// in long-lived job servers as watchdog-killed, cancelled, and deadlocked
+// runs piled up — and then clears the scheduling state (un-fired events,
+// live-proc count, failure registry) the failure left behind, so reusing
+// the engine cannot silently misbehave. Closing stop lets the freelisted
+// goroutines, all parked in procLoop's select, exit.
+func (e *Engine) teardown(failed bool) {
+	if failed {
+		e.abortParked()
+		e.heap = e.heap[:0]
+		for i := range e.lanes {
+			ln := &e.lanes[i]
+			ln.evs = ln.evs[:0]
+			ln.head = 0
+		}
+		e.pending = 0
+		e.procs = 0
+	}
 	if e.stop != nil {
 		close(e.stop)
 		e.stop = nil
-		e.free = nil
 	}
-	return err
+	e.free = nil
+	e.freeCont = nil
+	for i := range e.all {
+		e.all[i].registered = false
+		e.all[i] = nil
+	}
+	e.all = e.all[:0]
+}
+
+// abortParked wakes every goroutine proc still parked mid-body and unwinds
+// it: the proc's next resume observes e.aborted and panics with an abort
+// sentinel that procLoop recovers, acknowledging on abortAck before its
+// goroutine exits. The unbuffered resume send doubles as the rendezvous — it
+// completes only once the target goroutine has actually reached its receive,
+// so a proc whose goroutine was still between "scheduled" and "parked"
+// cannot be missed. Continuation procs have no goroutine to release; they
+// are simply dropped with the rest of the engine state.
+func (e *Engine) abortParked() {
+	waking := 0
+	for _, p := range e.all {
+		if !p.done && p.resume != nil {
+			waking++
+		}
+	}
+	if waking == 0 {
+		return
+	}
+	e.aborted = true
+	e.abortAck = make(chan struct{}, waking)
+	for _, p := range e.all {
+		if !p.done && p.resume != nil {
+			p.resume <- struct{}{}
+		}
+	}
+	for i := 0; i < waking; i++ {
+		<-e.abortAck
+	}
+	e.aborted = false
+	e.abortAck = nil
 }
 
 // advance runs the event loop on the calling goroutine. self is the Proc
@@ -422,6 +492,13 @@ func (e *Engine) advance(self *Proc) bool {
 			panic("sim: dispatching finished proc " + ev.proc.name)
 		}
 		ev.proc.hasWake = false
+		if s := ev.proc.stepper; s != nil {
+			// Continuation dispatch: resume the state machine in place — a
+			// method call, not a handoff. The token never leaves this
+			// goroutine, so the loop just continues.
+			s.StepProc(ev.proc)
+			continue
+		}
 		if ev.proc == self {
 			return true
 		}

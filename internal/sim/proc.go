@@ -17,12 +17,19 @@ package sim
 // next spawn. Spawn-heavy kernels — the paper's fine-grained Cilk trees —
 // therefore create goroutines only up to the peak live count, not once per
 // simulated thread.
+// A Proc can instead be continuation-hosted (see cont.go): spawned with
+// SpawnContAt/LaunchContAt it has no goroutine and a nil resume channel, and
+// the event loop resumes it by calling its Stepper directly. The struct
+// below is the entire park state of such a proc — on 64-bit it is under
+// 200 bytes including its registry and event-queue footprint, which is what
+// makes millions of concurrently parked threadlets tractable.
 type Proc struct {
-	eng    *Engine
-	resume chan struct{}
-	runner Runner
-	name   string
-	done   bool
+	eng     *Engine
+	resume  chan struct{}
+	runner  Runner
+	stepper Stepper // non-nil exactly for continuation-hosted procs
+	name    string
+	done    bool
 
 	// registered is true while the Proc sits in the engine's failure-dump
 	// registry; compaction clears it so a recycled Proc re-registers.
@@ -152,14 +159,31 @@ func (e *Engine) newProc(name string) *Proc {
 // directly, with no channel handoff at all.
 //
 // stop is captured at creation: closing it (end of Run) releases every
-// pooled goroutine. Procs parked mid-body when a run fails stay blocked on
-// their resume channels, as they always have.
+// pooled goroutine. Procs parked mid-body when a run fails are woken by the
+// teardown with e.aborted set: the resume panics with procAborted, the
+// recover below catches it, and the goroutine acknowledges and exits instead
+// of leaking on its resume channel.
 func (e *Engine) procLoop(p *Proc, stop <-chan struct{}) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procAborted); ok {
+				e.abortAck <- struct{}{}
+				return
+			}
+			panic(r)
+		}
+	}()
 	redispatched := false
 	for {
 		if !redispatched {
 			select {
 			case <-p.resume:
+				if e.aborted {
+					// Spawned but never dispatched when the run failed: the
+					// body must not start during teardown.
+					e.abortAck <- struct{}{}
+					return
+				}
 			case <-stop:
 				return
 			}
@@ -173,6 +197,10 @@ func (e *Engine) procLoop(p *Proc, stop <-chan struct{}) {
 		redispatched = e.advance(p)
 	}
 }
+
+// procAborted is the panic sentinel that unwinds a parked proc's goroutine
+// through its body frames during failed-run teardown.
+type procAborted struct{}
 
 // yield gives up the control token: the Proc drives the engine loop until
 // the token moves on, then blocks until re-dispatched. If this Proc's own
@@ -188,6 +216,9 @@ func (p *Proc) yield() {
 		return
 	}
 	<-p.resume
+	if p.eng.aborted {
+		panic(procAborted{})
+	}
 }
 
 // WaitUntil suspends the Proc until absolute simulated time t. Waiting for a

@@ -45,6 +45,24 @@ func (s *Semaphore) Acquire(p *Proc) {
 	// already adjusted in Release.
 }
 
+// AcquireCont is Acquire for continuation procs: parked=false means the
+// slot was taken in place and the body continues; parked=true means p joined
+// the FIFO waiter queue (recorded as its park site) and StepProc must
+// return — the releaser transfers its slot and schedules p's next dispatch,
+// with the count already adjusted, exactly as for a goroutine waiter. The
+// two kinds of waiter mix freely in one queue.
+//
+//emu:hotpath every continuation spawn and inbound migration acquires a context slot
+func (s *Semaphore) AcquireCont(p *Proc) (parked bool) {
+	if s.inUse < s.capacity {
+		s.take()
+		return false
+	}
+	s.waiters = append(s.waiters, p)
+	p.Suspend(s.name)
+	return true
+}
+
 // TryAcquire takes a slot if one is free without blocking; it reports
 // whether it succeeded.
 func (s *Semaphore) TryAcquire() bool {
@@ -158,4 +176,22 @@ func (j *Join) Wait(p *Proc) {
 	}
 	j.waiter = p
 	p.ParkReason("join")
+}
+
+// WaitCont is Wait for continuation procs: parked=false means the count was
+// already zero and the body continues; parked=true means p is registered as
+// the waiter and StepProc must return — the final Done schedules its next
+// dispatch.
+//
+//emu:hotpath
+func (j *Join) WaitCont(p *Proc) (parked bool) {
+	if j.remaining == 0 {
+		return false
+	}
+	if j.waiter != nil {
+		panic("sim: join already has a waiter")
+	}
+	j.waiter = p
+	p.Suspend("join")
+	return true
 }
