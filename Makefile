@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-quick bench bench-quick bench-archive bench-gate race figures figures-quick scorecard scorecard-quick trace-smoke fault-smoke serve-smoke soak examples clean
+.PHONY: all check build vet lint test test-quick bench bench-quick bench-archive bench-gate race figures figures-quick scorecard scorecard-quick trace-smoke fault-smoke serve-smoke chaos-smoke soak examples clean
 
 all: build vet lint test race
 
-# The pre-commit gate: compile, vet, lint, test, the perf gate, and the job
-# server smoke.
-check: build vet lint test bench-gate serve-smoke
+# The pre-commit gate: compile, vet, lint, test, the perf gate, the job
+# server smoke, and the chaos smoke.
+check: build vet lint test bench-gate serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -104,6 +104,14 @@ fault-smoke:
 	$(GO) run ./cmd/emutrace -fig fig6 -quick -trials 1 -format jsonl \
 		-faults 'migstall=10us/100us' -out /tmp/emufault-smoke.jsonl
 	$(GO) run ./cmd/emutrace -validate /tmp/emufault-smoke.jsonl
+
+# Chaos smoke at -short scale: the seeded fault-injection unit suite plus
+# the crash-restart fuzz (kill the store at a seeded op, restart, demand
+# byte-identical results) and the noisy-disk degradation tests. Wired into
+# `make check`; drop -short for the full 20-seed sweep.
+chaos-smoke:
+	$(GO) test ./internal/chaos -count=1
+	$(GO) test ./internal/jobserver -run 'TestChaos' -short -count=1
 
 # Boot cmd/emuserved, submit a quick job over real HTTP, poll it done, fetch
 # the result, and require an identical resubmit to be a byte-identical cache

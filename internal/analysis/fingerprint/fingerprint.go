@@ -63,6 +63,7 @@ var Fields = map[string]Class{
 	"CellTimeout":    Out,
 	"Retries":        Out,
 	"ctx":            Out,
+	"ckptFS":         Out, // which filesystem holds the WAL, not what it records
 	"ckpt":           Out,
 	"maxEvents":      Out,
 	"ckptHook":       Out,

@@ -36,6 +36,7 @@ var deterministicPackages = map[string]bool{
 	"emuchick/internal/metrics":     true,
 	"emuchick/internal/report":      true,
 	"emuchick/internal/experiments": true,
+	"emuchick/internal/chaos":       true,
 }
 
 // wallClockFuncs are the time package functions that read or depend on the

@@ -7,12 +7,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
 	"emuchick/internal/sim"
+	"emuchick/internal/storefs"
 )
 
 // The checkpoint is a write-ahead log of finished sweep cells: one JSONL
@@ -119,7 +121,7 @@ func NewCellFailure(attempts int, err error) *CellFailure {
 // runner's coordinating goroutine.
 type Checkpoint struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        storefs.File
 	exp      string
 	fp       string
 	done     map[ckptKey]float64
@@ -150,9 +152,19 @@ func CheckpointPath(path, expID string) string {
 // mid-append — is dropped. A log written by a different experiment or under
 // different workload-shaping options is refused.
 func OpenCheckpoint(path, exp, fingerprint string) (*Checkpoint, error) {
+	return OpenCheckpointIn(storefs.Default, path, exp, fingerprint)
+}
+
+// OpenCheckpointIn is OpenCheckpoint against an explicit filesystem — the
+// seam the job server uses to route WAL appends through its (possibly
+// fault-injecting) store filesystem.
+func OpenCheckpointIn(fsys storefs.FS, path, exp, fingerprint string) (*Checkpoint, error) {
+	if fsys == nil {
+		fsys = storefs.Default
+	}
 	c := &Checkpoint{exp: exp, fp: fingerprint, done: map[ckptKey]float64{}}
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
+	data, err := fsys.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	hasHeader := false
@@ -196,7 +208,7 @@ func OpenCheckpoint(path, exp, fingerprint string) (*Checkpoint, error) {
 		}
 		valid, off = end, end
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}

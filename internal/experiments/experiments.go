@@ -15,6 +15,7 @@ import (
 	"emuchick/internal/kernels"
 	"emuchick/internal/metrics"
 	"emuchick/internal/sim"
+	"emuchick/internal/storefs"
 	"emuchick/internal/trace"
 )
 
@@ -75,6 +76,12 @@ type Options struct {
 
 	// ctx, when non-nil, cancels in-flight simulations; set via WithContext.
 	ctx context.Context
+	// ckptFS, when non-nil, is the filesystem the checkpoint WAL is opened
+	// on; set via WithCheckpointFS (the job server routes it through its
+	// store filesystem so injected storage faults reach WAL appends too).
+	// Like Parallel it only changes how the log is written, never which
+	// cells run, so it is outside the checkpoint fingerprint.
+	ckptFS storefs.FS
 	// ckpt is the open write-ahead log for this run, resolved from
 	// Checkpoint by Experiment.Run.
 	ckpt *Checkpoint
@@ -177,6 +184,13 @@ func WithCheckpoint(path string) Option {
 	return optionFunc(func(o *Options) { o.Checkpoint = path })
 }
 
+// WithCheckpointFS routes the checkpoint write-ahead log through fsys
+// instead of the real filesystem; nil keeps the default. Results are
+// unchanged by the choice of filesystem.
+func WithCheckpointFS(fsys storefs.FS) Option {
+	return optionFunc(func(o *Options) { o.ckptFS = fsys })
+}
+
 // WithCellTimeout arms the per-cell watchdog; see Options.CellTimeout.
 func WithCellTimeout(d time.Duration) Option {
 	return optionFunc(func(o *Options) { o.CellTimeout = d })
@@ -277,7 +291,7 @@ func (e *Experiment) RunResolved(o Options) ([]*metrics.Figure, error) {
 	}
 	// The fingerprint covers resolved options (runners fill defaults the
 	// same way), so `-quick` and `-quick -trials 3` fingerprint alike.
-	ck, err := OpenCheckpoint(CheckpointPath(o.Checkpoint, e.ID), e.ID, optionsFingerprint(e.ID, o.withDefaults()))
+	ck, err := OpenCheckpointIn(o.ckptFS, CheckpointPath(o.Checkpoint, e.ID), e.ID, optionsFingerprint(e.ID, o.withDefaults()))
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"emuchick/internal/fault"
 	"emuchick/internal/kernels"
 	"emuchick/internal/sim"
+	"emuchick/internal/storefs"
 	"emuchick/internal/trace"
 )
 
@@ -52,6 +53,7 @@ func fieldMutations(t *testing.T) map[string]func(*Options) {
 		"CellTimeout":    func(o *Options) { o.CellTimeout = time.Minute },
 		"Retries":        func(o *Options) { o.Retries = 3 },
 		"ctx":            func(o *Options) { o.ctx = context.Background() },
+		"ckptFS":         func(o *Options) { o.ckptFS = storefs.OS{} },
 		"ckpt":           func(o *Options) { o.ckpt = &Checkpoint{} },
 		"maxEvents":      func(o *Options) { o.maxEvents = 1 },
 		"ckptHook":       func(o *Options) { o.ckptHook = func(int) {} },
@@ -140,6 +142,7 @@ func TestCheckpointResumeHonorsFingerprintTable(t *testing.T) {
 		"CellTimeout":    WithCellTimeout(time.Minute),
 		"Retries":        WithRetries(3),
 		"ctx":            WithContext(context.Background()),
+		"ckptFS":         WithCheckpointFS(storefs.OS{}),
 		"maxEvents":      optionFunc(func(o *Options) { o.maxEvents = 1 }),
 		"ckptHook":       optionFunc(func(o *Options) { o.ckptHook = func(int) {} }),
 	}

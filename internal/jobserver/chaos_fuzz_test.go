@@ -1,0 +1,222 @@
+package jobserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emuchick/internal/chaos"
+	"emuchick/internal/jobspec"
+)
+
+// The crash-restart fuzz harness. For each seed, the whole mixed workload
+// runs against a chaos filesystem that kills itself at a seeded storage
+// operation — freezing the directory exactly as a SIGKILL mid-write would —
+// then a healthy server restarts on the survivors and the workload is
+// resubmitted. The property under test: no crash point exists at which the
+// final result bytes differ from an uninterrupted run, and no crash point
+// leaves a corrupt cache entry or panics the server. Content addressing is
+// what makes the property checkable: resubmitting a spec either revives the
+// surviving state (records re-enqueue, WALs replay, cache hits) or
+// re-simulates from scratch, and both roads must end at identical bytes.
+
+// chaosWorkload is the mixed fuzz workload: one checkpointed experiment
+// sweep and one kernel measurement. Parallel 1 keeps the per-job storage-op
+// schedule deterministic.
+func chaosWorkload() []jobspec.Spec {
+	exp := quickExperiment()
+	exp.Parallel = 1
+	return []jobspec.Spec{exp, quickKernel()}
+}
+
+// referenceResults runs the workload uninterrupted on a pristine server and
+// returns fingerprint -> result bytes.
+func referenceResults(t *testing.T) map[string][]byte {
+	t.Helper()
+	srv := newTestServer(t, Config{Workers: 1})
+	defer srv.Close()
+	out := map[string][]byte{}
+	for _, spec := range chaosWorkload() {
+		rec, err := srv.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := waitTerminal(t, srv, rec.ID); got.State != StateDone {
+			t.Fatalf("reference job ended %s: %s", got.State, got.Error)
+		}
+		b, err := srv.ResultBytes(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[rec.Key] = b
+	}
+	return out
+}
+
+// workloadOps measures how many storage operations the full workload costs,
+// bounding the seeded kill points.
+func workloadOps(t *testing.T) int {
+	t.Helper()
+	fsys := chaos.New(chaos.Plan{}, nil)
+	srv := newTestServer(t, Config{Workers: 1, FS: fsys})
+	defer srv.Close()
+	runWorkload(t, srv)
+	ops := fsys.Ops()
+	if ops < 4 {
+		t.Fatalf("workload cost only %d storage ops", ops)
+	}
+	return ops
+}
+
+// runWorkload submits every spec and drives each submitted job to a
+// terminal state. Submit and wait errors are tolerated — under injected
+// faults both are legitimate outcomes — but every job that exists must
+// still terminate rather than wedge.
+func runWorkload(t *testing.T, srv *Server) {
+	t.Helper()
+	var ids []string
+	for _, spec := range chaosWorkload() {
+		rec, _ := srv.Submit(spec) // error ≠ lost: the record (if any) still terminates
+		if rec.ID != "" {
+			ids = append(ids, rec.ID)
+		}
+	}
+	for _, id := range ids {
+		waitTerminal(t, srv, id)
+	}
+}
+
+// validateResultsDir asserts the no-corrupt-cache invariant: every visible
+// result file parses and matches its content address. Orphan .tmp files are
+// legal (they are the signature of an interrupted atomic write, swept at
+// the next boot); a torn or foreign .json is not.
+func validateResultsDir(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, "results"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return
+		}
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "results", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		if err := json.Unmarshal(b, &res); err != nil {
+			t.Fatalf("corrupt cache entry %s: %v", name, err)
+		}
+		if res.Key != strings.TrimSuffix(name, ".json") {
+			t.Fatalf("cache entry %s addressed as %q", name, res.Key)
+		}
+	}
+}
+
+// TestChaosKillRestartFuzz is the acceptance property over arbitrary crash
+// points: for every seed, kill the filesystem at a seeded storage op, then
+// prove a restarted server answers the same workload with bytes identical
+// to the uninterrupted run.
+func TestChaosKillRestartFuzz(t *testing.T) {
+	want := referenceResults(t)
+	maxOp := workloadOps(t)
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			fsys := chaos.New(chaos.KillPlan(seed, maxOp), nil)
+			srv := newTestServer(t, Config{DataDir: dir, Workers: 1, FS: fsys})
+			runWorkload(t, srv)
+			srv.Close()
+			t.Logf("seed %d: killed at op %d (fired=%v, %d ops total)",
+				seed, chaos.KillOp(seed, maxOp), fsys.Crashed(), fsys.Ops())
+
+			// The frozen directory must already satisfy the cache invariant.
+			validateResultsDir(t, dir)
+
+			// Restart on the survivors with a healthy disk; resubmit the
+			// workload and demand byte-identical answers.
+			srv2 := newTestServer(t, Config{DataDir: dir, Workers: 1})
+			defer srv2.Close()
+			for _, spec := range chaosWorkload() {
+				rec, err := srv2.Submit(spec)
+				if err != nil {
+					t.Fatalf("post-restart submit: %v", err)
+				}
+				if got := waitTerminal(t, srv2, rec.ID); got.State != StateDone {
+					t.Fatalf("post-restart job ended %s: %s", got.State, got.Error)
+				}
+				got, err := srv2.ResultBytes(rec.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want[rec.Key], got) {
+					t.Fatalf("crash at seeded op diverged for %s:\nwant: %s\ngot:  %s",
+						rec.Key, want[rec.Key], got)
+				}
+			}
+			validateResultsDir(t, dir)
+		})
+	}
+}
+
+// TestChaosFaultOutcomes drives the workload through persistently noisy
+// storage — periodic torn writes, ENOSPC, sync and rename failures — and
+// checks the degradation contract: every job reaches a terminal state, every
+// failure carries a structured error, the cache never holds a corrupt entry,
+// and a healthy restart serves the exact reference bytes.
+func TestChaosFaultOutcomes(t *testing.T) {
+	want := referenceResults(t)
+	for seed := uint64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			fsys := chaos.New(chaos.NoisyPlan(seed, 5), nil)
+			srv := newTestServer(t, Config{DataDir: dir, Workers: 1, FS: fsys})
+			runWorkload(t, srv)
+			if len(fsys.Injected()) == 0 {
+				t.Fatal("noisy plan injected nothing")
+			}
+			for _, rec := range srv.List() {
+				if !rec.State.terminal() {
+					t.Fatalf("job %s wedged as %s under storage faults", rec.ID, rec.State)
+				}
+				if rec.State == StateFailed && rec.Error == "" {
+					t.Fatalf("job %s failed without a structured error", rec.ID)
+				}
+			}
+			srv.Close()
+			validateResultsDir(t, dir)
+
+			srv2 := newTestServer(t, Config{DataDir: dir, Workers: 1})
+			defer srv2.Close()
+			for _, spec := range chaosWorkload() {
+				rec, err := srv2.Submit(spec)
+				if err != nil {
+					t.Fatalf("post-fault submit: %v", err)
+				}
+				if got := waitTerminal(t, srv2, rec.ID); got.State != StateDone {
+					t.Fatalf("post-fault job ended %s: %s", got.State, got.Error)
+				}
+				got, err := srv2.ResultBytes(rec.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want[rec.Key], got) {
+					t.Fatalf("faulty-disk run diverged for %s", rec.Key)
+				}
+			}
+		})
+	}
+}

@@ -2,8 +2,10 @@ package jobserver
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
-	"strings"
+	"os"
+	"strconv"
 	"time"
 
 	"emuchick/internal/experiments"
@@ -13,15 +15,18 @@ import (
 
 // Handler returns the server's HTTP API:
 //
-//	GET    /v1/healthz          — liveness probe
+//	GET    /healthz             — liveness probe (also /v1/healthz)
+//	GET    /readyz              — readiness probe; 503 during drain (also /v1/readyz)
 //	GET    /v1/stats            — job accounting (Stats)
 //	GET    /v1/kernels          — registered kernel names and docs
 //	GET    /v1/experiments      — registered experiment ids and titles
-//	POST   /v1/jobs             — submit a jobspec; 202 + job record
+//	POST   /v1/jobs             — submit a jobspec; 202 + job record,
+//	                              503 + Retry-After when shed by admission control
 //	GET    /v1/jobs             — list jobs in submission order
 //	GET    /v1/jobs/{id}        — one job record
 //	GET    /v1/jobs/{id}/wait   — long-poll until the job changes or ?timeout=
-//	GET    /v1/jobs/{id}/watch  — JSONL stream of snapshots until terminal
+//	GET    /v1/jobs/{id}/watch  — JSONL stream of snapshots until terminal;
+//	                              the final record carries watch_dropped
 //	GET    /v1/jobs/{id}/result — the finished result payload (cache bytes)
 //	DELETE /v1/jobs/{id}        — cancel a queued or running job
 //
@@ -29,9 +34,10 @@ import (
 // status code.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -59,6 +65,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleHealthz is liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: it flips to 503 once BeginDrain is called, so
+// a front-end stops routing new work here before the listener goes away.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
@@ -91,24 +112,46 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// maxSpecBytes bounds a submit body; a spec is a small JSON document, so
+// anything near this is abuse, not a job.
+const maxSpecBytes = 1 << 20
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec jobspec.Spec
+	r.Body = http.MaxBytesReader(w, r.Body, maxSpecBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	rec, err := s.Submit(spec)
 	if err != nil {
-		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "queue full") {
-			status = http.StatusServiceUnavailable
+		var over *OverloadError
+		if errors.As(err, &over) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(over.RetryAfter)))
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
 		}
-		writeError(w, status, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, rec)
+}
+
+// retryAfterSeconds renders a backoff hint as the whole seconds the header
+// requires, never below 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -157,8 +200,22 @@ func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rec)
 }
 
+// watchRecord is one /watch NDJSON line: the job snapshot, plus — on the
+// final (terminal) line only — how many intermediate updates this stream
+// skipped because the job advanced faster than the client drained.
+type watchRecord struct {
+	Job
+	Dropped *int `json:"watch_dropped,omitempty"`
+}
+
 // handleWatch streams one JSON line per state change until the job reaches
-// a terminal state (progress updates — WAL cells — included).
+// a terminal state (progress updates — WAL cells — included). Each write
+// runs under Config.WatchWriteTimeout: a client that stalls past it has the
+// stream closed (counted in Stats.WatchTimeouts) instead of pinning the
+// handler forever. Updates are snapshots, not a log — a slow client skips
+// intermediate versions, and the final record's watch_dropped says how many
+// (mirroring the trace ChromeWriter's DroppedSamples accounting: degrade by
+// shedding detail, and say so).
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rec, version, ok := s.Snapshot(id)
@@ -169,9 +226,24 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
+	dropped := 0
 	for {
-		if err := enc.Encode(rec); err != nil {
+		// Arm the per-write deadline. Recorders and other writers without
+		// deadline support return ErrNotSupported; they simply stay unarmed.
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.WatchWriteTimeout))
+		out := watchRecord{Job: rec}
+		if rec.State.terminal() {
+			out.Dropped = &dropped
+		}
+		if err := enc.Encode(out); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.mu.Lock()
+				s.stats.WatchTimeouts++
+				s.mu.Unlock()
+				s.logf("jobserver: watch %s closed: client stalled past %s", id, s.cfg.WatchWriteTimeout)
+			}
 			return
 		}
 		if flusher != nil {
@@ -189,10 +261,16 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
-		rec, version, ok = s.Snapshot(id)
+		next, nv, ok := s.Snapshot(id)
 		if !ok {
 			return
 		}
+		// Every version bump past the one we are about to write was an
+		// update this client never saw.
+		if nv > version+1 {
+			dropped += nv - version - 1
+		}
+		rec, version = next, nv
 	}
 }
 

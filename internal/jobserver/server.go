@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"emuchick/internal/experiments"
@@ -105,6 +106,27 @@ type Stats struct {
 	// Resumed counts jobs re-enqueued at boot that had WAL progress from a
 	// previous server life.
 	Resumed int `json:"resumed"`
+	// Shed counts submits refused by admission control (queue depth,
+	// in-flight byte budget, or drain). A shed request allocates nothing: no
+	// job id, no record, no Submitted increment — it appears only here.
+	Shed int `json:"shed"`
+	// WatchTimeouts counts /watch streams the server closed because the
+	// client could not drain an update within the write deadline.
+	WatchTimeouts int `json:"watch_timeouts"`
+}
+
+// OverloadError is the typed refusal admission control returns from Submit;
+// the HTTP layer maps it to 503 with a Retry-After header.
+type OverloadError struct {
+	// Reason says which limit refused the request ("queue full",
+	// "in-flight byte budget exhausted", or "draining").
+	Reason string
+	// RetryAfter is the backoff hint surfaced in the Retry-After header.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return "jobserver: overloaded: " + e.Reason
 }
 
 // Config parameterizes a Server.
@@ -117,9 +139,24 @@ type Config struct {
 	// does not set one (<= 0: 1); Workers × ParallelPerJob is the server's
 	// simulation CPU budget.
 	ParallelPerJob int
-	// QueueDepth bounds the pending backlog; submits beyond it are
-	// rejected (<= 0: 1024).
+	// QueueDepth bounds the pending backlog; submits beyond it are shed
+	// with an OverloadError (<= 0: 1024).
 	QueueDepth int
+	// MaxInflightBytes bounds the total encoded-spec bytes of admitted jobs
+	// that have not yet reached a terminal state; submits that would exceed
+	// it are shed (<= 0: unlimited).
+	MaxInflightBytes int64
+	// RetryAfter is the backoff hint attached to shed submits
+	// (<= 0: 1 second).
+	RetryAfter time.Duration
+	// WatchWriteTimeout is the per-update write deadline of the /watch
+	// NDJSON stream; a client that cannot drain an update within it has its
+	// stream closed, with the drop recorded in Stats.WatchTimeouts
+	// (<= 0: 10 seconds).
+	WatchWriteTimeout time.Duration
+	// FS is the filesystem all durable state is written through (nil: the
+	// real one). Tests inject a chaos.FS here.
+	FS FS
 	// CellHook, when non-nil, observes every job progress update — each
 	// checkpointed sweep cell as it lands. Tests use it as a deterministic
 	// mid-sweep trigger.
@@ -135,6 +172,12 @@ type job struct {
 	version int
 	ping    chan struct{} // closed and replaced on every update
 	cancel  context.CancelFunc
+	// admitted is the byte charge this job holds against the server's
+	// in-flight budget; guarded by Server.mu, not job.mu.
+	admitted int64
+	// saveMu serializes persists of this job's record (the submitter and a
+	// worker can both save moments apart; both write the same .tmp path).
+	saveMu sync.Mutex
 }
 
 func newJob(rec Job) *job {
@@ -185,6 +228,9 @@ type Server struct {
 	cache     map[string][]byte   // fingerprint -> result bytes (backed by disk)
 	stats     Stats
 	seq       int
+	inflight  int64 // encoded-spec bytes of admitted, non-terminal jobs
+
+	draining atomic.Bool // set by BeginDrain; flips /readyz and sheds submits
 
 	queue  chan *job
 	root   context.Context
@@ -205,7 +251,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
-	st, err := newStore(cfg.DataDir)
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.WatchWriteTimeout <= 0 {
+		cfg.WatchWriteTimeout = 10 * time.Second
+	}
+	st, err := newStore(cfg.DataDir, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -254,6 +306,7 @@ func New(cfg Config) (*Server, error) {
 			if err := st.saveJob(rec); err != nil {
 				return nil, err
 			}
+			s.chargeLocked(j, specCost(rec.Spec))
 			s.enqueueLocked(j)
 		}
 	}
@@ -263,6 +316,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.logf("jobserver: %d workers, %d jobs loaded (%d re-enqueued)", cfg.Workers, len(recs), s.stats.Queued)
 	return s, nil
+}
+
+// saveJob persists a job's record. Saves of one job are serialized and each
+// snapshots at write time, so whichever writer lands last persists the
+// newest state — a submitter racing the worker can never overwrite a later
+// transition with an earlier one, and the two can never collide on the
+// record's temp file.
+func (s *Server) saveJob(j *job) error {
+	j.saveMu.Lock()
+	defer j.saveMu.Unlock()
+	rec, _ := j.snapshot()
+	return s.store.saveJob(rec)
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -292,13 +357,34 @@ func (s *Server) Close() error {
 // record. A request whose fingerprint already has a cached result completes
 // immediately as a cache hit; one identical to an in-flight job follows
 // that job instead of simulating twice.
+//
+// Admission control runs before anything is allocated: a request that would
+// push the pending backlog past QueueDepth or the admitted-spec bytes past
+// MaxInflightBytes — and every request during drain — is shed with an
+// *OverloadError, leaving no job id, no record, and no stats trace beyond
+// Stats.Shed. Cache hits and single-flight followers consume neither queue
+// slots nor budget, so they are admitted even at saturation.
 func (s *Server) Submit(spec jobspec.Spec) (Job, error) {
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
 	}
 	key := spec.Fingerprint()
+	cost := specCost(spec)
 
 	s.mu.Lock()
+	if s.draining.Load() {
+		return Job{}, s.shedLocked("draining")
+	}
+	_, cached := s.cachedResultLocked(key)
+	_, following := s.active[key]
+	if !cached && !following {
+		if s.stats.Queued >= s.cfg.QueueDepth {
+			return Job{}, s.shedLocked("queue full")
+		}
+		if s.cfg.MaxInflightBytes > 0 && s.inflight+cost > s.cfg.MaxInflightBytes {
+			return Job{}, s.shedLocked("in-flight byte budget exhausted")
+		}
+	}
 	s.seq++
 	id := fmt.Sprintf("j%06d", s.seq)
 	rec := Job{
@@ -311,7 +397,7 @@ func (s *Server) Submit(spec jobspec.Spec) (Job, error) {
 	s.stats.Submitted++
 
 	// Content-addressed cache: identical request already answered.
-	if _, ok := s.cachedResultLocked(key); ok {
+	if cached {
 		s.stats.CacheHits++
 		s.stats.Completed++
 		s.mu.Unlock()
@@ -321,7 +407,7 @@ func (s *Server) Submit(spec jobspec.Spec) (Job, error) {
 			now := time.Now().UTC()
 			r.FinishedAt = &now
 		})
-		err := s.store.saveJob(rec)
+		err := s.saveJob(j)
 		s.logf("jobserver: %s %s served from cache (key %s)", id, rec.Target(), key)
 		return rec, err
 	}
@@ -329,13 +415,18 @@ func (s *Server) Submit(spec jobspec.Spec) (Job, error) {
 	if leader, ok := s.active[key]; ok {
 		s.followers[leader] = append(s.followers[leader], id)
 		s.mu.Unlock()
-		err := s.store.saveJob(rec)
+		err := s.saveJob(j)
 		s.logf("jobserver: %s follows in-flight %s (key %s)", id, leader, key)
 		return rec, err
 	}
 	s.active[key] = id
+	s.chargeLocked(j, cost)
 	if !s.enqueueLocked(j) {
+		// Unreachable while QueueDepth == cap(s.queue) and Queued mirrors
+		// channel occupancy, but kept as a backstop: fail the record rather
+		// than lose it.
 		delete(s.active, key)
+		s.releaseLocked(j)
 		s.stats.Failed++
 		s.mu.Unlock()
 		rec = j.set(func(r *Job) {
@@ -344,13 +435,67 @@ func (s *Server) Submit(spec jobspec.Spec) (Job, error) {
 			now := time.Now().UTC()
 			r.FinishedAt = &now
 		})
-		_ = s.store.saveJob(rec)
+		_ = s.saveJob(j)
 		return rec, fmt.Errorf("jobserver: queue full (%d pending)", cap(s.queue))
 	}
 	s.mu.Unlock()
-	err := s.store.saveJob(rec)
+	err := s.saveJob(j)
 	s.logf("jobserver: %s accepted %s (key %s)", id, rec.Target(), key)
 	return rec, err
+}
+
+// shedLocked records one refused submit and builds its error. Caller holds
+// s.mu; the lock is released here so shed paths can simply return.
+func (s *Server) shedLocked(reason string) error {
+	s.stats.Shed++
+	s.mu.Unlock()
+	s.logf("jobserver: submit shed: %s", reason)
+	return &OverloadError{Reason: reason, RetryAfter: s.cfg.RetryAfter}
+}
+
+// specCost is the admission charge of one request: the size of its encoded
+// spec, the same bytes the store persists.
+func specCost(spec jobspec.Spec) int64 {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return 1
+	}
+	return int64(len(b))
+}
+
+// chargeLocked charges a freshly admitted leader against the in-flight byte
+// budget. Caller holds s.mu (or is the single-threaded boot path).
+func (s *Server) chargeLocked(j *job, cost int64) {
+	j.admitted = cost
+	s.inflight += cost
+}
+
+// releaseLocked returns a job's admission charge; idempotent. Caller holds
+// s.mu.
+func (s *Server) releaseLocked(j *job) {
+	s.inflight -= j.admitted
+	j.admitted = 0
+}
+
+// BeginDrain flips the server into drain mode: /readyz starts failing and
+// every new submit is shed, while queued and running jobs keep executing.
+// Call it ahead of Close so front-ends stop routing before the listener
+// goes away.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		s.logf("jobserver: draining (submits shed, %d jobs in flight)", s.Stats().Queued+s.Stats().Running)
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InflightBytes reports the admitted-spec bytes currently charged against
+// the budget (tests assert it returns to zero).
+func (s *Server) InflightBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
 }
 
 // enqueueLocked pushes a job onto the bounded queue. Caller holds s.mu.
@@ -446,9 +591,10 @@ func (s *Server) Cancel(id string) (Job, error) {
 		if s.active[rec.Key] == id {
 			delete(s.active, rec.Key)
 		}
+		s.releaseLocked(j)
 		s.mu.Unlock()
 		s.promoteFollowers(id)
-		if err := s.store.saveJob(rec); err != nil {
+		if err := s.saveJob(j); err != nil {
 			return rec, err
 		}
 	}
@@ -530,7 +676,7 @@ func (s *Server) runJob(j *job) {
 		now := time.Now().UTC()
 		r.StartedAt = &now
 	})
-	_ = s.store.saveJob(rec)
+	_ = s.saveJob(j)
 
 	// A follower promoted after its leader failed — or a request submitted
 	// while an identical one was finishing — may find the answer cached by
@@ -560,7 +706,7 @@ func (s *Server) runJob(j *job) {
 				r.State = StateQueued
 				r.Error = ""
 			})
-			_ = s.store.saveJob(prec)
+			_ = s.saveJob(j)
 			s.logf("jobserver: %s interrupted by shutdown (%d cells durable)", rec.ID, prec.Cells)
 		case ctx.Err() != nil:
 			s.finish(j, func(st *Stats) { st.Canceled++ }, func(r *Job) {
@@ -597,7 +743,8 @@ func (s *Server) runJob(j *job) {
 	s.logf("jobserver: %s done (%s, key %s)", rec.ID, source, rec.Key)
 }
 
-// finish moves a running job to a terminal state and updates accounting.
+// finish moves a running job to a terminal state and updates accounting,
+// returning the job's admission charge to the in-flight budget.
 func (s *Server) finish(j *job, bump func(*Stats), mut func(*Job)) {
 	rec := j.set(func(r *Job) {
 		mut(r)
@@ -610,8 +757,9 @@ func (s *Server) finish(j *job, bump func(*Stats), mut func(*Job)) {
 		s.stats.Completed++
 	}
 	bump(&s.stats)
+	s.releaseLocked(j)
 	s.mu.Unlock()
-	_ = s.store.saveJob(rec)
+	_ = s.saveJob(j)
 }
 
 // settleFollowers resolves the single-flight group after its leader reached
@@ -640,13 +788,13 @@ func (s *Server) settleFollowers(j *job, data []byte) {
 			if !ok {
 				continue
 			}
-			frec := f.set(func(r *Job) {
+			f.set(func(r *Job) {
 				r.State = StateDone
 				r.Source = "cache"
 				now := time.Now().UTC()
 				r.FinishedAt = &now
 			})
-			_ = s.store.saveJob(frec)
+			_ = s.saveJob(f)
 		}
 		return
 	}
@@ -681,6 +829,10 @@ func (s *Server) promoteFollowers(leaderID string) {
 		if len(ids) > 1 {
 			s.followers[next] = ids[1:]
 		}
+		// A promoted follower inherits its leader's admission: it was
+		// accepted as a follower (free), so the charge lands now, without a
+		// fresh admission check — admitted work is never shed retroactively.
+		s.chargeLocked(j, specCost(rec.Spec))
 		s.enqueueLocked(j)
 	}
 }
@@ -711,6 +863,7 @@ func (s *Server) execute(ctx context.Context, j *job, rec Job) ([]byte, error) {
 		if !spec.Checkpoint.Disable {
 			opts = append(opts,
 				experiments.WithCheckpoint(s.store.ckptPath(rec.ID)),
+				experiments.WithCheckpointFS(s.store.fs),
 				experiments.WithCheckpointHook(func(recorded int) { s.onCells(j, recorded) }),
 			)
 		}
@@ -728,8 +881,8 @@ func (s *Server) execute(ctx context.Context, j *job, rec Job) ([]byte, error) {
 	}
 	var ck *experiments.Checkpoint
 	if !spec.Checkpoint.Disable {
-		ck, err = experiments.OpenCheckpoint(
-			s.store.ckptPath(rec.ID), jobspec.CheckpointID(spec.Kernel), rec.Key)
+		ck, err = experiments.OpenCheckpointIn(
+			s.store.fs, s.store.ckptPath(rec.ID), jobspec.CheckpointID(spec.Kernel), rec.Key)
 		if err != nil {
 			return nil, err
 		}
