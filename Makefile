@@ -17,10 +17,11 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own analyzer suite (cmd/emulint): determinism, park-site,
-# hot-path allocation, no-handoff, fingerprint, and observer-guard
-# contracts.
+# hot-path allocation, no-handoff, seed-flow, fingerprint, and
+# observer-guard contracts — interprocedural since the funcfacts pass,
+# with per-analyzer timing reported on stderr (-v).
 lint:
-	$(GO) run ./cmd/emulint ./...
+	$(GO) run ./cmd/emulint -v ./...
 
 test:
 	$(GO) test ./...
@@ -70,10 +71,14 @@ BENCH_TOLERANCE ?= 0.5
 bench-gate:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATED)' -benchtime 1x -count $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
 
-# Race-detector pass over the event engine and the parallel experiment
-# runner — the two packages that share state across goroutines.
+# Race-detector pass over every package that shares state across
+# goroutines: the event engine, the parallel experiment runner, the job
+# server (worker pool + admission control), the chaos harness, the
+# crash-faulting store, and the trace pipeline.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/experiments/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... \
+		./internal/jobserver/... ./internal/chaos/... \
+		./internal/storefs/... ./internal/trace/...
 
 # Regenerate every paper artifact at full size (~10-15 minutes).
 figures:

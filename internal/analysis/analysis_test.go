@@ -28,7 +28,7 @@ func loadSrc(t *testing.T, src string) *Package {
 var dummy = &Analyzer{
 	Name: "dummy",
 	Doc:  "flags every call to target",
-	Run: func(pass *Pass) error {
+	Run: func(pass *Pass) (any, error) {
 		for _, f := range pass.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				if call, ok := n.(*ast.CallExpr); ok {
@@ -39,7 +39,7 @@ var dummy = &Analyzer{
 				return true
 			})
 		}
-		return nil
+		return nil, nil
 	},
 }
 

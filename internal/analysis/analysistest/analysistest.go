@@ -44,11 +44,61 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	}
 	unscoped := *a
 	unscoped.Packages = nil
-	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{&unscoped})
+	check(t, []*analysis.Package{pkg}, &unscoped)
+}
+
+// RunDirs loads several directories under base as one package each — the
+// import path of a package is its directory name, and later packages may
+// import earlier ones by that name — then applies a and checks // want
+// expectations across every file. This is the harness for transitive
+// suites: dependency packages first, the package under test last.
+//
+// Scope handling differs from Run on the dependency packages: only the
+// final package bypasses a's Packages scope. Dependencies are analyzed
+// exactly as the real driver would treat out-of-scope code — their facts
+// exist (Requires analyzers stay unscoped), their diagnostics don't —
+// so a testdata dep can contain a planted violation whose only report is
+// the transitive one at the package under test.
+func RunDirs(t *testing.T, base string, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	if len(dirs) == 0 {
+		t.Fatal("analysistest: RunDirs needs at least one dir")
+	}
+	fset := token.NewFileSet()
+	imp := &localImporter{
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		local:    map[string]*types.Package{},
+	}
+	var pkgs []*analysis.Package
+	for _, d := range dirs {
+		pkg, err := loadInto(fset, imp, filepath.Join(base, d), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp.local[d] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	underTest := pkgs[len(pkgs)-1]
+	scoped := *a
+	inner := scoped.Packages
+	scoped.Packages = func(path string) bool {
+		return path == underTest.Path || (inner != nil && inner(path))
+	}
+	check(t, pkgs, &scoped)
+}
+
+// check runs a over pkgs and matches diagnostics against the packages'
+// // want expectations.
+func check(t *testing.T, pkgs []*analysis.Package, a *analysis.Analyzer) {
+	t.Helper()
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wants := collectWants(t, pkg)
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
 	for _, d := range diags {
 		if !claim(wants, d) {
 			t.Errorf("unexpected diagnostic: %s", d)
@@ -61,8 +111,39 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	}
 }
 
+// localImporter resolves the already-loaded testdata packages by their
+// directory names and defers everything else (the standard library) to the
+// source importer.
+type localImporter struct {
+	fallback types.ImporterFrom
+	local    map[string]*types.Package
+}
+
+func (li *localImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := li.local[path]; ok {
+		return pkg, nil
+	}
+	return li.fallback.ImportFrom(path, "", 0)
+}
+
+func (li *localImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := li.local[path]; ok {
+		return pkg, nil
+	}
+	return li.fallback.ImportFrom(path, dir, mode)
+}
+
 // load parses and type-checks every .go file in dir as one package.
 func load(dir string) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	imp, _ := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return loadInto(fset, imp, dir, "")
+}
+
+// loadInto parses and type-checks dir as one package into a shared
+// FileSet, resolving imports through imp. An empty path defaults to the
+// package clause's name.
+func loadInto(fset *token.FileSet, imp types.ImporterFrom, dir, path string) (*analysis.Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -77,7 +158,6 @@ func load(dir string) (*analysis.Package, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("analysistest: no .go files in %s", dir)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range names {
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -86,8 +166,9 @@ func load(dir string) (*analysis.Package, error) {
 		}
 		files = append(files, f)
 	}
-	imp, _ := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
-	path := files[0].Name.Name
+	if path == "" {
+		path = files[0].Name.Name
+	}
 	tpkg, info, err := analysis.Check(fset, imp, path, dir, files)
 	if err != nil {
 		return nil, err

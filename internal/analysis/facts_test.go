@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"encoding/gob"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// markFact is a test fact carrying one payload string.
+type markFact struct{ Note string }
+
+func (*markFact) AFact() {}
+
+// mapImporter resolves imports from a fixed set of already-checked
+// packages, for multi-package driver tests without a GOPATH.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	return m[path], nil
+}
+
+func (m mapImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return m[path], nil
+}
+
+// checkSrc type-checks one in-memory file against the given importer.
+func checkSrc(t *testing.T, fset *token.FileSet, imp types.ImporterFrom, path, src string) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{f}
+	pkg, info, err := Check(fset, imp, path, "", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}
+}
+
+// TestFactRoundTrip drives facts through the wire format: attach to a
+// package-level function and to methods (pointer and value receivers, the
+// "T.M" path form), encode, decode against the same type universe, and
+// require identical object resolution and payloads.
+func TestFactRoundTrip(t *testing.T) {
+	gob.Register(&markFact{})
+	fset := token.NewFileSet()
+	pkg := checkSrc(t, fset, nil, "p", `package p
+
+type T struct{}
+
+func (T) Value() {}
+func (*T) Pointer() {}
+func F() {}
+`)
+	scope := pkg.Types.Scope()
+	objs := []types.Object{
+		scope.Lookup("F"),
+		method(t, scope, "T", "Value"),
+		method(t, scope, "T", "Pointer"),
+	}
+	var facts []ObjectFact
+	for _, obj := range objs {
+		facts = append(facts, ObjectFact{Object: obj, Fact: &markFact{Note: "fact on " + obj.Name()}})
+	}
+	blob, err := EncodeFacts(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeFacts(pkg.Types, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(facts) {
+		t.Fatalf("decoded %d facts, want %d", len(decoded), len(facts))
+	}
+	for i, df := range decoded {
+		if df.Object != facts[i].Object {
+			t.Errorf("fact %d resolved to %v, want %v", i, df.Object, facts[i].Object)
+		}
+		got := df.Fact.(*markFact).Note
+		want := facts[i].Fact.(*markFact).Note
+		if got != want {
+			t.Errorf("fact %d payload %q, want %q", i, got, want)
+		}
+	}
+}
+
+func method(t *testing.T, scope *types.Scope, typeName, methodName string) types.Object {
+	t.Helper()
+	named := scope.Lookup(typeName).Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == methodName {
+			return m
+		}
+	}
+	t.Fatalf("no method %s.%s", typeName, methodName)
+	return nil
+}
+
+// TestFactPathRejectsNonFunctions pins the deliberate narrowing: facts
+// attach to functions only.
+func TestFactPathRejectsNonFunctions(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := checkSrc(t, fset, nil, "p", `package p
+
+var V int
+`)
+	_, err := EncodeFacts([]ObjectFact{{Object: pkg.Types.Scope().Lookup("V"), Fact: &markFact{}}})
+	if err == nil || !strings.Contains(err.Error(), "no object path") {
+		t.Fatalf("encoding a var fact: err = %v, want object-path error", err)
+	}
+}
+
+// TestFactFlowAcrossPackages runs the real driver over a two-package DAG:
+// an exporting analyzer marks functions of the dependency, and a
+// consuming analyzer on the dependent package must see the fact — which
+// has necessarily survived the encode/decode round trip the driver
+// performs on every package boundary.
+func TestFactFlowAcrossPackages(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := mapImporter{}
+	dep := checkSrc(t, fset, imp, "dep", `package dep
+
+func Marked() {}
+`)
+	imp["dep"] = dep.Types
+	top := checkSrc(t, fset, imp, "top", `package top
+
+import "dep"
+
+func Use() { dep.Marked() }
+`)
+
+	exporter := &Analyzer{
+		Name:      "exporter",
+		Doc:       "marks every package-level function",
+		FactTypes: []Fact{(*markFact)(nil)},
+		Run: func(pass *Pass) (any, error) {
+			scope := pass.Pkg.Scope()
+			for _, name := range scope.Names() {
+				if fn, ok := scope.Lookup(name).(*types.Func); ok {
+					pass.ExportObjectFact(fn, &markFact{Note: "exported in " + pass.Pkg.Path()})
+				}
+			}
+			return nil, nil
+		},
+	}
+	var sawNote string
+	consumer := &Analyzer{
+		Name:      "consumer",
+		Doc:       "reads the dependency's fact",
+		Requires:  []*Analyzer{exporter},
+		FactTypes: []Fact{(*markFact)(nil)},
+		Run: func(pass *Pass) (any, error) {
+			if pass.Pkg.Path() != "top" {
+				return nil, nil
+			}
+			depPkg := pass.Pkg.Imports()[0]
+			fn := depPkg.Scope().Lookup("Marked").(*types.Func)
+			var f markFact
+			if !pass.ImportObjectFact(fn, &f) {
+				pass.Reportf(pass.Files[0].Pos(), "no fact on dep.Marked")
+				return nil, nil
+			}
+			sawNote = f.Note
+			return nil, nil
+		},
+	}
+	diags, err := RunAnalyzers([]*Package{top, dep}, []*Analyzer{consumer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if sawNote != "exported in dep" {
+		t.Fatalf("consumer read %q, want %q", sawNote, "exported in dep")
+	}
+}
+
+// TestResultOf pins the within-package dependency mechanism: a Requires
+// analyzer's return value is visible through Pass.ResultOf.
+func TestResultOf(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := checkSrc(t, fset, nil, "p", `package p
+
+func F() {}
+`)
+	base := &Analyzer{
+		Name: "base",
+		Doc:  "returns a value",
+		Run:  func(pass *Pass) (any, error) { return 42, nil },
+	}
+	var got any
+	top := &Analyzer{
+		Name:     "top",
+		Doc:      "reads base's result",
+		Requires: []*Analyzer{base},
+		Run: func(pass *Pass) (any, error) {
+			got = pass.ResultOf[base]
+			return nil, nil
+		},
+	}
+	if _, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{top}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("ResultOf[base] = %v, want 42", got)
+	}
+}

@@ -88,7 +88,7 @@ func NewAnalyzer(cfg Config) *analysis.Analyzer {
 			"classified In or Out of the checkpoint fingerprint, and the " +
 			"fingerprint function to agree with the classification",
 		Packages: func(path string) bool { return path == "emuchick/internal/experiments" },
-		Run:      func(pass *analysis.Pass) error { return run(pass, cfg) },
+		Run:      func(pass *analysis.Pass) (any, error) { return nil, run(pass, cfg) },
 	}
 }
 

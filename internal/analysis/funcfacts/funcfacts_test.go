@@ -1,0 +1,289 @@
+package funcfacts_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"emuchick/internal/analysis"
+	"emuchick/internal/analysis/callgraph"
+	"emuchick/internal/analysis/funcfacts"
+)
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	return m[path], nil
+}
+
+func (m mapImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return m[path], nil
+}
+
+func checkSrc(t *testing.T, fset *token.FileSet, imp types.ImporterFrom, path, src string) *analysis.Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{f}
+	pkg, info, err := analysis.Check(fset, imp, path, "", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}
+}
+
+// analyze runs the real driver (facts serialize across every package
+// boundary) and captures each package's funcfacts Result.
+func analyze(t *testing.T, pkgs ...*analysis.Package) map[string]*funcfacts.Result {
+	t.Helper()
+	results := map[string]*funcfacts.Result{}
+	capture := &analysis.Analyzer{
+		Name:     "capture",
+		Doc:      "captures funcfacts results for the test",
+		Requires: []*analysis.Analyzer{funcfacts.Analyzer},
+		Run: func(pass *analysis.Pass) (any, error) {
+			results[pass.Pkg.Path()] = pass.ResultOf[funcfacts.Analyzer].(*funcfacts.Result)
+			return nil, nil
+		},
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{capture})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	return results
+}
+
+func fact(t *testing.T, res *funcfacts.Result, pkg *analysis.Package, name string) *funcfacts.Fact {
+	t.Helper()
+	fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %s in %s", name, pkg.Path)
+	}
+	f := res.Facts[fn]
+	if f == nil {
+		t.Fatalf("no fact for %s.%s", pkg.Path, name)
+	}
+	return f
+}
+
+func TestPropagatesPolicy(t *testing.T) {
+	cases := []struct {
+		kind callgraph.Kind
+		e    funcfacts.Effect
+		cold bool
+		want bool
+	}{
+		{callgraph.Static, funcfacts.Allocates, false, true},
+		{callgraph.Static, funcfacts.Allocates, true, false},
+		{callgraph.FuncValue, funcfacts.Allocates, false, true},
+		{callgraph.Interface, funcfacts.Allocates, false, false},
+		{callgraph.Interface, funcfacts.DynamicCall, false, false},
+		{callgraph.Static, funcfacts.DynamicCall, true, true},
+		{callgraph.Interface, funcfacts.Parks, false, true},
+		{callgraph.Interface, funcfacts.SpawnsGoroutine, true, true},
+		{callgraph.Interface, funcfacts.ReadsWallClock, false, true},
+		{callgraph.Static, funcfacts.Parks, true, true},
+	}
+	for _, c := range cases {
+		if got := funcfacts.Propagates(c.kind, c.e, c.cold); got != c.want {
+			t.Errorf("Propagates(%v, %v, cold=%v) = %v, want %v", c.kind, c.e, c.cold, got, c.want)
+		}
+	}
+}
+
+func TestLocalEffects(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := checkSrc(t, fset, nil, "p", `package p
+
+func alloc() []int { return make([]int, 8) }
+
+func park(ch chan int) { ch <- 1 }
+
+func spawn() { go park(nil) }
+
+func dynamic(f func()) { f() }
+
+func clean(x int) int { return x + 1 }
+`)
+	res := analyze(t, pkg)["p"]
+	checks := []struct {
+		fn string
+		e  funcfacts.Effect
+	}{
+		{"alloc", funcfacts.Allocates},
+		{"park", funcfacts.Parks},
+		{"spawn", funcfacts.SpawnsGoroutine},
+		{"dynamic", funcfacts.DynamicCall},
+	}
+	for _, c := range checks {
+		f := fact(t, res, pkg, c.fn)
+		if !f.Has[c.e] {
+			t.Errorf("%s: effect %v not set (fact: %s)", c.fn, c.e, f)
+		}
+		if f.Witness[c.e] == "" {
+			t.Errorf("%s: effect %v has no witness", c.fn, c.e)
+		}
+	}
+	if f := fact(t, res, pkg, "clean"); f.Any() {
+		t.Errorf("clean: want no effects, got %s", f)
+	}
+	// spawn reaches park's channel send too: Parks propagates up the
+	// static edge inside the go statement's callee.
+	if f := fact(t, res, pkg, "spawn"); !f.Has[funcfacts.Parks] {
+		t.Errorf("spawn: Parks should propagate from park (fact: %s)", f)
+	}
+}
+
+// TestChainWitness pins the witness format over a two-hop chain: the
+// caller's witness names each link and ends at the originating site.
+func TestChainWitness(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := checkSrc(t, fset, nil, "p", `package p
+
+func leaf() []int { return make([]int, 4) }
+
+func mid() []int { return leaf() }
+
+func top() []int { return mid() }
+`)
+	res := analyze(t, pkg)["p"]
+	f := fact(t, res, pkg, "top")
+	if !f.Has[funcfacts.Allocates] {
+		t.Fatalf("top: Allocates not set (fact: %s)", f)
+	}
+	w := f.Witness[funcfacts.Allocates]
+	for _, part := range []string{"calls mid (p.go:", "calls leaf (p.go:", "make allocates"} {
+		if !strings.Contains(w, part) {
+			t.Errorf("witness %q missing %q", w, part)
+		}
+	}
+}
+
+// TestColdStopsAllocates pins the //emu:cold contract: the cold function
+// keeps its own Allocates fact, callers inherit everything except it.
+func TestColdStopsAllocates(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := checkSrc(t, fset, nil, "p", `package p
+
+//emu:cold pool-miss path, amortized away
+func coldLeaf(ch chan int) []int {
+	ch <- 1
+	return make([]int, 4)
+}
+
+func caller(ch chan int) { coldLeaf(ch) }
+`)
+	res := analyze(t, pkg)["p"]
+	leaf := fact(t, res, pkg, "coldLeaf")
+	if !leaf.Cold || !leaf.Has[funcfacts.Allocates] || !leaf.Has[funcfacts.Parks] {
+		t.Fatalf("coldLeaf: want cold+allocates+parks, got %s", leaf)
+	}
+	caller := fact(t, res, pkg, "caller")
+	if caller.Has[funcfacts.Allocates] {
+		t.Errorf("caller: Allocates leaked through //emu:cold (fact: %s)", caller)
+	}
+	if !caller.Has[funcfacts.Parks] {
+		t.Errorf("caller: Parks should cross the cold boundary (fact: %s)", caller)
+	}
+}
+
+// TestInterfaceEdgePolicy pins CHA propagation: behavioral effects cross
+// interface dispatch, Allocates does not.
+func TestInterfaceEdgePolicy(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := checkSrc(t, fset, nil, "p", `package p
+
+type Worker interface{ Work(ch chan int) }
+
+type W struct{}
+
+func (W) Work(ch chan int) {
+	ch <- 1
+	_ = make([]int, 8)
+}
+
+func drive(w Worker, ch chan int) { w.Work(ch) }
+`)
+	res := analyze(t, pkg)["p"]
+	f := fact(t, res, pkg, "drive")
+	if !f.Has[funcfacts.Parks] {
+		t.Errorf("drive: Parks should cross the interface edge (fact: %s)", f)
+	}
+	if f.Has[funcfacts.Allocates] {
+		t.Errorf("drive: Allocates must not cross the interface edge (fact: %s)", f)
+	}
+}
+
+// TestMutualRecursion pins fixpoint termination: effects only switch on,
+// so a cycle converges with both members carrying the cycle's effects.
+func TestMutualRecursion(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := checkSrc(t, fset, nil, "p", `package p
+
+func ping(n int) []int {
+	if n == 0 {
+		return make([]int, 1)
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) []int { return ping(n) }
+`)
+	res := analyze(t, pkg)["p"]
+	for _, name := range []string{"ping", "pong"} {
+		if f := fact(t, res, pkg, name); !f.Has[funcfacts.Allocates] {
+			t.Errorf("%s: Allocates not set across the recursion (fact: %s)", name, f)
+		}
+	}
+}
+
+// TestSyntheticPackageDAG runs the driver over a three-package chain and
+// requires the allocation fact to flow bottom-up across both boundaries —
+// through the serialized fact store, not shared memory — with a witness
+// naming every hop.
+func TestSyntheticPackageDAG(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := mapImporter{}
+	leaf := checkSrc(t, fset, imp, "leaf", `package leaf
+
+func Alloc() []int { return make([]int, 4) }
+`)
+	imp["leaf"] = leaf.Types
+	mid := checkSrc(t, fset, imp, "mid", `package mid
+
+import "leaf"
+
+func Wrap() []int { return leaf.Alloc() }
+`)
+	imp["mid"] = mid.Types
+	top := checkSrc(t, fset, imp, "top", `package top
+
+import "mid"
+
+func Use() []int { return mid.Wrap() }
+`)
+	// Deliberately out of dependency order: the driver must topo-sort.
+	results := analyze(t, top, leaf, mid)
+	f := fact(t, results["top"], top, "Use")
+	if !f.Has[funcfacts.Allocates] {
+		t.Fatalf("top.Use: Allocates did not cross the package DAG (fact: %s)", f)
+	}
+	w := f.Witness[funcfacts.Allocates]
+	for _, part := range []string{"calls mid.Wrap (top.go:", "calls leaf.Alloc (mid.go:", "make allocates"} {
+		if !strings.Contains(w, part) {
+			t.Errorf("witness %q missing %q", w, part)
+		}
+	}
+	// The middle layer saw the fact too.
+	if f := fact(t, results["mid"], mid, "Wrap"); !f.Has[funcfacts.Allocates] {
+		t.Errorf("mid.Wrap: Allocates not set (fact: %s)", f)
+	}
+}

@@ -1,0 +1,408 @@
+package funcfacts
+
+// Local effect scanners: the intraprocedural half of the fact computation.
+// Each scanner walks one function body and reports every site exhibiting
+// its effect through a callback, so the same logic serves two masters —
+// the diagnosing analyzers (hotpathalloc, nohandoff) call them with
+// pass.Reportf to flag sites inside annotated functions, and the fact
+// computation calls them with a first-witness collector to summarize
+// every function.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ReportFunc receives one effect site. Messages are phrased without an
+// analyzer prefix; diagnosing analyzers prepend their own framing.
+type ReportFunc func(pos token.Pos, format string, args ...any)
+
+// --- allocation ---
+
+// ScanAlloc reports every allocating construct in body: calls into fmt or
+// errors, make/new, function literals, slice and map literals, string
+// concatenation and string<->[]byte/[]rune conversions, non-self append,
+// and implicit boxing of a non-pointer value into an interface. Arguments
+// of panic are exempt: a panicking path is already dead.
+func ScanAlloc(info *types.Info, body ast.Node, report ReportFunc) {
+	c := &allocScanner{info: info, report: report, appendHandled: map[*ast.CallExpr]bool{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, n.Fun, "panic") {
+				return false // cold by construction
+			}
+			c.checkCall(n)
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal may escape and allocate")
+			return false
+		case *ast.CompositeLit:
+			c.checkComposite(n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		}
+		return true
+	})
+}
+
+// allocScanner carries per-body state: appends already validated (or
+// flagged) at their enclosing assignment, which checkCall must not
+// double-report.
+type allocScanner struct {
+	info          *types.Info
+	report        ReportFunc
+	appendHandled map[*ast.CallExpr]bool
+}
+
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// pointerLike types carry their payload in the interface data word, so
+// converting one to an interface does not allocate.
+func pointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func (c *allocScanner) checkCall(call *ast.CallExpr) {
+	info, report := c.info, c.report
+	// Conversions: string<->[]byte/[]rune copy and allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		to := tv.Type
+		if len(call.Args) == 1 {
+			from := info.TypeOf(call.Args[0])
+			if from != nil && (isString(to) != isString(from)) && (isString(to) || isString(from)) {
+				report(call.Pos(), "conversion between string and byte/rune slice allocates")
+			}
+		}
+		return
+	}
+	if isBuiltin(info, call.Fun, "make") || isBuiltin(info, call.Fun, "new") {
+		report(call.Pos(), "%s allocates", call.Fun.(*ast.Ident).Name)
+		return
+	}
+	if isBuiltin(info, call.Fun, "append") {
+		// Non-self appends are caught at the assignment; an append anywhere
+		// else (nested in a call, discarded) abandons the reuse guarantee.
+		if !c.appendHandled[call] {
+			report(call.Pos(), "append result is discarded or not reassigned to its base; only x = append(x, ...) reuses storage")
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "fmt", "errors":
+					report(call.Pos(), "%s.%s allocates", pn.Imported().Name(), sel.Sel.Name)
+					return
+				}
+			}
+		}
+	}
+	c.checkBoxing(call)
+}
+
+// checkAssign validates the self-append shape: for each lhs_i = append(b,
+// ...), b (or its slice-expression base, as in x = append(x[:0], ...))
+// must be syntactically identical to lhs_i.
+func (c *allocScanner) checkAssign(asg *ast.AssignStmt) {
+	for i, rhs := range asg.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(c.info, call.Fun, "append") || len(call.Args) == 0 {
+			continue
+		}
+		c.appendHandled[call] = true
+		if i >= len(asg.Lhs) {
+			continue
+		}
+		base := call.Args[0]
+		if se, ok := base.(*ast.SliceExpr); ok {
+			base = se.X
+		}
+		if types.ExprString(asg.Lhs[i]) != types.ExprString(base) {
+			c.report(call.Pos(), "append to %s assigned to %s allocates a fresh backing array; use the self-append form x = append(x, ...)",
+				types.ExprString(base), types.ExprString(asg.Lhs[i]))
+		}
+	}
+}
+
+func (c *allocScanner) checkComposite(lit *ast.CompositeLit) {
+	t := c.info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.report(lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		c.report(lit.Pos(), "map literal allocates")
+	}
+}
+
+// checkBoxing flags arguments whose static type is a non-pointer concrete
+// type being passed where the callee expects an interface — each such call
+// heap-allocates the boxed copy.
+func (c *allocScanner) checkBoxing(call *ast.CallExpr) {
+	sig, ok := funcSig(c.info, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := c.info.TypeOf(arg)
+		if at == nil || pointerLike(at) || isUntypedNil(c.info, arg) {
+			continue
+		}
+		c.report(arg.Pos(), "%s is boxed into interface %s (allocates)", at, pt)
+	}
+}
+
+func funcSig(info *types.Info, call *ast.CallExpr) (*types.Signature, bool) {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// --- goroutine handoffs ---
+
+// Parking are the Proc methods that block the calling goroutine, mapped to
+// their continuation-safe replacements.
+var Parking = map[string]string{
+	"Park":       "Suspend(site)",
+	"ParkReason": "Suspend(site)",
+	"WaitUntil":  "SleepUntil(t)",
+	"Delay":      "SleepUntil(p.Now()+d)",
+}
+
+// Blocking are the sync wrappers that park the proc's goroutine when they
+// cannot proceed, mapped to their park-state counterparts.
+var Blocking = map[string]string{
+	"Acquire": "AcquireCont",
+	"Wait":    "WaitCont",
+}
+
+// Spawning are the Engine methods that start a goroutine per proc, mapped
+// to their continuation counterparts.
+var Spawning = map[string]string{
+	"Go":       "SpawnContAt",
+	"GoAt":     "SpawnContAt",
+	"SpawnAt":  "SpawnContAt",
+	"LaunchAt": "LaunchContAt",
+}
+
+// HandoffReport receives one handoff site with the effect it exhibits
+// (Parks or SpawnsGoroutine).
+type HandoffReport func(pos token.Pos, effect Effect, format string, args ...any)
+
+// ScanHandoff reports every goroutine handoff in body: calls to the
+// parking proc methods, the blocking sync wrappers, and the
+// goroutine-spawning engine methods (shape-matched, as in the nohandoff
+// analyzer); plus the raw runtime forms — go statements, channel sends,
+// channel receives, select statements, and ranging over a channel.
+func ScanHandoff(info *types.Info, body ast.Node, report HandoffReport) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), SpawnsGoroutine, "go statement starts a goroutine")
+		case *ast.SendStmt:
+			report(n.Pos(), Parks, "channel send can block the goroutine")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), Parks, "channel receive can block the goroutine")
+			}
+		case *ast.SelectStmt:
+			report(n.Pos(), Parks, "select can block the goroutine")
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					report(n.Pos(), Parks, "ranging over a channel blocks the goroutine")
+				}
+			}
+		case *ast.CallExpr:
+			scanHandoffCall(info, n, report)
+		}
+		return true
+	})
+}
+
+func scanHandoffCall(info *types.Info, call *ast.CallExpr, report HandoffReport) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	recv := info.TypeOf(sel.X)
+	if recv == nil {
+		return
+	}
+	if cont, ok := Parking[name]; ok && IsParkable(recv) {
+		report(call.Pos(), Parks, "%s parks the calling goroutine; use %s and return parked", name, cont)
+		return
+	}
+	if cont, ok := Blocking[name]; ok && len(call.Args) == 1 && IsParkable(info.TypeOf(call.Args[0])) {
+		report(call.Pos(), Parks, "%s(p) parks the proc's goroutine; use %s(p) and return parked", name, cont)
+		return
+	}
+	if cont, ok := Spawning[name]; ok && IsContEngine(recv) {
+		report(call.Pos(), SpawnsGoroutine, "%s starts a goroutine per proc; use %s with a Stepper", name, cont)
+		return
+	}
+	// sync.WaitGroup.Wait blocks until the group drains.
+	if name == "Wait" && isSyncType(recv, "WaitGroup") {
+		report(call.Pos(), Parks, "sync.WaitGroup.Wait blocks the goroutine")
+		return
+	}
+	if name == "Sleep" && pkgOf(info, sel.X) == "time" {
+		report(call.Pos(), Parks, "time.Sleep blocks the goroutine")
+	}
+}
+
+// IsParkable reports whether t (or *t) is a named type with both a Park()
+// and a ParkReason(string) method — the shape of a simulated process.
+func IsParkable(t types.Type) bool {
+	return hasMethod(t, "Park") && hasMethod(t, "ParkReason")
+}
+
+// IsContEngine reports whether t offers both the goroutine and the
+// continuation spawn surface — the shape of the event-loop engine.
+func IsContEngine(t types.Type) bool {
+	return hasMethod(t, "SpawnAt") && hasMethod(t, "SpawnContAt")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		ms = types.NewMethodSet(types.NewPointer(t))
+	}
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func isSyncType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == name && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
+// --- ambient nondeterminism ---
+
+// WallClockFuncs are the time package functions that read or depend on the
+// wall clock. Duration arithmetic and the time.Duration type stay legal.
+var WallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// SeededConstructors are the math/rand package-level names that build an
+// explicitly seeded generator; every other package-level call uses the
+// ambient global source.
+var SeededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// AmbientReport receives one ambient-nondeterminism site with the effect
+// it exhibits (ReadsWallClock or SeedsRandAmbiently).
+type AmbientReport func(pos token.Pos, effect Effect, format string, args ...any)
+
+// ScanAmbient reports every wall-clock read and every use of the
+// ambiently-seeded math/rand global source in body.
+func ScanAmbient(info *types.Info, body ast.Node, report AmbientReport) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch pkgOf(info, sel.X) {
+		case "time":
+			if WallClockFuncs[sel.Sel.Name] {
+				report(sel.Pos(), ReadsWallClock, "time.%s reads the wall clock", sel.Sel.Name)
+			}
+		case "math/rand", "math/rand/v2":
+			if !SeededConstructors[sel.Sel.Name] && isFuncOrVar(info, sel) {
+				report(sel.Pos(), SeedsRandAmbiently, "rand.%s uses the ambient global source", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// pkgOf resolves the package an identifier names, or "" if it is not a
+// package qualifier.
+func pkgOf(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// isFuncOrVar reports whether the selector names a function or variable
+// (as opposed to a type such as rand.Rand, which is fine to mention).
+func isFuncOrVar(info *types.Info, sel *ast.SelectorExpr) bool {
+	switch info.Uses[sel.Sel].(type) {
+	case *types.Func, *types.Var:
+		return true
+	}
+	return false
+}

@@ -10,28 +10,32 @@
 //
 // marks the function; everything after the marker is a free-form note.
 //
-// Inside an annotated function the analyzer flags:
+// Inside an annotated function the analyzer flags the local allocating
+// constructs (see funcfacts.ScanAlloc): calls into fmt or errors, make,
+// new, function literals, slice and map literals, string building,
+// non-self append, and implicit interface boxing. Arguments of panic are
+// exempt: a panicking hot path is already dead.
 //
-//   - calls into fmt or errors (formatting allocates);
-//   - make, new, and function literals (closures may escape);
-//   - composite literals of slice or map type (struct literals passed by
-//     value stay legal);
-//   - string concatenation and string<->[]byte/[]rune conversions;
-//   - append that is not a self-append (x = append(x, ...) reuses x's
-//     storage in steady state; anything else is a fresh allocation per
-//     growth);
-//   - implicit boxing of a non-pointer value into an interface.
+// The check is transitive: an annotated function must not *reach* an
+// allocating function through any chain of static or function-value
+// calls, in or out of the package — the callee facts computed by
+// funcfacts carry allocation summaries across package boundaries. Two
+// boundaries stop propagation deliberately:
 //
-// Arguments of panic are exempt: a panicking hot path is already dead, so
-// the diagnostic message may allocate freely.
+//   - an interface call: dispatch is a contract boundary, and each
+//     implementation that belongs on the hot path carries its own
+//     //emu:hotpath annotation;
+//   - a callee annotated //emu:cold: a declared failure exit or slow
+//     path whose allocations are off the steady state.
 package hotpathalloc
 
 import (
 	"go/ast"
-	"go/types"
+	"go/token"
 	"strings"
 
 	"emuchick/internal/analysis"
+	"emuchick/internal/analysis/funcfacts"
 )
 
 // Marker is the annotation that opts a function into the check.
@@ -42,8 +46,10 @@ var Analyzer = &analysis.Analyzer{
 	Name: "hotpathalloc",
 	Doc: "forbids allocating constructs (fmt, make/new, closures, non-self " +
 		"append, slice/map literals, string building, interface boxing) in " +
-		"functions annotated //emu:hotpath",
-	Run: run,
+		"functions annotated //emu:hotpath, and any call chain from such a " +
+		"function to an allocating function",
+	Requires: []*analysis.Analyzer{funcfacts.Analyzer},
+	Run:      run,
 }
 
 // Annotated reports whether the function declaration carries the marker.
@@ -59,201 +65,26 @@ func Annotated(fd *ast.FuncDecl) bool {
 	return false
 }
 
-func run(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !Annotated(fd) {
+func run(pass *analysis.Pass) (any, error) {
+	facts := pass.ResultOf[funcfacts.Analyzer].(*funcfacts.Result)
+	for _, n := range facts.Graph.Nodes {
+		if !Annotated(n.Decl) {
+			continue
+		}
+		funcfacts.ScanAlloc(pass.TypesInfo, n.Decl.Body, func(pos token.Pos, format string, args ...any) {
+			pass.Reportf(pos, "hot path: "+format, args...)
+		})
+		for _, edge := range n.Edges {
+			if !funcfacts.Propagates(edge.Kind, funcfacts.Allocates, false) {
 				continue
 			}
-			check(pass, fd.Body)
-		}
-	}
-	return nil
-}
-
-// checker carries per-body state: appends already validated (or flagged)
-// at their enclosing assignment, which checkCall must not double-report.
-type checker struct {
-	pass          *analysis.Pass
-	appendHandled map[*ast.CallExpr]bool
-}
-
-// check walks one annotated body, skipping panic arguments.
-func check(pass *analysis.Pass, body ast.Node) {
-	c := &checker{pass: pass, appendHandled: map[*ast.CallExpr]bool{}}
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if isBuiltin(pass, n.Fun, "panic") {
-				return false // cold by construction
+			cf := facts.Lookup(pass, edge.Callee)
+			if cf == nil || !cf.Has[funcfacts.Allocates] || cf.Cold {
+				continue
 			}
-			c.checkCall(n)
-		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "hot path: function literal may escape and allocate")
-			return false
-		case *ast.CompositeLit:
-			checkComposite(pass, n)
-		case *ast.BinaryExpr:
-			if n.Op.String() == "+" && isString(pass.TypeOf(n)) {
-				pass.Reportf(n.Pos(), "hot path: string concatenation allocates")
-			}
-		case *ast.AssignStmt:
-			c.checkAssign(n)
-		}
-		return true
-	})
-}
-
-func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
-	id, ok := fun.(*ast.Ident)
-	if !ok || id.Name != name {
-		return false
-	}
-	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
-	return ok
-}
-
-func isString(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	b, ok := t.Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsString != 0
-}
-
-// pointerLike types carry their payload in the interface data word, so
-// converting one to an interface does not allocate.
-func pointerLike(t types.Type) bool {
-	switch t.Underlying().(type) {
-	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
-		return true
-	case *types.Basic:
-		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
-	}
-	return false
-}
-
-func (c *checker) checkCall(call *ast.CallExpr) {
-	pass := c.pass
-	// Conversions: string<->[]byte/[]rune copy and allocate.
-	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
-		to := tv.Type
-		if len(call.Args) == 1 {
-			from := pass.TypeOf(call.Args[0])
-			if from != nil && (isString(to) != isString(from)) && (isString(to) || isString(from)) {
-				pass.Reportf(call.Pos(), "hot path: conversion between string and byte/rune slice allocates")
-			}
-		}
-		return
-	}
-	if isBuiltin(pass, call.Fun, "make") || isBuiltin(pass, call.Fun, "new") {
-		pass.Reportf(call.Pos(), "hot path: %s allocates", call.Fun.(*ast.Ident).Name)
-		return
-	}
-	if isBuiltin(pass, call.Fun, "append") {
-		// Non-self appends are caught at the assignment; an append anywhere
-		// else (nested in a call, discarded) abandons the reuse guarantee.
-		if !c.appendHandled[call] {
-			pass.Reportf(call.Pos(), "hot path: append result is discarded or not reassigned to its base; only x = append(x, ...) reuses storage")
-		}
-		return
-	}
-	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-		if id, ok := sel.X.(*ast.Ident); ok {
-			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
-				switch pn.Imported().Path() {
-				case "fmt", "errors":
-					pass.Reportf(call.Pos(), "hot path: %s.%s allocates", pn.Imported().Name(), sel.Sel.Name)
-					return
-				}
-			}
+			pass.Reportf(edge.Site, "hot path: call to %s reaches an allocation: %s",
+				funcfacts.FuncLabel(edge.Callee, pass.Pkg), cf.Witness[funcfacts.Allocates])
 		}
 	}
-	checkBoxing(pass, call)
-}
-
-// checkAssign validates the self-append shape: for each lhs_i = append(b,
-// ...), b (or its slice-expression base, as in x = append(x[:0], ...))
-// must be syntactically identical to lhs_i.
-func (c *checker) checkAssign(asg *ast.AssignStmt) {
-	pass := c.pass
-	for i, rhs := range asg.Rhs {
-		call, ok := rhs.(*ast.CallExpr)
-		if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) == 0 {
-			continue
-		}
-		c.appendHandled[call] = true
-		if i >= len(asg.Lhs) {
-			continue
-		}
-		base := call.Args[0]
-		if se, ok := base.(*ast.SliceExpr); ok {
-			base = se.X
-		}
-		if types.ExprString(asg.Lhs[i]) != types.ExprString(base) {
-			pass.Reportf(call.Pos(), "hot path: append to %s assigned to %s allocates a fresh backing array; use the self-append form x = append(x, ...)",
-				types.ExprString(base), types.ExprString(asg.Lhs[i]))
-		}
-	}
-}
-
-func checkComposite(pass *analysis.Pass, lit *ast.CompositeLit) {
-	t := pass.TypeOf(lit)
-	if t == nil {
-		return
-	}
-	switch t.Underlying().(type) {
-	case *types.Slice:
-		pass.Reportf(lit.Pos(), "hot path: slice literal allocates")
-	case *types.Map:
-		pass.Reportf(lit.Pos(), "hot path: map literal allocates")
-	}
-}
-
-// checkBoxing flags arguments whose static type is a non-pointer concrete
-// type being passed where the callee expects an interface — each such call
-// heap-allocates the boxed copy.
-func checkBoxing(pass *analysis.Pass, call *ast.CallExpr) {
-	sig, ok := funcSig(pass, call)
-	if !ok {
-		return
-	}
-	params := sig.Params()
-	for i, arg := range call.Args {
-		var pt types.Type
-		switch {
-		case sig.Variadic() && i >= params.Len()-1:
-			if call.Ellipsis.IsValid() {
-				continue // forwarding an existing slice, no per-arg boxing
-			}
-			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
-		case i < params.Len():
-			pt = params.At(i).Type()
-		default:
-			continue
-		}
-		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
-			continue
-		}
-		at := pass.TypeOf(arg)
-		if at == nil || pointerLike(at) || isUntypedNil(pass, arg) {
-			continue
-		}
-		pass.Reportf(arg.Pos(), "hot path: %s is boxed into interface %s (allocates)", at, pt)
-	}
-}
-
-func funcSig(pass *analysis.Pass, call *ast.CallExpr) (*types.Signature, bool) {
-	t := pass.TypeOf(call.Fun)
-	if t == nil {
-		return nil, false
-	}
-	sig, ok := t.Underlying().(*types.Signature)
-	return sig, ok
-}
-
-func isUntypedNil(pass *analysis.Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
-	return ok && tv.IsNil()
+	return nil, nil
 }

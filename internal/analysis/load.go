@@ -21,6 +21,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// DepOnly marks a package loaded only because a requested package
+	// depends on it: analyzers run on it (its facts feed the requested
+	// packages' transitive checks) but its diagnostics are not reported.
+	DepOnly bool
 }
 
 // LoadConfig tunes Load.
@@ -39,6 +43,8 @@ type LoadConfig struct {
 type listedPackage struct {
 	Dir         string
 	ImportPath  string
+	Standard    bool
+	DepOnly     bool
 	GoFiles     []string
 	CgoFiles    []string
 	TestGoFiles []string
@@ -50,11 +56,17 @@ type listedPackage struct {
 // needs no pre-built export data, so the loader works in a hermetic
 // build environment). All packages share one FileSet and one importer, so
 // common dependencies are type-checked once.
+//
+// Module-internal dependencies of the matched packages are loaded too,
+// marked DepOnly: the interprocedural checks are only sound when every
+// dependency has contributed its facts, even on a partial pattern like
+// ./internal/cilk. Standard-library dependencies are not analyzed; their
+// effects are modeled at the call site by the local scanners.
 func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-json"}, patterns...)
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = cfg.Dir
 	var stderr bytes.Buffer
@@ -76,11 +88,14 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 		if lp.Error != nil {
 			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
 		}
+		if lp.Standard {
+			continue
+		}
 		if len(lp.CgoFiles) > 0 {
 			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
 		}
 		names := lp.GoFiles
-		if cfg.Tests {
+		if cfg.Tests && !lp.DepOnly {
 			names = append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
 		}
 		if len(names) == 0 {
@@ -99,12 +114,13 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 		pkgs = append(pkgs, &Package{
-			Path:  lp.ImportPath,
-			Dir:   lp.Dir,
-			Fset:  fset,
-			Files: files,
-			Types: pkg,
-			Info:  info,
+			Path:    lp.ImportPath,
+			Dir:     lp.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   pkg,
+			Info:    info,
+			DepOnly: lp.DepOnly,
 		})
 	}
 	return pkgs, nil

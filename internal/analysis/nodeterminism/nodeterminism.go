@@ -9,6 +9,14 @@
 // that is later passed to a sort function in the same enclosing function.
 // Any other iteration needs an explicit
 // //lint:allow nodeterminism <reason>.
+//
+// The wall-clock and ambient-rand rules are transitive: a function in a
+// deterministic package must not call out-of-scope code that reads the
+// wall clock or draws from the global rand source, however deep the
+// offending site sits. Reachability comes from the funcfacts summaries,
+// so the offender may live in any module package; callees inside the
+// deterministic scope are exempt from the reachability report because
+// their own sites are diagnosed directly where they occur.
 package nodeterminism
 
 import (
@@ -17,6 +25,7 @@ import (
 	"go/types"
 
 	"emuchick/internal/analysis"
+	"emuchick/internal/analysis/funcfacts"
 )
 
 // sortFuncs are the sort/slices entry points that satisfy the
@@ -39,31 +48,22 @@ var deterministicPackages = map[string]bool{
 	"emuchick/internal/chaos":       true,
 }
 
-// wallClockFuncs are the time package functions that read or depend on the
-// wall clock. Duration arithmetic and the time.Duration type stay legal.
-var wallClockFuncs = map[string]bool{
-	"Now": true, "Since": true, "Until": true, "Sleep": true,
-	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
-	"AfterFunc": true,
-}
-
-// seededConstructors are the math/rand package-level names that build an
-// explicitly seeded generator; every other package-level call uses the
-// ambient global source.
-var seededConstructors = map[string]bool{
-	"New": true, "NewSource": true, "NewZipf": true,
-}
-
 // Analyzer is the nodeterminism check.
 var Analyzer = &analysis.Analyzer{
 	Name: "nodeterminism",
 	Doc: "forbids wall-clock reads, ambiently-seeded math/rand, and unordered " +
-		"map iteration in packages that must produce bit-identical results",
+		"map iteration in packages that must produce bit-identical results, " +
+		"including through calls into out-of-scope code",
 	Packages: func(path string) bool { return deterministicPackages[path] },
+	Requires: []*analysis.Analyzer{funcfacts.Analyzer},
 	Run:      run,
 }
 
-func run(pass *analysis.Pass) error {
+// ambientEffects are the callee-fact bits that violate determinism when
+// reachable from a deterministic package.
+var ambientEffects = []funcfacts.Effect{funcfacts.ReadsWallClock, funcfacts.SeedsRandAmbiently}
+
+func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -75,7 +75,35 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	checkReachability(pass)
+	return nil, nil
+}
+
+// checkReachability reports calls from this package into out-of-scope
+// code whose facts carry a wall-clock or ambient-rand effect. Same-scope
+// callees are skipped: their sites are diagnosed where they occur, and
+// repeating the report at every caller up the chain would bury the one
+// actionable diagnostic.
+func checkReachability(pass *analysis.Pass) {
+	facts := pass.ResultOf[funcfacts.Analyzer].(*funcfacts.Result)
+	for _, n := range facts.Graph.Nodes {
+		for _, edge := range n.Edges {
+			callee := edge.Callee
+			if callee.Pkg() == nil || callee.Pkg() == pass.Pkg || deterministicPackages[callee.Pkg().Path()] {
+				continue
+			}
+			cf := facts.Lookup(pass, callee)
+			if cf == nil {
+				continue
+			}
+			for _, e := range ambientEffects {
+				if cf.Has[e] && funcfacts.Propagates(edge.Kind, e, cf.Cold) {
+					pass.Reportf(edge.Site, "call to %s reaches ambient nondeterminism (%s): %s",
+						funcfacts.FuncLabel(callee, pass.Pkg), e, cf.Witness[e])
+				}
+			}
+		}
+	}
 }
 
 // enclosingFunc returns the innermost function declaration or literal whose
@@ -111,11 +139,11 @@ func pkgOf(pass *analysis.Pass, x ast.Expr) string {
 func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
 	switch pkgOf(pass, sel.X) {
 	case "time":
-		if wallClockFuncs[sel.Sel.Name] {
+		if funcfacts.WallClockFuncs[sel.Sel.Name] {
 			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; deterministic packages must derive every value from simulated time or seeded inputs", sel.Sel.Name)
 		}
 	case "math/rand", "math/rand/v2":
-		if !seededConstructors[sel.Sel.Name] && isFunc(pass, sel) {
+		if !funcfacts.SeededConstructors[sel.Sel.Name] && isFunc(pass, sel) {
 			pass.Reportf(sel.Pos(), "rand.%s uses the ambient global source; construct an explicitly seeded *rand.Rand instead", sel.Sel.Name)
 		}
 	}

@@ -9,3 +9,10 @@ import (
 func TestAnalyzer(t *testing.T) {
 	analysistest.Run(t, "../testdata/src/nodeterminism", Analyzer)
 }
+
+// TestTransitive drives ambient sources hidden behind an out-of-scope
+// package: depclock reads the clock legally, and the reports land at the
+// in-scope call sites that reach it.
+func TestTransitive(t *testing.T) {
+	analysistest.RunDirs(t, "../testdata/src/nodeterminism_trans", Analyzer, "depclock", "root")
+}

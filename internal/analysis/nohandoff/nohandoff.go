@@ -13,7 +13,8 @@
 //
 // marks the function; everything after the marker is a free-form note.
 //
-// Inside an annotated function the analyzer flags:
+// Inside an annotated function the analyzer flags the local handoff
+// sites (see funcfacts.ScanHandoff):
 //
 //   - calls to the goroutine-parking proc methods Park, ParkReason,
 //     WaitUntil, and Delay (the continuation forms are SleepUntil and
@@ -23,20 +24,33 @@
 //     WaitCont);
 //   - calls to the goroutine-spawning engine methods Go, GoAt, SpawnAt,
 //     and LaunchAt (the continuation forms are SpawnContAt and
-//     LaunchContAt).
+//     LaunchContAt);
+//   - the raw runtime forms: go statements, channel sends and receives,
+//     select, ranging over a channel, sync.WaitGroup.Wait, time.Sleep.
 //
-// Like parksite, the rules key off method shape, not package identity: a
-// parkable proc is any named type with both Park() and ParkReason(string)
-// methods, and a continuation-aware engine is any type offering both
-// SpawnAt and SpawnContAt — which lets the analyzer test itself on fakes.
+// The rules key off method shape, not package identity: a parkable proc
+// is any named type with both Park() and ParkReason(string) methods, and
+// a continuation-aware engine is any type offering both SpawnAt and
+// SpawnContAt — which lets the analyzer test itself on fakes.
+//
+// The check is transitive: an annotated function must not *reach* a
+// parking or goroutine-spawning site through any chain the call graph
+// can follow — static calls, function values, and CHA-resolved interface
+// calls alike, across package boundaries via funcfacts. Calls the graph
+// cannot resolve (func-typed parameters or fields, package-level
+// function variables, interface calls with no visible implementation)
+// are diagnosed too: a no-handoff guarantee that depends on an unseen
+// callee is not a guarantee. Suppress a known-safe indirection with
+// //lint:allow nohandoff <reason>.
 package nohandoff
 
 import (
 	"go/ast"
-	"go/types"
+	"go/token"
 	"strings"
 
 	"emuchick/internal/analysis"
+	"emuchick/internal/analysis/funcfacts"
 )
 
 // Marker is the annotation that opts a function into the check.
@@ -46,34 +60,11 @@ const Marker = "//emu:nohandoff"
 var Analyzer = &analysis.Analyzer{
 	Name: "nohandoff",
 	Doc: "forbids goroutine handoffs (parking proc methods, blocking sync " +
-		"wrappers, goroutine-spawning engine methods) in functions annotated " +
-		"//emu:nohandoff — the continuation hot path must park state, not goroutines",
-	Run: run,
-}
-
-// parking are the Proc methods that block the calling goroutine, mapped to
-// their continuation-safe replacements.
-var parking = map[string]string{
-	"Park":       "Suspend(site)",
-	"ParkReason": "Suspend(site)",
-	"WaitUntil":  "SleepUntil(t)",
-	"Delay":      "SleepUntil(p.Now()+d)",
-}
-
-// blocking are the sync wrappers that park the proc's goroutine when they
-// cannot proceed, mapped to their park-state counterparts.
-var blocking = map[string]string{
-	"Acquire": "AcquireCont",
-	"Wait":    "WaitCont",
-}
-
-// spawning are the Engine methods that start a goroutine per proc, mapped
-// to their continuation counterparts.
-var spawning = map[string]string{
-	"Go":       "SpawnContAt",
-	"GoAt":     "SpawnContAt",
-	"SpawnAt":  "SpawnContAt",
-	"LaunchAt": "LaunchContAt",
+		"wrappers, goroutine-spawning engine methods, raw channel operations) " +
+		"in functions annotated //emu:nohandoff and in everything they reach — " +
+		"the continuation hot path must park state, not goroutines",
+	Requires: []*analysis.Analyzer{funcfacts.Analyzer},
+	Run:      run,
 }
 
 // Annotated reports whether the function declaration carries the marker.
@@ -89,70 +80,38 @@ func Annotated(fd *ast.FuncDecl) bool {
 	return false
 }
 
-func run(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !Annotated(fd) {
+// handoffEffects are the callee-fact bits that violate the contract when
+// reachable from an annotated function.
+var handoffEffects = []funcfacts.Effect{funcfacts.Parks, funcfacts.SpawnsGoroutine}
+
+func run(pass *analysis.Pass) (any, error) {
+	facts := pass.ResultOf[funcfacts.Analyzer].(*funcfacts.Result)
+	for _, n := range facts.Graph.Nodes {
+		if !Annotated(n.Decl) {
+			continue
+		}
+		funcfacts.ScanHandoff(pass.TypesInfo, n.Decl.Body, func(pos token.Pos, _ funcfacts.Effect, format string, args ...any) {
+			pass.Reportf(pos, "no-handoff path: "+format, args...)
+		})
+		for _, d := range n.Dynamic {
+			pass.Reportf(d.Site, "no-handoff path: %s — cannot prove the callee is handoff-free; use //lint:allow nohandoff <reason> if the target set is known safe", d.Desc)
+		}
+		for _, edge := range n.Edges {
+			cf := facts.Lookup(pass, edge.Callee)
+			if cf == nil {
 				continue
 			}
-			check(pass, fd.Body)
+			for _, e := range handoffEffects {
+				if cf.Has[e] && funcfacts.Propagates(edge.Kind, e, cf.Cold) {
+					pass.Reportf(edge.Site, "no-handoff path: call to %s reaches a goroutine handoff: %s",
+						funcfacts.FuncLabel(edge.Callee, pass.Pkg), cf.Witness[e])
+				}
+			}
+			if cf.Has[funcfacts.DynamicCall] && funcfacts.Propagates(edge.Kind, funcfacts.DynamicCall, cf.Cold) {
+				pass.Reportf(edge.Site, "no-handoff path: call to %s reaches a dynamic call the analysis cannot follow: %s",
+					funcfacts.FuncLabel(edge.Callee, pass.Pkg), cf.Witness[funcfacts.DynamicCall])
+			}
 		}
 	}
-	return nil
-}
-
-func check(pass *analysis.Pass, body ast.Node) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		name := sel.Sel.Name
-		recv := pass.TypeOf(sel.X)
-		if recv == nil {
-			return true
-		}
-		if cont, ok := parking[name]; ok && isParkable(recv) {
-			pass.Reportf(call.Pos(), "no-handoff path: %s parks the calling goroutine; use %s and return parked", name, cont)
-			return true
-		}
-		if cont, ok := blocking[name]; ok && len(call.Args) == 1 && isParkable(pass.TypeOf(call.Args[0])) {
-			pass.Reportf(call.Pos(), "no-handoff path: %s(p) parks the proc's goroutine; use %s(p) and return parked", name, cont)
-			return true
-		}
-		if cont, ok := spawning[name]; ok && isContEngine(recv) {
-			pass.Reportf(call.Pos(), "no-handoff path: %s starts a goroutine per proc; use %s with a Stepper", name, cont)
-		}
-		return true
-	})
-}
-
-// isParkable reports whether t (or *t) is a named type with both a Park()
-// and a ParkReason(string) method — the shape of a simulated process.
-func isParkable(t types.Type) bool {
-	return hasMethod(t, "Park") && hasMethod(t, "ParkReason")
-}
-
-// isContEngine reports whether t offers both the goroutine and the
-// continuation spawn surface — the shape of the event-loop engine.
-func isContEngine(t types.Type) bool {
-	return hasMethod(t, "SpawnAt") && hasMethod(t, "SpawnContAt")
-}
-
-func hasMethod(t types.Type, name string) bool {
-	ms := types.NewMethodSet(t)
-	if _, ok := t.Underlying().(*types.Pointer); !ok {
-		ms = types.NewMethodSet(types.NewPointer(t))
-	}
-	for i := 0; i < ms.Len(); i++ {
-		if ms.At(i).Obj().Name() == name {
-			return true
-		}
-	}
-	return false
+	return nil, nil
 }

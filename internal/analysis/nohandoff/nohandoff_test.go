@@ -9,3 +9,10 @@ import (
 func TestAnalyzer(t *testing.T) {
 	analysistest.Run(t, "../testdata/src/nohandoff", Analyzer)
 }
+
+// TestTransitive drives the planted handoffs (channel send, go
+// statement, unresolvable indirection) living one package and two calls
+// away from the //emu:nohandoff annotations.
+func TestTransitive(t *testing.T) {
+	analysistest.RunDirs(t, "../testdata/src/nohandoff_trans", Analyzer, "dep", "root")
+}

@@ -33,7 +33,7 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -43,7 +43,7 @@ func run(pass *analysis.Pass) error {
 			checkFunc(pass, fd)
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {

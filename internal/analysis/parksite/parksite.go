@@ -36,7 +36,7 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -63,7 +63,7 @@ func run(pass *analysis.Pass) error {
 		})
 		checkYieldSites(pass, f)
 	}
-	return nil
+	return nil, nil
 }
 
 // isParkable reports whether t (or *t) is a named type with both a Park()

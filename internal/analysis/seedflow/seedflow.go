@@ -1,0 +1,145 @@
+// Package seedflow enforces the repo's seed-discipline contract: every
+// RNG constructed in a result-producing package must be seeded from the
+// experiment's declared inputs — a jobspec.Spec seed, an
+// experiments.Options field, a fault-plan seed parameter — never from
+// ambient state. Determinism of the figures rests on the chain from the
+// spec seed down to every workload.NewRNG call; one time.Now().UnixNano()
+// or package-level counter in a seed expression silently breaks
+// run-to-run reproducibility while every individual draw still looks
+// seeded.
+//
+// For each RNG construction site (workload.NewRNG and the seed-taking
+// math/rand constructors NewSource and NewPCG) the analyzer checks the
+// seed expression:
+//
+//   - it must not read the wall clock or the ambient math/rand source,
+//     neither directly (time.Now().UnixNano() as a seed) nor through a
+//     helper whose funcfacts summary carries the effect;
+//   - every identifier in it must resolve to a parameter, local, field,
+//     or constant — never to a package-level variable, mutable ambient
+//     state that would couple runs to process history.
+//
+// Derivation idioms stay legal by construction: salting a parameter
+// (seed ^ (salt+1)*0x9E3779B97F4A7C15), mixing config fields
+// (cfg.Seed), splitting one seed across workers. Suppress a deliberate
+// exception with //lint:allow seedflow <reason>.
+package seedflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"emuchick/internal/analysis"
+	"emuchick/internal/analysis/callgraph"
+	"emuchick/internal/analysis/funcfacts"
+)
+
+// Analyzer is the seedflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: "requires every RNG seed in result-producing packages to derive " +
+		"from declared inputs (spec/options/plan seed parameters, fields, " +
+		"constants), rejecting wall-clock reads, ambient rand, and " +
+		"package-level variables in seed expressions",
+	Packages: inScope,
+	Requires: []*analysis.Analyzer{funcfacts.Analyzer},
+	Run:      run,
+}
+
+// inScope covers the result-producing tree: everything under internal/
+// except the analysis machinery itself (whose testdata deliberately
+// contains violations).
+func inScope(path string) bool {
+	return strings.HasPrefix(path, "emuchick/internal/") &&
+		!strings.HasPrefix(path, "emuchick/internal/analysis")
+}
+
+// ambientEffects taint a seed expression when any call in it reaches one.
+var ambientEffects = []funcfacts.Effect{funcfacts.ReadsWallClock, funcfacts.SeedsRandAmbiently}
+
+func run(pass *analysis.Pass) (any, error) {
+	facts := pass.ResultOf[funcfacts.Analyzer].(*funcfacts.Result)
+	for _, n := range facts.Graph.Nodes {
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, seed := range seedArgs(pass, call) {
+				checkSeed(pass, facts, n, seed)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// seedArgs returns the seed-bearing arguments of call if it constructs an
+// RNG: every argument of a function named NewRNG, and every argument of
+// math/rand's NewSource and NewPCG.
+func seedArgs(pass *analysis.Pass, call *ast.CallExpr) []ast.Expr {
+	switch fn := callee(pass, call).(type) {
+	case *types.Func:
+		switch {
+		case fn.Name() == "NewRNG":
+			return call.Args
+		case fn.Pkg() != nil &&
+			(fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") &&
+			(fn.Name() == "NewSource" || fn.Name() == "NewPCG"):
+			return call.Args
+		}
+	}
+	return nil
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// checkSeed validates one seed expression inside function node n.
+func checkSeed(pass *analysis.Pass, facts *funcfacts.Result, n *callgraph.Node, seed ast.Expr) {
+	// Direct ambient sites inside the expression (time.Now().UnixNano(),
+	// rand.Uint64(), ...).
+	funcfacts.ScanAmbient(pass.TypesInfo, seed, func(pos token.Pos, _ funcfacts.Effect, format string, args ...any) {
+		pass.Reportf(pos, "seed expression: "+format+"; derive seeds from the spec/options seed parameter", args...)
+	})
+	// Helper calls inside the expression whose summaries carry an ambient
+	// effect. The enclosing function's call-graph edges are keyed by site,
+	// so the edges inside the seed expression's span are exactly its calls.
+	for _, edge := range n.Edges {
+		if edge.Site < seed.Pos() || edge.Site >= seed.End() {
+			continue
+		}
+		cf := facts.Lookup(pass, edge.Callee)
+		if cf == nil {
+			continue
+		}
+		for _, e := range ambientEffects {
+			if cf.Has[e] && funcfacts.Propagates(edge.Kind, e, cf.Cold) {
+				pass.Reportf(edge.Site, "seed expression calls %s, which reaches ambient nondeterminism (%s): %s",
+					funcfacts.FuncLabel(edge.Callee, pass.Pkg), e, cf.Witness[e])
+			}
+		}
+	}
+	// Identifier leaves must not be package-level variables.
+	ast.Inspect(seed, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return true
+		}
+		pass.Reportf(id.Pos(), "seed derives from package-level variable %s; thread the seed from the spec/options instead, or //lint:allow seedflow <reason>", id.Name)
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package seedflow
+
+import (
+	"testing"
+
+	"emuchick/internal/analysis/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/seedflow", Analyzer)
+}

@@ -1,6 +1,9 @@
-// Package suite assembles the repo's six contract analyzers into the
+// Package suite assembles the repo's seven contract analyzers into the
 // multichecker that cmd/emulint, the Makefile lint target, and the
-// emuvalidate -lint claim all share.
+// emuvalidate -lint claim all share. The funcfacts analyzer rides along
+// implicitly: the driver expands each analyzer's Requires closure, so
+// every run computes the per-function effect facts the transitive checks
+// consume.
 package suite
 
 import (
@@ -11,6 +14,7 @@ import (
 	"emuchick/internal/analysis/nohandoff"
 	"emuchick/internal/analysis/observerguard"
 	"emuchick/internal/analysis/parksite"
+	"emuchick/internal/analysis/seedflow"
 )
 
 // Analyzers returns the full emulint suite, in stable order.
@@ -22,6 +26,7 @@ func Analyzers() []*analysis.Analyzer {
 		nohandoff.Analyzer,
 		observerguard.Analyzer,
 		parksite.Analyzer,
+		seedflow.Analyzer,
 	}
 }
 
@@ -34,4 +39,15 @@ func Lint(cfg analysis.LoadConfig, patterns ...string) ([]analysis.Diagnostic, e
 		return nil, err
 	}
 	return analysis.RunAnalyzers(pkgs, Analyzers())
+}
+
+// Run loads the packages matching patterns and runs the suite, returning
+// the full results — every diagnostic including suppressed ones, plus
+// per-analyzer timing — for drivers that need more than the findings.
+func Run(cfg analysis.LoadConfig, patterns ...string) (*analysis.Results, error) {
+	pkgs, err := analysis.Load(cfg, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(pkgs, Analyzers())
 }

@@ -1,0 +1,17 @@
+// Package dep is the downstream layer of the transitive hotpathalloc
+// suite: the allocating functions live here, out of the annotated
+// package, so the only way to diagnose them is through serialized facts.
+package dep
+
+// Make allocates — the planted violation the transitive check must see
+// through two layers of calls.
+func Make() []int { return make([]int, 4) }
+
+// Clean is allocation-free.
+func Clean(x int) int { return x + 1 }
+
+// ColdAlloc allocates but declares itself off the steady state; its
+// allocation must not propagate to callers.
+//
+//emu:cold testdata cold path
+func ColdAlloc() []int { return make([]int, 8) }

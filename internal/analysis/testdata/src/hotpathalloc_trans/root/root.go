@@ -1,0 +1,28 @@
+// Package root is the annotated layer of the transitive hotpathalloc
+// suite: the //emu:hotpath functions here never allocate locally — every
+// violation flows in through helper calls.
+package root
+
+import "dep"
+
+// helper is the middle layer: unannotated, allocates only transitively.
+func helper() []int { return dep.Make() }
+
+// coldWrapper reaches an allocation only through a declared cold path.
+func coldWrapper() []int { return dep.ColdAlloc() }
+
+// maker exercises the interface boundary: dispatch does not propagate
+// Allocates, because each hot implementation carries its own annotation.
+type maker interface{ New() []int }
+
+type boxed struct{}
+
+func (boxed) New() []int { return make([]int, 1) }
+
+//emu:hotpath planted transitive violation: reaches make through helper
+func Hot(m maker) int {
+	helper()      // want `hot path: call to helper reaches an allocation: calls dep\.Make .* make allocates`
+	coldWrapper() // cold stops Allocates: no finding
+	m.New()       // interface edge: no finding
+	return dep.Clean(1)
+}

@@ -1,0 +1,22 @@
+// Package depclock is the out-of-scope layer of the transitive
+// nodeterminism suite: it reads the wall clock and draws from the ambient
+// rand source, legally — it is not a deterministic package. The
+// violation is calling it from one.
+package depclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Draw uses the ambient global source.
+func Draw() int { return rand.Int() }
+
+// Pure is deterministic.
+func Pure(x int) int { return x + 3 }
+
+// DeepStamp hides the clock behind one more call.
+func DeepStamp() int64 { return Stamp() }

@@ -1,0 +1,22 @@
+// Package dep is the downstream layer of the transitive nohandoff suite:
+// the parking, spawning, and dynamic sites live here, so only the
+// serialized facts can carry them to the annotated package.
+package dep
+
+func noop() {}
+
+// Send parks the calling goroutine on the channel.
+func Send(ch chan int) { ch <- 1 }
+
+// Spawn starts a goroutine.
+func Spawn() { go noop() }
+
+// hook is a package-level function variable: calls through it cannot be
+// resolved statically.
+var hook = noop
+
+// Indirect makes a dynamic call.
+func Indirect() { hook() }
+
+// Clean is handoff-free.
+func Clean(x int) int { return x * 2 }

@@ -1,0 +1,33 @@
+// Package root is the annotated layer of the transitive nohandoff suite:
+// the //emu:nohandoff functions never touch a channel or goroutine
+// locally — every violation flows in through helper calls, or hides
+// behind an indirection the analysis refuses to vouch for.
+package root
+
+import "dep"
+
+// The middle layer: unannotated, handoff only transitively.
+func viaSend(ch chan int) { dep.Send(ch) }
+
+func viaSpawn() { dep.Spawn() }
+
+func viaIndirect() { dep.Indirect() }
+
+//emu:nohandoff planted transitive violations
+func Hot(ch chan int) int {
+	viaSend(ch)   // want `no-handoff path: call to viaSend reaches a goroutine handoff: calls dep\.Send .* channel send can block`
+	viaSpawn()    // want `no-handoff path: call to viaSpawn reaches a goroutine handoff: calls dep\.Spawn .* go statement starts a goroutine`
+	viaIndirect() // want `no-handoff path: call to viaIndirect reaches a dynamic call the analysis cannot follow`
+	return dep.Clean(2)
+}
+
+//emu:nohandoff a local dynamic call is diagnosed directly
+func HotDyn(f func()) {
+	f() // want `no-handoff path: call through func value f — cannot prove the callee is handoff-free`
+}
+
+//emu:nohandoff an allowed dynamic call is suppressed
+func HotDynAllowed(f func()) {
+	//lint:allow nohandoff testdata: the only caller passes a handoff-free thunk
+	f()
+}

@@ -1,0 +1,50 @@
+// Testdata for the seedflow analyzer: RNG seeds must derive from
+// declared inputs — parameters, fields, constants — never from the wall
+// clock, the ambient rand source, or package-level state.
+package seedflow
+
+import "time"
+
+type rng struct{ s uint64 }
+
+// NewRNG mirrors workload.NewRNG's shape; seedflow keys off the name.
+func NewRNG(seed uint64) *rng { return &rng{s: seed} }
+
+type options struct{ Seed uint64 }
+
+var processSeed uint64
+
+// clockSeed is a tainted helper: its fact carries reads-wall-clock.
+func clockSeed() uint64 { return uint64(time.Now().UnixNano()) }
+
+// The derivation idioms that must stay legal.
+func goodParam(seed uint64, salt int) *rng {
+	return NewRNG(seed ^ (uint64(salt)+1)*0x9E3779B97F4A7C15)
+}
+
+func goodField(o options) *rng { return NewRNG(o.Seed) }
+
+func goodConst() *rng { return NewRNG(42) }
+
+func goodLocal(o options) *rng {
+	derived := o.Seed * 31
+	return NewRNG(derived + 7)
+}
+
+// The violations.
+func badClock() *rng {
+	return NewRNG(uint64(time.Now().UnixNano())) // want `seed expression: time\.Now reads the wall clock; derive seeds from the spec/options seed parameter`
+}
+
+func badHelper() *rng {
+	return NewRNG(clockSeed()) // want `seed expression calls clockSeed, which reaches ambient nondeterminism \(reads-wall-clock\)`
+}
+
+func badGlobal() *rng {
+	return NewRNG(processSeed) // want `seed derives from package-level variable processSeed`
+}
+
+func allowed() *rng {
+	//lint:allow seedflow testdata: interactive tool, reproducibility not required
+	return NewRNG(processSeed)
+}

@@ -31,6 +31,7 @@ type contCoord struct {
 	synced bool
 }
 
+//emu:nohandoff CBody contract: park state, never the goroutine
 func (c *contCoord) Step(t *machine.CThread) bool {
 	if !c.synced {
 		if c.s.drive(t, c.mk) {

@@ -26,12 +26,14 @@ type timedRoot struct {
 	t0      sim.Time
 }
 
+//emu:nohandoff CBody contract: park state, never the goroutine
 func (r *timedRoot) Step(t *machine.CThread) bool {
 	if !r.started {
 		r.started = true
 		r.t0 = t.Now()
 	}
 	if !r.done {
+		//lint:allow nohandoff drive is bound at construction to cilk Workers.Drive or Grouped.Drive, both pure CThread state machines
 		if r.drive(t) {
 			return false
 		}
@@ -59,6 +61,7 @@ type streamWorker struct {
 	pc     int
 }
 
+//emu:nohandoff CBody contract: park state, never the goroutine
 func (w *streamWorker) Step(t *machine.CThread) bool {
 	s := w.sh
 	for {
@@ -68,6 +71,7 @@ func (w *streamWorker) Step(t *machine.CThread) bool {
 				return true
 			}
 			w.pc = 1
+			//lint:allow nohandoff index is the arithmetic stripe-index closure from streamShared construction
 			if t.CLoad(s.a.At(s.index(w.nl, w.j))) {
 				return false
 			}
@@ -75,6 +79,7 @@ func (w *streamWorker) Step(t *machine.CThread) bool {
 			w.va = t.Value()
 			if s.loads == 2 {
 				w.pc = 2
+				//lint:allow nohandoff index is the arithmetic stripe-index closure from streamShared construction
 				if t.CLoad(s.b.At(s.index(w.nl, w.j))) {
 					return false
 				}
@@ -87,6 +92,7 @@ func (w *streamWorker) Step(t *machine.CThread) bool {
 			w.pc = 3
 		case 3:
 			w.pc = 4
+			//lint:allow nohandoff index is the arithmetic stripe-index closure from streamShared construction
 			if t.CStore(s.c.At(s.index(w.nl, w.j)), s.kernel.apply(w.va, w.vb)) {
 				return false
 			}
@@ -123,6 +129,7 @@ type chaseWorker struct {
 	pc   int
 }
 
+//emu:nohandoff CBody contract: park state, never the goroutine
 func (w *chaseWorker) Step(t *machine.CThread) bool {
 	for {
 		switch w.pc {
@@ -169,6 +176,7 @@ type pingWorker struct {
 	pc       int
 }
 
+//emu:nohandoff CBody contract: park state, never the goroutine
 func (w *pingWorker) Step(t *machine.CThread) bool {
 	for w.i < w.iters {
 		switch w.pc {
@@ -216,6 +224,7 @@ type pingContRoot struct {
 	t0      sim.Time
 }
 
+//emu:nohandoff CBody contract: park state, never the goroutine
 func (r *pingContRoot) Step(t *machine.CThread) bool {
 	if !r.started {
 		r.started = true

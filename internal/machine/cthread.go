@@ -119,6 +119,7 @@ func (t *CThread) StepProc(p *sim.Proc) {
 			if t.op != opNone && t.runOp() {
 				return
 			}
+			//lint:allow nohandoff CBody implementations live downstream (kernels, cilk) and each Step carries its own //emu:nohandoff annotation
 			if !t.body.Step(t) {
 				return
 			}

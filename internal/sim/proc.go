@@ -141,6 +141,8 @@ func (e *Engine) acquireProc(name string) *Proc {
 }
 
 // newProc allocates a Proc and starts its pooled host goroutine.
+//
+//emu:cold pool miss: runs once per pool-high-water proc, amortized away in steady state
 func (e *Engine) newProc(name string) *Proc {
 	if e.stop == nil {
 		e.stop = make(chan struct{})
